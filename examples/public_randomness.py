@@ -1,0 +1,93 @@
+"""Section 4: public random bits replace the common prior.
+
+Benevolent agents who do not know the common prior can still guarantee
+the optimal worst-case ignorance ratio R(phi) by sampling their joint
+strategy profile from a *fixed* distribution q (computed here by solving
+a zero-sum game).  This script:
+
+1. builds a small Bayesian game structure phi,
+2. computes R(phi) two independent ways (Proposition 4.2),
+3. derives the public-randomness distribution q (Lemma 4.1), and
+4. stress-tests q against thousands of adversarial priors.
+
+Run:  python examples/public_randomness.py
+"""
+
+import numpy as np
+
+from repro.core import BayesianGame, CommonPrior
+from repro.minimax import (
+    GamePhi,
+    public_randomness_certificate,
+    r_star,
+    r_tilde,
+    random_priors,
+)
+
+
+def build_structure() -> GamePhi:
+    """A 2-agent routing-flavoured game structure with positive costs.
+
+    Agent 0 observes which of two 'traffic states' holds; agent 1 does
+    not.  Costs reward matching the state jointly.
+    """
+    prior = CommonPrior.uniform([("calm", 0), ("storm", 0)])  # ignored by phi
+
+    def cost(i, t, a):
+        good = 0 if t[0] == "calm" else 1
+        if a[0] == good and a[1] == good:
+            return 1.0
+        if a[i] == good:
+            return 2.0
+        return 3.0
+
+    game = BayesianGame(
+        [[0, 1], [0, 1]], [["calm", "storm"], [0]], prior, cost
+    )
+    return GamePhi.from_bayesian_game(game)
+
+
+def main() -> None:
+    phi = build_structure()
+    print(f"phi: {phi.num_strategies} strategy profiles x "
+          f"{phi.num_type_profiles} type profiles")
+    print()
+
+    # --- Proposition 4.2: two independent computations of R ---------------
+    tilde_value, _ = r_tilde(phi.costs, phi.v)
+    star_value = r_star(phi.costs, phi.v)
+    print("Proposition 4.2 (ratio-of-expectations = expectation-of-ratios):")
+    print(f"  R~(phi) via zero-sum LP          = {tilde_value:.8f}")
+    print(f"  R(phi)  via bisection feasibility = {star_value:.8f}")
+    print(f"  |gap| = {abs(star_value - tilde_value):.2e}")
+    print()
+
+    # --- Lemma 4.1: the public-randomness distribution q ------------------
+    certificate = public_randomness_certificate(phi)
+    print(f"Lemma 4.1 certificate: R = {certificate.r:.6f}; q supported on "
+          f"{len(certificate.support())} strategy profiles:")
+    for label, probability in certificate.support():
+        print(f"  q = {probability:.4f} on strategy profile {label}")
+    print()
+
+    certificate.verify_pointwise()
+    print("pointwise guarantee (Eq. (1)): E_q[K(s,t)/v(t)] <= R for every t")
+
+    rng = np.random.default_rng(0)
+    priors = random_priors(phi.num_type_profiles, 2000, rng)
+    certificate.verify_lemma_4_1(priors)
+    worst = max(certificate.lemma_4_1_ratio(p) for p in priors)
+    print(f"Lemma 4.1 over {len(priors)} priors (incl. all point masses): "
+          f"worst ratio = {worst:.6f} <= R = {certificate.r:.6f}")
+    print()
+
+    # --- why randomization is necessary ------------------------------------
+    ratios = phi.costs / phi.v[None, :]
+    best_fixed = ratios.max(axis=1).min()
+    print("why public bits matter: the best *fixed* strategy profile only")
+    print(f"guarantees ratio {best_fixed:.4f} against its worst prior, vs "
+          f"{certificate.r:.4f} for the mixture q.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro: a reproduction of *Bayesian ignorance* (Alon, Emek, Feldman,
+Tennenholtz; PODC 2010 / Theoretical Computer Science 452, 2012).
+
+The package quantifies the effect of agents' *local views* in Bayesian
+games by comparing social costs under partial information (``optP``,
+``best-eqP``, ``worst-eqP``) against expected social costs under complete
+information (``optC``, ``best-eqC``, ``worst-eqC``), with a full network
+cost sharing (NCS) instantiation, the paper's explicit constructions, and
+the Section 4 public-randomness minimax machinery.
+
+Subpackages
+-----------
+``repro.core``
+    Finite Bayesian games, priors, strategies, potentials, equilibria, and
+    the six ignorance measures.
+``repro.graphs``
+    Weighted multigraphs plus shortest paths, MSTs, Steiner solvers, and
+    generators (including Imase-Waxman diamond graphs).
+``repro.galois``
+    Finite fields GF(p^n) and affine planes (Lemma 3.2's substrate).
+``repro.ncs``
+    Network cost sharing games, complete-information and Bayesian.
+``repro.embeddings``
+    FRT probabilistic tree embeddings and dominating-tree strategies
+    (Lemma 3.4).
+``repro.steiner_online``
+    Greedy online Steiner trees and the diamond-graph adversary
+    (Lemma 3.5).
+``repro.minimax``
+    Zero-sum solvers and the public-randomness construction (Section 4).
+``repro.constructions``
+    The paper's gadget games (Lemmas 3.2, 3.3, 3.5, 3.6, 3.7).
+``repro.analysis``
+    Asymptotic fitting and the Table 1 reproduction harness.
+"""
+
+from ._util import ExplosionError, TOLERANCE, harmonic
+from .core import (
+    BayesianGame,
+    CommonPrior,
+    IgnoranceReport,
+    MatrixGame,
+    complete_information_game,
+    ignorance_report,
+)
+from .graphs import Graph
+from .ncs import BayesianNCSGame, NCSGame
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExplosionError",
+    "TOLERANCE",
+    "harmonic",
+    "BayesianGame",
+    "CommonPrior",
+    "IgnoranceReport",
+    "MatrixGame",
+    "complete_information_game",
+    "ignorance_report",
+    "Graph",
+    "BayesianNCSGame",
+    "NCSGame",
+    "__version__",
+]

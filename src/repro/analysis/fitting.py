@@ -1,0 +1,174 @@
+"""Asymptotic shape fitting for measured ratio series.
+
+The paper's Table 1 makes *asymptotic* claims (``O(k)``, ``Omega(log n)``,
+``O(1/k)``, constants).  The benchmark harness regenerates each cell as a
+measured series ``ratio(parameter)`` and uses this module to check the
+*shape*: fit the candidate models by least squares and report goodness of
+fit, so "grows linearly in k" or "grows logarithmically in n" becomes an
+assertable, quantitative statement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Fit:
+    """One fitted model: ``name``, parameters, predictions, and R^2."""
+
+    name: str
+    params: Tuple[float, ...]
+    r_squared: float
+    predict: Callable[[float], float]
+
+    def describe(self) -> str:
+        rounded = ", ".join(f"{p:.4g}" for p in self.params)
+        return f"{self.name}({rounded}) R2={self.r_squared:.4f}"
+
+
+def _r_squared(ys: np.ndarray, predictions: np.ndarray) -> float:
+    residual = float(np.sum((ys - predictions) ** 2))
+    total = float(np.sum((ys - ys.mean()) ** 2))
+    if total <= 1e-15:
+        return 1.0 if residual <= 1e-12 else 0.0
+    return 1.0 - residual / total
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("xs and ys must be equal-length 1-D sequences")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a shape")
+    if (xs <= 0).any():
+        raise ValueError("parameters must be positive (log/power fits)")
+    return xs, ys
+
+
+def fit_constant(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y = c``."""
+    xs, ys = _validate(xs, ys)
+    c = float(ys.mean())
+    predictions = np.full_like(ys, c)
+    return Fit("constant", (c,), _r_squared(ys, predictions), lambda x: c)
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y = a x + b``."""
+    xs, ys = _validate(xs, ys)
+    A = np.vstack([xs, np.ones_like(xs)]).T
+    (a, b), *_ = np.linalg.lstsq(A, ys, rcond=None)
+    predictions = a * xs + b
+    return Fit(
+        "linear", (float(a), float(b)), _r_squared(ys, predictions),
+        lambda x: float(a) * x + float(b),
+    )
+
+
+def fit_logarithmic(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y = a ln(x) + b``."""
+    xs, ys = _validate(xs, ys)
+    logs = np.log(xs)
+    A = np.vstack([logs, np.ones_like(xs)]).T
+    (a, b), *_ = np.linalg.lstsq(A, ys, rcond=None)
+    predictions = a * logs + b
+    return Fit(
+        "logarithmic", (float(a), float(b)), _r_squared(ys, predictions),
+        lambda x: float(a) * math.log(x) + float(b),
+    )
+
+
+def fit_power(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y = a x^b`` (log-log least squares; requires positive ys)."""
+    xs, ys = _validate(xs, ys)
+    if (ys <= 0).any():
+        raise ValueError("power fits require positive values")
+    log_a, b = None, None
+    A = np.vstack([np.log(xs), np.ones_like(xs)]).T
+    (b, log_a), *_ = np.linalg.lstsq(A, np.log(ys), rcond=None)
+    a = float(np.exp(log_a))
+    predictions = a * xs ** float(b)
+    return Fit(
+        "power", (a, float(b)), _r_squared(ys, predictions),
+        lambda x: a * x ** float(b),
+    )
+
+
+def fit_inverse(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y = a / x + b``."""
+    xs, ys = _validate(xs, ys)
+    inv = 1.0 / xs
+    A = np.vstack([inv, np.ones_like(xs)]).T
+    (a, b), *_ = np.linalg.lstsq(A, ys, rcond=None)
+    predictions = a * inv + b
+    return Fit(
+        "inverse", (float(a), float(b)), _r_squared(ys, predictions),
+        lambda x: float(a) / x + float(b),
+    )
+
+
+def fit_reciprocal_log(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """``y = a / ln(x) + b`` (the shape of ``O(1/log k)`` claims).
+
+    Requires every ``x > 1`` so the logarithm is positive.
+    """
+    xs, ys = _validate(xs, ys)
+    if (xs <= 1).any():
+        raise ValueError("reciprocal-log fits require parameters > 1")
+    inv_log = 1.0 / np.log(xs)
+    A = np.vstack([inv_log, np.ones_like(xs)]).T
+    (a, b), *_ = np.linalg.lstsq(A, ys, rcond=None)
+    predictions = a * inv_log + b
+    return Fit(
+        "reciprocal-log", (float(a), float(b)), _r_squared(ys, predictions),
+        lambda x: float(a) / math.log(x) + float(b),
+    )
+
+
+#: Models tried by :func:`best_fit`, in reporting order.
+MODELS: Dict[str, Callable[[Sequence[float], Sequence[float]], Fit]] = {
+    "constant": fit_constant,
+    "logarithmic": fit_logarithmic,
+    "linear": fit_linear,
+    "inverse": fit_inverse,
+    "reciprocal-log": fit_reciprocal_log,
+    "power": fit_power,
+}
+
+
+def best_fit(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    candidates: Sequence[str] = ("constant", "logarithmic", "linear", "inverse"),
+) -> Fit:
+    """The candidate model with the highest R^2.
+
+    Constant fits get a small bonus (simplicity prior) so that nearly-flat
+    series classify as constant rather than a degenerate slope.
+    """
+    fits: List[Tuple[float, Fit]] = []
+    for name in candidates:
+        try:
+            fit = MODELS[name](xs, ys)
+        except ValueError:
+            continue
+        score = fit.r_squared + (0.01 if name == "constant" else 0.0)
+        fits.append((score, fit))
+    if not fits:
+        raise ValueError("no candidate model could be fitted")
+    return max(fits, key=lambda pair: pair[0])[1]
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The power-law exponent ``b`` of ``y ~ x^b`` (log-log slope).
+
+    Handy one-number summaries: ``~1`` linear, ``~0`` flat/logarithmic,
+    ``~-1`` inverse.
+    """
+    return fit_power(xs, ys).params[1]

@@ -1,0 +1,57 @@
+"""A tiny experiment registry.
+
+Benchmarks register cell-producing callables under their experiment ids
+(T1-D-opt-E, FIG1, SEC4, ...); ``run_all`` executes them and collects
+:class:`~repro.analysis.table1.CellResult` rows for EXPERIMENTS.md.  The
+registry keeps the benchmark files self-contained while letting scripts
+regenerate the full table in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from .table1 import CellResult
+
+ExperimentFn = Callable[[], List[CellResult]]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator: register a callable producing the cell(s) of one id."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def registered_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run(experiment_id: str) -> List[CellResult]:
+    try:
+        fn = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {registered_ids()}"
+        ) from None
+    return fn()
+
+
+def run_all(ids: Iterable[str] = None) -> List[CellResult]:
+    results: List[CellResult] = []
+    for experiment_id in ids if ids is not None else registered_ids():
+        results.extend(run(experiment_id))
+    return results
+
+
+def clear() -> None:
+    """Testing hook: forget all registrations."""
+    _REGISTRY.clear()

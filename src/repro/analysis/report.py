@@ -1,0 +1,52 @@
+"""Regenerate the reproduced-results table from the command line.
+
+Usage::
+
+    python -m repro.analysis.report            # full default suite
+    python -m repro.analysis.report FIG1 SEC4  # named experiments only
+
+Prints the markdown table plus per-cell series; exit code 1 if any cell
+fails its claim.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments import ALL_EXPERIMENTS, run_all_experiments
+from .table1 import CellResult, render_markdown, render_series_block
+
+
+def generate(names: Optional[Sequence[str]] = None) -> List[CellResult]:
+    """Run experiments (all, or those whose id starts with a given name)."""
+    cells = run_all_experiments()
+    if names:
+        wanted = tuple(names)
+        cells = [
+            cell
+            for cell in cells
+            if any(cell.experiment_id.startswith(name) for name in wanted)
+        ]
+    return cells
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    cells = generate(args or None)
+    if not cells:
+        print(f"no experiments matched {args!r}", file=sys.stderr)
+        return 2
+    print(render_markdown(cells))
+    print()
+    print(render_series_block(cells))
+    failed = [cell.experiment_id for cell in cells if not cell.passed]
+    if failed:
+        print(f"\nFAILED claims: {failed}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(cells)} cells PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Table 1 reproduction harness: cells, measured series, and rendering.
+
+Each of Table 1's twelve cells (three ratios x directed/undirected x
+universal/existential) is regenerated as a :class:`CellResult`: the paper's
+claim, the measured ratio series over an instance family, the fitted
+asymptotic shape, and a pass/fail verdict.  ``render_markdown`` assembles
+the reproduced table for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .fitting import Fit, best_fit
+
+
+@dataclass
+class SeriesPoint:
+    """One measurement: instance parameter (k or n) and the ratio value."""
+
+    parameter: float
+    value: float
+
+
+@dataclass
+class CellResult:
+    """One reproduced Table 1 cell (or auxiliary experiment)."""
+
+    experiment_id: str
+    graph_class: str  # "directed" | "undirected" | "-"
+    ratio: str  # e.g. "optP/optC"
+    bound_kind: str  # "universal" | "existential"
+    paper_claim: str  # e.g. "O(k)" or "Omega(log n)"
+    series: List[SeriesPoint]
+    expected_shape: str  # model name the claim predicts
+    notes: str = ""
+    fit: Optional[Fit] = field(default=None)
+    #: For *bound* claims ("always at most O(k)") the experiment checks the
+    #: inequality on every instance and records the verdict here; shape
+    #: fitting is then informational only.
+    bound_check: Optional[bool] = None
+    #: Candidate models offered to the shape fit (claim-specific).
+    fit_candidates: Tuple[str, ...] = (
+        "constant", "logarithmic", "linear", "inverse", "reciprocal-log"
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.series) >= 2 and self.fit is None:
+            xs = [p.parameter for p in self.series]
+            ys = [p.value for p in self.series]
+            self.fit = best_fit(xs, ys, candidates=self.fit_candidates)
+
+    @property
+    def measured_shape(self) -> str:
+        return self.fit.name if self.fit is not None else "n/a"
+
+    @property
+    def passed(self) -> bool:
+        """Bound claims pass iff the bound held; growth claims pass iff the
+        fitted shape matches the claim's expected shape."""
+        if self.bound_check is not None:
+            return self.bound_check
+        return self.measured_shape == self.expected_shape
+
+    def series_str(self) -> str:
+        return ", ".join(
+            f"{p.parameter:g}:{p.value:.3g}" for p in self.series
+        )
+
+    def row(self) -> Tuple[str, ...]:
+        return (
+            self.experiment_id,
+            self.graph_class,
+            self.ratio,
+            self.bound_kind,
+            self.paper_claim,
+            self.measured_shape,
+            self.fit.describe() if self.fit else "n/a",
+            "PASS" if self.passed else "CHECK",
+        )
+
+
+HEADER = (
+    "experiment",
+    "graphs",
+    "ratio",
+    "bound",
+    "paper claim",
+    "measured shape",
+    "fit",
+    "verdict",
+)
+
+
+def render_markdown(cells: Sequence[CellResult]) -> str:
+    """A GitHub-flavored markdown table of reproduced cells."""
+    lines = [
+        "| " + " | ".join(HEADER) + " |",
+        "|" + "|".join(["---"] * len(HEADER)) + "|",
+    ]
+    for cell in cells:
+        lines.append("| " + " | ".join(cell.row()) + " |")
+    return "\n".join(lines)
+
+
+def render_series_block(cells: Sequence[CellResult]) -> str:
+    """A plain-text dump of every cell's measured series (for logs)."""
+    blocks = []
+    for cell in cells:
+        blocks.append(
+            f"[{cell.experiment_id}] {cell.ratio} ({cell.graph_class}, "
+            f"{cell.bound_kind}; paper: {cell.paper_claim})\n"
+            f"  series: {cell.series_str()}\n"
+            f"  fit:    {cell.fit.describe() if cell.fit else 'n/a'}"
+            + (f"\n  note:   {cell.notes}" if cell.notes else "")
+        )
+    return "\n".join(blocks)

@@ -1,0 +1,43 @@
+"""The paper's explicit game constructions (Section 3) and random families."""
+
+from .affine_game import AffinePlaneGame, build_affine_plane_game
+from .anshelevich import AnshelevichGame, build_anshelevich_game
+from .bliss_triangle import BlissTriangle, build_bliss_triangle
+from .diamond import (
+    diamond_bayesian_game,
+    expected_fixed_profile_ratio,
+    fixed_profile_cost,
+    fixed_shortest_path_map,
+    sequence_type_profile,
+)
+from .gworst import (
+    GWorstGame,
+    build_gworst_high_ratio_game,
+    build_gworst_low_ratio_game,
+)
+from .random_games import random_bayesian_ncs, random_independent_bayesian_ncs
+from .resource_selection import (
+    bayesian_resource_selection,
+    resource_selection_report,
+)
+
+__all__ = [
+    "AffinePlaneGame",
+    "build_affine_plane_game",
+    "AnshelevichGame",
+    "build_anshelevich_game",
+    "BlissTriangle",
+    "build_bliss_triangle",
+    "diamond_bayesian_game",
+    "expected_fixed_profile_ratio",
+    "fixed_profile_cost",
+    "fixed_shortest_path_map",
+    "sequence_type_profile",
+    "GWorstGame",
+    "build_gworst_high_ratio_game",
+    "build_gworst_low_ratio_game",
+    "random_bayesian_ncs",
+    "random_independent_bayesian_ncs",
+    "bayesian_resource_selection",
+    "resource_selection_report",
+]

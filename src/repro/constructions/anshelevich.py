@@ -1,0 +1,166 @@
+"""Lemma 3.3 / Fig. 1: ignorance is bliss on the Anshelevich et al. graph.
+
+The directed graph ``G_k``: a common source ``x``; destinations ``y_1,
+..., y_{k-1}`` with direct edges ``x -> y_i`` of cost ``1/i``; a hub ``z``
+with edge ``x -> z`` of cost ``1 + eps`` and free edges ``z -> y_i``.
+
+The Bayesian game: agent ``i <= k - 1`` travels ``(x, y_i)`` surely;
+agent ``k`` travels ``(x, z)`` with probability 1/2 and is trivial
+(``(x, x)``) otherwise.
+
+Results reproduced here (paper's Lemma 3.3 and Remark 1):
+
+* the unique Bayesian equilibrium routes every agent through the hub, so
+  ``best-eqP = worst-eqP = K(s) = 1 + eps`` (uniqueness needs ``eps``
+  small; ``eps < 1/3`` suffices for agent 1's base case and we verify
+  uniqueness by enumeration for small ``k``);
+* with complete information, when agent ``k`` is inactive the unique
+  Nash equilibrium is all-direct with cost ``H(k-1)`` (the classical
+  price-of-stability lower bound), hence
+  ``best-eqC >= H(k-1)/2 = Omega(log k)``;
+* ``optC = worst-eqP = O(1)`` while ``best-eqC = Omega(log k)`` — the
+  "ignorance is bliss" phenomenon: *every* equilibrium under local views
+  is asymptotically cheaper than *every* equilibrium under global views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .._util import harmonic
+from ..core.prior import CommonPrior
+from ..graphs import EdgeId, Graph, Node
+from ..ncs.actions import NCSType
+from ..ncs.bayesian import BayesianNCSGame
+
+
+@dataclass
+class AnshelevichGame:
+    """The Fig. 1 construction for ``k`` agents."""
+
+    k: int
+    epsilon: float
+    graph: Graph
+    source: Node
+    hub: Node
+    destinations: List[Node]
+    direct_edges: Dict[int, EdgeId]  # agent index (1-based) -> x->y_i edge
+    hub_edge: EdgeId
+    free_edges: Dict[int, EdgeId]  # agent index -> z->y_i edge
+
+    # ------------------------------------------------------------------
+    # closed forms
+    # ------------------------------------------------------------------
+    def bayesian_equilibrium_cost(self) -> float:
+        """``K(s)`` of the unique Bayesian equilibrium: ``1 + eps``."""
+        return 1.0 + self.epsilon
+
+    def best_eq_c_lower_bound(self) -> float:
+        """``best-eqC > H(k-1)/2`` (the inactive branch alone)."""
+        return harmonic(self.k - 1) / 2.0
+
+    def best_eq_c_exact(self) -> float:
+        """``best-eqC``: inactive branch H(k-1); active branch 1+eps.
+
+        When agent k is active, everybody sharing the hub is the best
+        equilibrium (cost ``1+eps``); when inactive, all-direct is the
+        unique equilibrium (cost ``H(k-1)``) — both verified by
+        enumeration in the tests.
+        """
+        return 0.5 * harmonic(self.k - 1) + 0.5 * (1.0 + self.epsilon)
+
+    def opt_c(self) -> float:
+        """``optC``: hub serves everyone in both branches (for k >= 3)."""
+        inactive = min(harmonic(self.k - 1), 1.0 + self.epsilon)
+        active = min(
+            1.0 + self.epsilon, harmonic(self.k - 1) + 1.0 + self.epsilon
+        )
+        return 0.5 * inactive + 0.5 * active
+
+    def predicted_bliss_ratio(self) -> float:
+        """``worst-eqP / best-eqC`` — vanishes like ``O(1/log k)``."""
+        return self.bayesian_equilibrium_cost() / self.best_eq_c_exact()
+
+    # ------------------------------------------------------------------
+    # profiles
+    # ------------------------------------------------------------------
+    def hub_strategy_profile(self) -> Tuple[Tuple[frozenset, ...], ...]:
+        """The unique Bayesian equilibrium (everyone through the hub)."""
+        strategies: List[Tuple[frozenset, ...]] = []
+        for i in range(1, self.k):
+            strategies.append(
+                (frozenset({self.hub_edge, self.free_edges[i]}),)
+            )
+        strategies.append((frozenset({self.hub_edge}), frozenset()))
+        return tuple(strategies)
+
+    def direct_strategy_profile(self) -> Tuple[Tuple[frozenset, ...], ...]:
+        """Everyone buys her direct edge (NOT a Bayesian equilibrium)."""
+        strategies: List[Tuple[frozenset, ...]] = []
+        for i in range(1, self.k):
+            strategies.append((frozenset({self.direct_edges[i]}),))
+        strategies.append((frozenset({self.hub_edge}), frozenset()))
+        return tuple(strategies)
+
+    def bayesian_game(self) -> BayesianNCSGame:
+        type_spaces: List[List[NCSType]] = [
+            [(self.source, self.destinations[i - 1])] for i in range(1, self.k)
+        ]
+        type_spaces.append([(self.source, self.hub), (self.source, self.source)])
+        active = tuple(
+            [(self.source, self.destinations[i - 1]) for i in range(1, self.k)]
+            + [(self.source, self.hub)]
+        )
+        inactive = tuple(
+            [(self.source, self.destinations[i - 1]) for i in range(1, self.k)]
+            + [(self.source, self.source)]
+        )
+        prior = CommonPrior({active: 0.5, inactive: 0.5})
+        return BayesianNCSGame(
+            self.graph, type_spaces, prior, name=f"anshelevich-k{self.k}"
+        )
+
+
+def build_anshelevich_game(k: int, epsilon: float = None) -> AnshelevichGame:
+    """Build Fig. 1's game for ``k >= 2`` agents.
+
+    ``epsilon`` defaults to ``1/(2k+1)``.  The uniqueness induction for
+    the Bayesian equilibrium needs agent ``i``'s hub share
+    ``(1+eps) * (1/2 * 1/i + 1/2 * 1/(i+1))`` to beat her direct cost
+    ``1/i`` for every ``i < k``, i.e. ``eps < 1/(2k-1)``; the same range
+    keeps the all-hub profile a Nash equilibrium of the active underlying
+    game (``eps <= 1/(k-1)``), which the closed form ``best_eq_c_exact``
+    relies on.  We therefore require ``0 < eps <= 1/(2k)``.
+    """
+    if k < 2:
+        raise ValueError("need at least two agents")
+    if epsilon is None:
+        epsilon = 1.0 / (2 * k + 1)
+    if not 0.0 < epsilon <= 1.0 / (2 * k):
+        raise ValueError(f"epsilon must lie in (0, 1/(2k)] = (0, {1/(2*k)}]")
+    graph = Graph(directed=True)
+    source: Node = "x"
+    hub: Node = "z"
+    graph.add_node(source)
+    graph.add_node(hub)
+    destinations: List[Node] = []
+    direct_edges: Dict[int, EdgeId] = {}
+    free_edges: Dict[int, EdgeId] = {}
+    hub_edge = graph.add_edge(source, hub, 1.0 + epsilon)
+    for i in range(1, k):
+        node = ("y", i)
+        destinations.append(node)
+        direct_edges[i] = graph.add_edge(source, node, 1.0 / i)
+        free_edges[i] = graph.add_edge(hub, node, 0.0)
+    return AnshelevichGame(
+        k=k,
+        epsilon=epsilon,
+        graph=graph,
+        source=source,
+        hub=hub,
+        destinations=destinations,
+        direct_edges=direct_edges,
+        hub_edge=hub_edge,
+        free_edges=free_edges,
+    )

@@ -1,0 +1,106 @@
+"""An undirected 3-vertex game with ``best-eqP / best-eqC < 1``.
+
+Table 1 asserts the existence of an undirected ``O(1)``-vertex Bayesian
+NCS game whose best Bayesian equilibrium beats the expected best Nash
+equilibrium ("it is quite easy to design..." — the paper gives no explicit
+instance).  This module supplies one:
+
+* triangle ``a - b - c`` with costs ``c(a,b) = c(b,c) = 2`` and
+  ``c(a,c) = gamma`` (default 1.2, any ``1 < gamma < 2`` works with a
+  matching activity probability);
+* agent 1 travels ``(a, b)``, agent 2 travels ``(b, c)``, and agent 3
+  travels ``(a, c)`` with probability ``p`` (default 1/2), else nothing.
+
+Mechanics.  With complete information and agent 3 inactive, the unique
+Nash equilibrium is both-direct (cost 4): agent 2's hub route
+``b - a - c`` costs her ``1 + gamma > 2``.  When agent 3 is active, the
+cheap equilibrium uses the hub (cost ``2 + gamma``).  Under *local views*
+agent 2 cannot see whether agent 3 is active — and for
+``p > 2(gamma - 1)/gamma`` the expected hub cost ``1 + gamma - p*gamma/2``
+drops below 2, so the hub route survives in Bayesian play: every Bayesian
+equilibrium (there are two, mirror images in which either direct agent
+takes the shortcut route) costs ``2 + gamma`` in *both* states.
+Ignorance pools the states and rescues the coordination that complete
+information destroys:
+
+    best-eqP = 2 + gamma   <   best-eqC = p*(2 + gamma) + (1 - p)*4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.prior import CommonPrior
+from ..graphs import EdgeId, Graph
+from ..ncs.bayesian import BayesianNCSGame
+
+
+@dataclass
+class BlissTriangle:
+    """The undirected best-equilibrium 'ignorance is bliss' gadget."""
+
+    gamma: float
+    active_probability: float
+    graph: Graph
+    ab: EdgeId
+    bc: EdgeId
+    ac: EdgeId
+
+    @property
+    def num_agents(self) -> int:
+        return 3
+
+    def best_eq_p(self) -> float:
+        """Every Bayesian equilibrium's cost: ``2 + gamma``."""
+        return 2.0 + self.gamma
+
+    def best_eq_c(self) -> float:
+        """``p * (2 + gamma) + (1 - p) * 4`` (verified by enumeration)."""
+        p = self.active_probability
+        return p * (2.0 + self.gamma) + (1 - p) * 4.0
+
+    def predicted_ratio(self) -> float:
+        """``best-eqP / best-eqC`` — strictly below 1."""
+        return self.best_eq_p() / self.best_eq_c()
+
+    def bayesian_game(self) -> BayesianNCSGame:
+        active = (("a", "b"), ("b", "c"), ("a", "c"))
+        inactive = (("a", "b"), ("b", "c"), ("a", "a"))
+        p = self.active_probability
+        prior = CommonPrior({active: p, inactive: 1 - p})
+        return BayesianNCSGame(
+            self.graph,
+            [[("a", "b")], [("b", "c")], [("a", "c"), ("a", "a")]],
+            prior,
+            name=f"bliss-triangle-g{self.gamma}",
+        )
+
+
+def build_bliss_triangle(
+    gamma: float = 1.2, active_probability: float = 0.5
+) -> BlissTriangle:
+    """Build the gadget; parameters must satisfy the incentive window.
+
+    Requires ``1 < gamma < 2`` (direct beats hub when alone; hub cheap
+    enough to share) and ``p > 2(gamma - 1)/gamma`` (hub survives under
+    uncertainty).
+    """
+    if not 1.0 < gamma < 2.0:
+        raise ValueError("gamma must lie in (1, 2)")
+    threshold = 2.0 * (gamma - 1.0) / gamma
+    if not threshold < active_probability <= 1.0:
+        raise ValueError(
+            f"active_probability must exceed 2(gamma-1)/gamma = {threshold}"
+        )
+    graph = Graph(directed=False)
+    ab = graph.add_edge("a", "b", 2.0)
+    bc = graph.add_edge("b", "c", 2.0)
+    ac = graph.add_edge("a", "c", gamma)
+    return BlissTriangle(
+        gamma=gamma,
+        active_probability=active_probability,
+        graph=graph,
+        ab=ab,
+        bc=bc,
+        ac=ac,
+    )

@@ -1,0 +1,204 @@
+"""Lemmas 3.6 / 3.7 (Fig. 2): the triangle gadget ``G_worst``.
+
+The undirected graph has three vertices with edge costs
+
+    (u, v): k + 1        (v, w): 1        (u, w): 1 + eps.
+
+Agents ``1..k`` travel ``(u, w)``; agent ``k+1`` starts at ``u`` and is
+sometimes inactive.  Two parameter regimes produce the two existential
+worst-equilibrium bounds of Table 1:
+
+* **low-ratio game** (the proof printed under Lemma 3.6):
+  ``eps in (1/k, 3/(2k))`` and agent ``k+1`` heads to ``v`` w.p. 1/2.
+  The unique Bayesian equilibrium sends everyone over the cheap direct
+  edge (``worst-eqP = 1 + eps + 1/2``) while the complete-information
+  dest-``v`` game retains the expensive two-hop equilibrium
+  (``worst-eqC >= (k+2)/2``): ratio ``O(1/k)``.
+
+* **high-ratio game** (the proof printed under Lemma 3.7):
+  ``eps in (2/k - 1/k^2, 2/k)`` and agent ``k+1`` heads to ``v`` w.p.
+  ``1/k``.  Now the *Bayesian* game retains the expensive two-hop
+  equilibrium (``worst-eqP >= k + 2``) while every underlying game's
+  equilibria are cheap (``worst-eqC <= (1-1/k)(1+eps) + (k+3+eps)/k =
+  O(1)``): ratio ``Omega(k)``.
+
+Note: in the published text the *statements* of Lemmas 3.6 and 3.7 are
+swapped relative to their proofs (3.6's proof derives the ``O(1/k)``
+instance, 3.7's the ``Omega(k)`` one).  We name the games by the ratio
+their proofs establish and reproduce both rows of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.prior import CommonPrior
+from ..graphs import EdgeId, Graph, Node
+from ..ncs.actions import NCSType
+from ..ncs.bayesian import BayesianNCSGame
+
+
+@dataclass
+class GWorstGame:
+    """One parameterization of the Fig. 2 gadget."""
+
+    k: int  # number of (u, w) agents; the game has k + 1 agents
+    epsilon: float
+    active_probability: float  # P(agent k+1 heads to v)
+    regime: str  # "low" or "high"
+    graph: Graph
+    uv: EdgeId
+    vw: EdgeId
+    uw: EdgeId
+    #: the extra w -> v arc in the directed variant (None when undirected)
+    wv: EdgeId = None
+
+    @property
+    def num_agents(self) -> int:
+        return self.k + 1
+
+    # ------------------------------------------------------------------
+    # canonical profiles
+    # ------------------------------------------------------------------
+    def direct_bayesian_profile(self):
+        """Agents 1..k buy (u,w); agent k+1 buys (u,w),(w,v) when active."""
+        direct = (frozenset({self.uw}),)
+        strategies = [direct] * self.k
+        hub_back = self.wv if self.wv is not None else self.vw
+        strategies.append((frozenset({self.uw, hub_back}), frozenset()))
+        return tuple(strategies)
+
+    def two_hop_bayesian_profile(self):
+        """Agents 1..k buy (u,v),(v,w); agent k+1 buys (u,v) when active."""
+        two_hop = (frozenset({self.uv, self.vw}),)
+        strategies = [two_hop] * self.k
+        strategies.append((frozenset({self.uv}), frozenset()))
+        return tuple(strategies)
+
+    def direct_profile_cost(self) -> float:
+        """``K`` of the direct profile: ``1 + eps + P(active) * 1``."""
+        return 1.0 + self.epsilon + self.active_probability
+
+    def two_hop_profile_cost(self) -> float:
+        """``K`` of the two-hop profile: ``k + 2`` (both edges always bought)."""
+        return float(self.k + 2)
+
+    # ------------------------------------------------------------------
+    # closed forms per regime
+    # ------------------------------------------------------------------
+    def worst_eq_p(self) -> float:
+        """``worst-eqP`` closed form.
+
+        Low regime: the direct profile is the *unique* Bayesian
+        equilibrium, so ``worst-eqP`` is its (cheap) cost.  High regime:
+        the expensive two-hop profile survives as a Bayesian equilibrium,
+        so ``worst-eqP`` is ``k + 2``.  Both verified by enumeration.
+        """
+        if self.regime == "low":
+            return self.direct_profile_cost()
+        return self.two_hop_profile_cost()
+
+    def worst_eq_c(self) -> float:
+        """``worst-eqC`` closed form (verified by enumeration in tests).
+
+        In both regimes the dest-``v`` game's worst equilibrium is the
+        two-hop profile (cost ``k + 2``) and the dest-``u`` game's is
+        all-direct (cost ``1 + eps``).
+        """
+        p = self.active_probability
+        return p * (self.k + 2) + (1 - p) * (1.0 + self.epsilon)
+
+    def paper_worst_eq_c_upper_bound(self) -> float:
+        """The cruder bound used in the paper's proof (whole-graph cost
+        on the active branch); still ``O(1)`` in the high regime."""
+        p = self.active_probability
+        return (1 - p) * (1.0 + self.epsilon) + p * (self.k + 3 + self.epsilon)
+
+    def predicted_ratio(self) -> float:
+        return self.worst_eq_p() / self.worst_eq_c()
+
+    # ------------------------------------------------------------------
+    def bayesian_game(self) -> BayesianNCSGame:
+        u, v, w = "u", "v", "w"
+        type_spaces: List[List[NCSType]] = [[(u, w)] for _ in range(self.k)]
+        type_spaces.append([(u, v), (u, u)])
+        active = tuple([(u, w)] * self.k + [(u, v)])
+        inactive = tuple([(u, w)] * self.k + [(u, u)])
+        p = self.active_probability
+        prior = CommonPrior({active: p, inactive: 1 - p})
+        return BayesianNCSGame(
+            self.graph,
+            type_spaces,
+            prior,
+            name=f"gworst-{self.regime}-k{self.k}",
+        )
+
+
+def _build(
+    k: int,
+    epsilon: float,
+    active_probability: float,
+    regime: str,
+    directed: bool = False,
+) -> GWorstGame:
+    graph = Graph(directed=directed)
+    uv = graph.add_edge("u", "v", k + 1.0)
+    vw = graph.add_edge("v", "w", 1.0)
+    uw = graph.add_edge("u", "w", 1.0 + epsilon)
+    wv = None
+    if directed:
+        # The paper's "trivial modification" for the directed rows of
+        # Table 1: agent k+1's hub-route u -> w -> v needs a w -> v arc.
+        # Giving it the same cost as (v, w) preserves every equilibrium
+        # computation (deviations through it only get weakly costlier).
+        wv = graph.add_edge("w", "v", 1.0)
+    return GWorstGame(
+        k=k,
+        epsilon=epsilon,
+        active_probability=active_probability,
+        regime=regime,
+        graph=graph,
+        uv=uv,
+        vw=vw,
+        uw=uw,
+        wv=wv,
+    )
+
+
+def build_gworst_low_ratio_game(
+    k: int, epsilon: float = None, directed: bool = False
+) -> GWorstGame:
+    """The ``worst-eqP/worst-eqC = O(1/k)`` instance (proof under L3.6).
+
+    Requires ``eps in (1/k, 3/(2k))``; defaults to the midpoint.
+    """
+    if k < 2:
+        raise ValueError("need k >= 2")
+    low, high = 1.0 / k, 1.5 / k
+    if epsilon is None:
+        epsilon = 0.5 * (low + high)
+    if not low < epsilon < high:
+        raise ValueError(f"epsilon must lie in (1/k, 3/(2k)) = ({low}, {high})")
+    return _build(k, epsilon, active_probability=0.5, regime="low", directed=directed)
+
+
+def build_gworst_high_ratio_game(
+    k: int, epsilon: float = None, directed: bool = False
+) -> GWorstGame:
+    """The ``worst-eqP/worst-eqC = Omega(k)`` instance (proof under L3.7).
+
+    Requires ``eps in (2/k - 1/k^2, 2/k)``; defaults to the midpoint.
+    """
+    if k < 2:
+        raise ValueError("need k >= 2")
+    low, high = 2.0 / k - 1.0 / (k * k), 2.0 / k
+    if epsilon is None:
+        epsilon = 0.5 * (low + high)
+    if not low < epsilon < high:
+        raise ValueError(
+            f"epsilon must lie in (2/k - 1/k^2, 2/k) = ({low}, {high})"
+        )
+    return _build(
+        k, epsilon, active_probability=1.0 / k, regime="high", directed=directed
+    )

@@ -1,0 +1,109 @@
+"""Random Bayesian NCS instance families.
+
+These are the spot-check workloads for the paper's *universal* bounds
+(Lemmas 3.1, 3.4, 3.8 and Observation 2.2): random graphs, random
+source/destination types, random priors.  Sizes are kept small enough for
+the exact enumeration machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.prior import CommonPrior
+from ..graphs import Graph, random_connected_graph
+from ..ncs.bayesian import BayesianNCSGame
+from ..ncs.actions import NCSType
+
+
+def _random_feasible_pair(
+    graph: Graph, rng: np.random.Generator, allow_trivial: bool = True
+) -> NCSType:
+    """A random (source, destination) pair connected in ``graph``."""
+    nodes = graph.nodes
+    for _ in range(1000):
+        x = nodes[int(rng.integers(len(nodes)))]
+        y = nodes[int(rng.integers(len(nodes)))]
+        if x == y and not allow_trivial:
+            continue
+        if graph.connects(x, y):
+            return (x, y)
+    raise RuntimeError("could not sample a feasible pair")
+
+
+def random_bayesian_ncs(
+    num_agents: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+    directed: bool = False,
+    scenarios: int = 2,
+    extra_edges: Optional[int] = None,
+    allow_trivial: bool = True,
+    name: str = "",
+) -> BayesianNCSGame:
+    """A random Bayesian NCS game with a uniform prior over scenarios.
+
+    Each scenario assigns every agent a random feasible pair; the prior is
+    uniform over the (independent) scenarios, giving a correlated prior in
+    general.  For directed graphs the generator retries pairs until each is
+    reachable, so all declared types are feasible.
+    """
+    if extra_edges is None:
+        extra_edges = num_nodes
+    graph = random_connected_graph(
+        num_nodes, extra_edges, rng, directed=directed
+    )
+    profiles: List[Tuple[NCSType, ...]] = []
+    for _ in range(scenarios):
+        profiles.append(
+            tuple(
+                _random_feasible_pair(graph, rng, allow_trivial)
+                for _ in range(num_agents)
+            )
+        )
+    type_spaces: List[List[NCSType]] = []
+    for agent in range(num_agents):
+        seen: List[NCSType] = []
+        for profile in profiles:
+            if profile[agent] not in seen:
+                seen.append(profile[agent])
+        type_spaces.append(seen)
+    prior = CommonPrior.uniform(profiles)
+    return BayesianNCSGame(
+        graph, type_spaces, prior, name=name or f"random-ncs-k{num_agents}"
+    )
+
+
+def random_independent_bayesian_ncs(
+    num_agents: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+    types_per_agent: int = 2,
+    directed: bool = False,
+    name: str = "",
+) -> BayesianNCSGame:
+    """A random Bayesian NCS game with *independent* per-agent type draws.
+
+    Each agent gets ``types_per_agent`` candidate pairs with random
+    marginal probabilities; the prior is the product distribution.
+    """
+    graph = random_connected_graph(num_nodes, num_nodes, rng, directed=directed)
+    type_spaces: List[List[NCSType]] = []
+    marginals = []
+    for _ in range(num_agents):
+        pairs: List[NCSType] = []
+        while len(pairs) < types_per_agent:
+            pair = _random_feasible_pair(graph, rng)
+            if pair not in pairs:
+                pairs.append(pair)
+        weights = rng.dirichlet(np.ones(len(pairs)))
+        type_spaces.append(pairs)
+        marginals.append({pair: float(w) for pair, w in zip(pairs, weights) if w > 0})
+    prior = CommonPrior.from_independent(marginals)
+    # Drop zero-probability pairs from the type spaces? They are harmless:
+    # enumeration ignores them (strategy space fixes a placeholder there).
+    return BayesianNCSGame(
+        graph, type_spaces, prior, name=name or f"random-ind-ncs-k{num_agents}"
+    )

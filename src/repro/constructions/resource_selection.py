@@ -1,0 +1,118 @@
+"""Resource selection with unknown active players (related-work bridge).
+
+The paper's related work highlights Ashlagi, Monderer and Tennenholtz
+(ref. [5]): resource selection games where agents do not know how many
+others are active, and where — as in the paper's own Remark 1 —
+"ignorance may improve the social welfare".  The conclusions also ask for
+the ignorance measures to be applied to Bayesian games beyond NCS.  This
+module does both: a machine-scheduling game family plugged directly into
+the generic :mod:`repro.core` machinery.
+
+Model.  ``m`` machines with cost rates ``speeds[r]`` (cost of machine
+``r`` under load ``l`` is ``speeds[r] * l`` per user — a linear latency,
+so each state's game is a weighted singleton congestion game with exact
+potential).  Agent ``i`` is *active* with probability ``activity[i]``
+(independently) and must then pick one machine, paying its latency;
+inactive agents pay nothing.  Under local views an agent knows only her
+own activity; under global views the active set is common knowledge.
+
+The family exhibits genuinely Bayesian effects as soon as machines are
+heterogeneous: a lone agent wants the fast machine, a crowd should
+spread out, and not knowing the crowd's size forces probabilistic
+hedging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.game import BayesianGame
+from ..core.measures import IgnoranceReport, ignorance_report
+from ..core.prior import CommonPrior
+
+ACTIVE = "active"
+IDLE = "idle"
+
+
+def bayesian_resource_selection(
+    speeds: Sequence[float],
+    activity: Sequence[float],
+    name: str = "",
+) -> BayesianGame:
+    """Build the machine-selection Bayesian game.
+
+    Parameters
+    ----------
+    speeds:
+        Per-machine cost rates (positive); machine ``r`` under load ``l``
+        costs each of its users ``speeds[r] * l``.
+    activity:
+        Per-agent activation probabilities in ``[0, 1]``.
+    """
+    if not speeds:
+        raise ValueError("need at least one machine")
+    if any(s <= 0 for s in speeds):
+        raise ValueError("speeds must be positive")
+    if any(not 0.0 <= p <= 1.0 for p in activity):
+        raise ValueError("activation probabilities must lie in [0, 1]")
+    num_agents = len(activity)
+    if num_agents == 0:
+        raise ValueError("need at least one agent")
+
+    machines = list(range(len(speeds)))
+    type_spaces = [[ACTIVE, IDLE] for _ in range(num_agents)]
+    marginals = [
+        {ACTIVE: p, IDLE: 1.0 - p} for p in activity
+    ]
+    prior = CommonPrior.from_independent(marginals)
+
+    def cost(agent: int, profile, actions) -> float:
+        if profile[agent] == IDLE:
+            return 0.0
+        machine = actions[agent]
+        load = sum(
+            1
+            for j in range(num_agents)
+            if profile[j] == ACTIVE and actions[j] == machine
+        )
+        return speeds[machine] * load
+
+    def feasible(agent: int, ti) -> List[int]:
+        if ti == IDLE:
+            return [machines[0]]  # the action is irrelevant when idle
+        return machines
+
+    return BayesianGame(
+        [machines for _ in range(num_agents)],
+        type_spaces,
+        prior,
+        cost,
+        feasible_fn=feasible,
+        name=name or f"resource-selection-m{len(speeds)}-k{num_agents}",
+    )
+
+
+def resource_selection_report(
+    speeds: Sequence[float],
+    activity: Sequence[float],
+) -> IgnoranceReport:
+    """All six ignorance measures for one machine-selection instance."""
+    return ignorance_report(bayesian_resource_selection(speeds, activity))
+
+
+def state_potential(speeds: Sequence[float], profile, actions) -> float:
+    """Rosenthal potential of one underlying game.
+
+    ``sum_r speeds[r] * (1 + 2 + ... + load_r)`` — linear latencies give
+    the classic triangular-sum potential, used by the tests to certify
+    pure equilibria exist in every state.
+    """
+    loads = {}
+    for agent, ti in enumerate(profile):
+        if ti == ACTIVE:
+            machine = actions[agent]
+            loads[machine] = loads.get(machine, 0) + 1
+    return sum(
+        speeds[machine] * load * (load + 1) / 2.0
+        for machine, load in loads.items()
+    )

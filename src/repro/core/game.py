@@ -1,0 +1,257 @@
+"""Finite Bayesian games with enumerable strategy spaces (paper Section 2).
+
+The central class is :class:`BayesianGame`: ``k`` agents, finite per-agent
+action and type spaces, a :class:`~repro.core.prior.CommonPrior` over type
+profiles, and a cost callable ``cost(i, t, a)``.  Every quantity of the
+paper — ex-ante costs ``C_i(s)``, interim costs ``E[X_i(s) | t_i]``, social
+costs ``K(s)`` and ``K_t(a)`` — is a method here.
+
+Two representation choices keep the generic solvers exact *and* usable:
+
+* **Strategies are tuples.**  Agent ``i``'s pure strategy is a tuple of
+  actions aligned with her type list, so strategies are hashable and the
+  strategy space is a simple product.
+* **Feasible-action restriction.**  A game may declare per-type feasible
+  action subsets (``feasible_fn``).  For NCS games the feasible actions of
+  type ``(x, y)`` are the simple ``x``-``y`` paths; infeasible actions cost
+  ``+inf`` so they are never profitable deviations and never appear in any
+  equilibrium or optimum, which makes restricting enumeration to feasible
+  actions exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from .prior import CommonPrior, TypeProfile
+
+Action = Hashable
+ActionProfile = Tuple[Action, ...]
+Strategy = Tuple[Action, ...]  # aligned with the agent's type list
+StrategyProfile = Tuple[Strategy, ...]
+
+CostFunction = Callable[[int, TypeProfile, ActionProfile], float]
+FeasibleFunction = Callable[[int, Hashable], Sequence[Action]]
+
+
+class UnderlyingGame:
+    """The complete-information game ``G_t`` induced by a type profile."""
+
+    def __init__(self, game: "BayesianGame", profile: TypeProfile) -> None:
+        self.game = game
+        self.profile = tuple(profile)
+
+    @property
+    def num_agents(self) -> int:
+        return self.game.num_agents
+
+    def actions(self, agent: int) -> List[Action]:
+        """Feasible actions of ``agent`` under this state."""
+        return self.game.feasible_actions(agent, self.profile[agent])
+
+    def cost(self, agent: int, actions: ActionProfile) -> float:
+        return self.game.cost(agent, self.profile, actions)
+
+    def social_cost(self, actions: ActionProfile) -> float:
+        return self.game.social_cost_of_actions(self.profile, actions)
+
+    def __repr__(self) -> str:
+        return f"<UnderlyingGame t={self.profile!r}>"
+
+
+class BayesianGame:
+    """A finite Bayesian game ``(k, {A_i}, {T_i}, {C_{i,t}}, p)``.
+
+    Parameters
+    ----------
+    action_spaces:
+        Per-agent lists of hashable actions (``A_i``).
+    type_spaces:
+        Per-agent lists of hashable types (``T_i``).
+    prior:
+        Common prior over type profiles drawn from the type spaces.
+    cost_fn:
+        ``cost_fn(i, t, a)`` giving agent ``i``'s cost under type profile
+        ``t`` and action profile ``a``.  May return ``math.inf``.
+    feasible_fn:
+        Optional ``feasible_fn(i, t_i)`` returning the subset of ``A_i``
+        worth considering for that type (see module docstring); defaults to
+        the full action space.
+    name:
+        Optional label used in reprs and reports.
+    """
+
+    def __init__(
+        self,
+        action_spaces: Sequence[Sequence[Action]],
+        type_spaces: Sequence[Sequence[Hashable]],
+        prior: CommonPrior,
+        cost_fn: CostFunction,
+        feasible_fn: Optional[FeasibleFunction] = None,
+        name: str = "",
+    ) -> None:
+        if len(action_spaces) != len(type_spaces):
+            raise ValueError("action_spaces and type_spaces disagree on k")
+        if prior.num_agents != len(type_spaces):
+            raise ValueError("prior has wrong number of agents")
+        self._action_spaces = [list(space) for space in action_spaces]
+        self._type_spaces = [list(space) for space in type_spaces]
+        for i, space in enumerate(self._action_spaces):
+            if not space:
+                raise ValueError(f"agent {i} has an empty action space")
+        for i, space in enumerate(self._type_spaces):
+            if not space:
+                raise ValueError(f"agent {i} has an empty type space")
+        self._type_indices = [
+            {ti: pos for pos, ti in enumerate(space)}
+            for space in self._type_spaces
+        ]
+        for profile, _ in prior.support():
+            for i, ti in enumerate(profile):
+                if ti not in self._type_index(i):
+                    raise ValueError(
+                        f"prior support mentions unknown type {ti!r} of agent {i}"
+                    )
+        self.prior = prior
+        self._cost_fn = cost_fn
+        self._feasible_fn = feasible_fn
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # spaces
+    # ------------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        return len(self._action_spaces)
+
+    def actions(self, agent: int) -> List[Action]:
+        return list(self._action_spaces[agent])
+
+    def types(self, agent: int) -> List[Hashable]:
+        return list(self._type_spaces[agent])
+
+    def _type_index(self, agent: int) -> dict:
+        return self._type_indices[agent]
+
+    def type_position(self, agent: int, ti: Hashable) -> int:
+        """Index of type ``ti`` in ``types(agent)`` (strategy alignment)."""
+        try:
+            return self._type_indices[agent][ti]
+        except KeyError:
+            raise KeyError(f"unknown type {ti!r} for agent {agent}") from None
+
+    def feasible_actions(self, agent: int, ti: Hashable) -> List[Action]:
+        """Actions of ``agent`` worth considering under type ``ti``."""
+        self.type_position(agent, ti)
+        if self._feasible_fn is None:
+            return list(self._action_spaces[agent])
+        feasible = list(self._feasible_fn(agent, ti))
+        if not feasible:
+            raise ValueError(
+                f"agent {agent} has no feasible action for type {ti!r}"
+            )
+        return feasible
+
+    # ------------------------------------------------------------------
+    # costs
+    # ------------------------------------------------------------------
+    def cost(self, agent: int, profile: TypeProfile, actions: ActionProfile) -> float:
+        """``C_{i,t}(a)``."""
+        return self._cost_fn(agent, tuple(profile), tuple(actions))
+
+    def social_cost_of_actions(
+        self, profile: TypeProfile, actions: ActionProfile
+    ) -> float:
+        """``K_t(a) = sum_i C_{i,t}(a)``."""
+        return sum(
+            self.cost(agent, profile, actions) for agent in range(self.num_agents)
+        )
+
+    def underlying_game(self, profile: TypeProfile) -> UnderlyingGame:
+        """The complete-information game ``G_t``."""
+        return UnderlyingGame(self, profile)
+
+    # ------------------------------------------------------------------
+    # strategies
+    # ------------------------------------------------------------------
+    def action_of(self, strategy: Strategy, agent: int, ti: Hashable) -> Action:
+        """``s_i(t_i)`` for a tuple-encoded strategy."""
+        return strategy[self.type_position(agent, ti)]
+
+    def action_profile(
+        self, strategies: StrategyProfile, profile: TypeProfile
+    ) -> ActionProfile:
+        """``(s_1(t_1), ..., s_k(t_k))``."""
+        return tuple(
+            self.action_of(strategies[agent], agent, profile[agent])
+            for agent in range(self.num_agents)
+        )
+
+    def social_cost(self, strategies: StrategyProfile) -> float:
+        """``K(s) = E_t[K_t(s(t))]`` — the paper's objective."""
+        return self.prior.expect(
+            lambda t: self.social_cost_of_actions(t, self.action_profile(strategies, t))
+        )
+
+    def ex_ante_cost(self, agent: int, strategies: StrategyProfile) -> float:
+        """``C_i(s) = E[X_i(s)]``."""
+        return self.prior.expect(
+            lambda t: self.cost(agent, t, self.action_profile(strategies, t))
+        )
+
+    def interim_cost(
+        self, agent: int, ti: Hashable, strategies: StrategyProfile
+    ) -> float:
+        """``E[X_i(s) | t_i]`` for a positive-probability type ``ti``."""
+        own_action = self.action_of(strategies[agent], agent, ti)
+        return self.interim_cost_of_action(agent, ti, own_action, strategies)
+
+    def interim_cost_of_action(
+        self,
+        agent: int,
+        ti: Hashable,
+        action: Action,
+        strategies: StrategyProfile,
+    ) -> float:
+        """Interim cost when ``agent`` of type ``ti`` plays ``action``.
+
+        The other agents follow ``strategies``; the expectation runs over
+        the posterior ``p(t | t_i)``.  This is the primitive behind both
+        the interim equilibrium condition and best responses: the agent's
+        other types never matter because the conditional fixes ``t_i``.
+        """
+        total = 0.0
+        for profile, prob in self.prior.conditional(agent, ti):
+            actions = list(self.action_profile(strategies, profile))
+            actions[agent] = action
+            total += prob * self.cost(agent, profile, tuple(actions))
+        return total
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<BayesianGame{label} k={self.num_agents} "
+            f"support={len(self.prior)}>"
+        )
+
+
+def complete_information_game(
+    action_spaces: Sequence[Sequence[Action]],
+    cost_fn: Callable[[int, ActionProfile], float],
+    name: str = "",
+) -> BayesianGame:
+    """Wrap a complete-information game as a degenerate Bayesian game.
+
+    Every agent has the single type ``0`` and the prior is a point mass, so
+    Bayesian equilibria coincide with Nash equilibria and all six measures
+    collapse pairwise (``optP = optC`` etc.) — the sanity baseline used
+    throughout the tests.
+    """
+    k = len(action_spaces)
+    type_spaces = [[0] for _ in range(k)]
+    prior = CommonPrior.point_mass(tuple(0 for _ in range(k)))
+
+    def lifted(agent: int, _profile: TypeProfile, actions: ActionProfile) -> float:
+        return cost_fn(agent, actions)
+
+    return BayesianGame(action_spaces, type_spaces, prior, lifted, name=name)

@@ -1,0 +1,202 @@
+"""The six ignorance quantities and their ratios (paper Section 2).
+
+Numerators (partial information, the Bayesian game):
+
+* ``optP(G)   = min_s K(s)``
+* ``best-eqP  = min over Bayesian equilibria s of K(s)``
+* ``worst-eqP = max over Bayesian equilibria s of K(s)``
+
+Denominators (complete information, averaged over the prior):
+
+* ``optC      = E_t[min_a K_t(a)]``
+* ``best-eqC  = E_t[min over Nash a of K_t(a)]``
+* ``worst-eqC = E_t[max over Nash a of K_t(a)]``
+
+:func:`ignorance_report` computes all six by exact (guarded) enumeration
+and packages them with the nine ratios.  Specialized game classes (NCS)
+can pass solver overrides for the per-state optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .._util import leq
+from .equilibrium import (
+    DEFAULT_MAX_ACTION_PROFILES,
+    bayesian_equilibrium_extreme_costs,
+    enumerate_action_profiles,
+    nash_extreme_costs,
+)
+from .game import BayesianGame
+from .prior import TypeProfile
+from .strategy import DEFAULT_MAX_PROFILES, enumerate_strategy_profiles
+
+#: Numerator / denominator labels accepted by :meth:`IgnoranceReport.ratio`.
+NUMERATORS = ("optP", "best-eqP", "worst-eqP")
+DENOMINATORS = ("optC", "best-eqC", "worst-eqC")
+
+StateOptSolver = Callable[[TypeProfile], float]
+
+
+def opt_p(game: BayesianGame, max_profiles: int = DEFAULT_MAX_PROFILES) -> float:
+    """``optP``: the cheapest strategy profile's social cost."""
+    return min(
+        game.social_cost(strategies)
+        for strategies in enumerate_strategy_profiles(game, max_profiles)
+    )
+
+
+def state_optimum(
+    game: BayesianGame,
+    profile: TypeProfile,
+    max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> float:
+    """``min_a K_t(a)`` for one type profile, by enumeration."""
+    underlying = game.underlying_game(profile)
+    return min(
+        underlying.social_cost(actions)
+        for actions in enumerate_action_profiles(underlying, max_profiles)
+    )
+
+
+def opt_c(
+    game: BayesianGame,
+    state_solver: Optional[StateOptSolver] = None,
+    max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> float:
+    """``optC``: expected complete-information optimum.
+
+    ``state_solver`` may replace the per-state enumeration (e.g. an exact
+    Steiner-forest solver for NCS games).
+    """
+    solver = state_solver or (lambda t: state_optimum(game, t, max_profiles))
+    return game.prior.expect(solver)
+
+
+def eq_c(
+    game: BayesianGame,
+    max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> Tuple[float, float]:
+    """``(best-eqC, worst-eqC)``: expected extreme Nash costs."""
+    best_total = 0.0
+    worst_total = 0.0
+    for profile, prob in game.prior.support():
+        best, worst = nash_extreme_costs(game.underlying_game(profile), max_profiles)
+        best_total += prob * best
+        worst_total += prob * worst
+    return best_total, worst_total
+
+
+@dataclass(frozen=True)
+class IgnoranceReport:
+    """All six quantities plus derived ratios for one Bayesian game."""
+
+    opt_p: float
+    best_eq_p: float
+    worst_eq_p: float
+    opt_c: float
+    best_eq_c: float
+    worst_eq_c: float
+    name: str = ""
+
+    # -- the three headline ratios of Table 1 ---------------------------
+    @property
+    def opt_ratio(self) -> float:
+        """``optP / optC``."""
+        return self.ratio("optP", "optC")
+
+    @property
+    def best_eq_ratio(self) -> float:
+        """``best-eqP / best-eqC``."""
+        return self.ratio("best-eqP", "best-eqC")
+
+    @property
+    def worst_eq_ratio(self) -> float:
+        """``worst-eqP / worst-eqC``."""
+        return self.ratio("worst-eqP", "worst-eqC")
+
+    def value(self, label: str) -> float:
+        lookup: Dict[str, float] = {
+            "optP": self.opt_p,
+            "best-eqP": self.best_eq_p,
+            "worst-eqP": self.worst_eq_p,
+            "optC": self.opt_c,
+            "best-eqC": self.best_eq_c,
+            "worst-eqC": self.worst_eq_c,
+        }
+        try:
+            return lookup[label]
+        except KeyError:
+            raise KeyError(f"unknown quantity {label!r}") from None
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Any of the nine partial/complete ratios, e.g. ``("optP", "worst-eqC")``.
+
+        ``0/0`` is reported as 1 (the paper's Section 4 convention);
+        division of a positive numerator by zero is ``inf``.
+        """
+        if numerator not in NUMERATORS:
+            raise KeyError(f"numerator must be one of {NUMERATORS}")
+        if denominator not in DENOMINATORS:
+            raise KeyError(f"denominator must be one of {DENOMINATORS}")
+        num = self.value(numerator)
+        den = self.value(denominator)
+        if den == 0.0:
+            return 1.0 if num == 0.0 else math.inf
+        return num / den
+
+    def verify_observation_2_2(self) -> None:
+        """Assert ``optC <= optP <= best-eqP <= worst-eqP`` (Observation 2.2)."""
+        assert leq(self.opt_c, self.opt_p), (
+            f"optC={self.opt_c} > optP={self.opt_p}"
+        )
+        assert leq(self.opt_p, self.best_eq_p), (
+            f"optP={self.opt_p} > best-eqP={self.best_eq_p}"
+        )
+        assert leq(self.best_eq_p, self.worst_eq_p), (
+            f"best-eqP={self.best_eq_p} > worst-eqP={self.worst_eq_p}"
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "optP": self.opt_p,
+            "best-eqP": self.best_eq_p,
+            "worst-eqP": self.worst_eq_p,
+            "optC": self.opt_c,
+            "best-eqC": self.best_eq_c,
+            "worst-eqC": self.worst_eq_c,
+        }
+
+    def __str__(self) -> str:
+        label = f" {self.name}" if self.name else ""
+        rows = ", ".join(f"{key}={value:.6g}" for key, value in self.as_dict().items())
+        return f"IgnoranceReport{label}: {rows}"
+
+
+def ignorance_report(
+    game: BayesianGame,
+    state_opt_solver: Optional[StateOptSolver] = None,
+    max_strategy_profiles: int = DEFAULT_MAX_PROFILES,
+    max_action_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> IgnoranceReport:
+    """Compute all six quantities exactly (guarded enumeration).
+
+    ``state_opt_solver`` optionally replaces the per-state optimum
+    enumeration (see :func:`opt_c`).
+    """
+    best_p, worst_p = bayesian_equilibrium_extreme_costs(game, max_strategy_profiles)
+    best_c, worst_c = eq_c(game, max_action_profiles)
+    report = IgnoranceReport(
+        opt_p=opt_p(game, max_strategy_profiles),
+        best_eq_p=best_p,
+        worst_eq_p=worst_p,
+        opt_c=opt_c(game, state_opt_solver, max_action_profiles),
+        best_eq_c=best_c,
+        worst_eq_c=worst_c,
+        name=game.name,
+    )
+    report.verify_observation_2_2()
+    return report

@@ -1,0 +1,172 @@
+"""Exact potentials and Bayesian potentials (paper Observation 2.1).
+
+A complete-information game has an *exact potential* ``q`` when every
+unilateral deviation changes the deviator's cost and the potential by the
+same amount.  Observation 2.1 lifts per-state potentials ``q_t`` to a
+Bayesian potential ``Q(s) = E_t[q_t(s(t))]``; minimizing ``Q`` yields a
+pure Bayesian equilibrium.  This module makes all three steps executable:
+
+* :func:`find_exact_potential` reconstructs a potential for an underlying
+  game (or reports that none exists),
+* :func:`bayesian_potential_from_state_potentials` builds the lifted ``Q``,
+* :func:`is_bayesian_potential` verifies the defining identity on the full
+  (guarded) strategy space, and
+* :func:`minimize_bayesian_potential` finds the potential-minimizer
+  equilibrium used by Lemma 3.8's price-of-stability argument.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .._util import TOLERANCE, close
+from .game import ActionProfile, BayesianGame, StrategyProfile, UnderlyingGame
+from .prior import TypeProfile
+from .strategy import enumerate_strategies, enumerate_strategy_profiles
+from .equilibrium import enumerate_action_profiles
+
+StatePotential = Callable[[TypeProfile, ActionProfile], float]
+BayesianPotential = Callable[[StrategyProfile], float]
+
+
+def find_exact_potential(
+    game: UnderlyingGame,
+    max_profiles: int = 200_000,
+    tol: float = 1e-7,
+) -> Optional[Dict[ActionProfile, float]]:
+    """Reconstruct an exact potential for an underlying game.
+
+    Returns a mapping from feasible action profiles to potential values
+    (anchored at 0 on the first profile), or ``None`` when no exact
+    potential exists.  The potential is built by propagating the defining
+    identity ``q(a') - q(a) = C_i(a') - C_i(a)`` over the unilateral
+    deviation graph and verifying consistency on every edge.
+
+    Profiles with infinite own-costs on both endpoints of a deviation edge
+    make the difference ill-defined (``inf - inf``); such edges are
+    skipped during propagation, which is sound for NCS-style games where
+    infinite costs only mark infeasible actions.
+    """
+    profiles = list(enumerate_action_profiles(game, max_profiles))
+    index = {profile: pos for pos, profile in enumerate(profiles)}
+
+    # Deviation edges: (from, to, delta).
+    edges: List[List[Tuple[int, float]]] = [[] for _ in profiles]
+    for pos, profile in enumerate(profiles):
+        for agent in range(game.num_agents):
+            base_cost = game.cost(agent, profile)
+            for candidate in game.actions(agent):
+                if candidate == profile[agent]:
+                    continue
+                mutated = list(profile)
+                mutated[agent] = candidate
+                other = tuple(mutated)
+                other_pos = index.get(other)
+                if other_pos is None:
+                    continue
+                other_cost = game.cost(agent, other)
+                if math.isinf(base_cost) and math.isinf(other_cost):
+                    continue
+                delta = other_cost - base_cost
+                edges[pos].append((other_pos, delta))
+
+    values: List[Optional[float]] = [None] * len(profiles)
+    for start in range(len(profiles)):
+        if values[start] is not None:
+            continue
+        values[start] = 0.0
+        queue = deque([start])
+        while queue:
+            pos = queue.popleft()
+            assert values[pos] is not None
+            for other_pos, delta in edges[pos]:
+                candidate = values[pos] + delta
+                if values[other_pos] is None:
+                    values[other_pos] = candidate
+                    queue.append(other_pos)
+                elif not close(values[other_pos], candidate, tol):
+                    return None
+    return {
+        profile: (0.0 if value is None else value)
+        for profile, value in zip(profiles, values)
+    }
+
+
+def has_exact_potential(game: UnderlyingGame, max_profiles: int = 200_000) -> bool:
+    """True when :func:`find_exact_potential` succeeds."""
+    return find_exact_potential(game, max_profiles) is not None
+
+
+def bayesian_potential_from_state_potentials(
+    game: BayesianGame,
+    state_potential: StatePotential,
+) -> BayesianPotential:
+    """Observation 2.1: lift per-state potentials to ``Q(s) = E_t[q_t(s(t))]``."""
+
+    def bayesian_potential(strategies: StrategyProfile) -> float:
+        return game.prior.expect(
+            lambda t: state_potential(t, game.action_profile(strategies, t))
+        )
+
+    return bayesian_potential
+
+
+def is_bayesian_potential(
+    game: BayesianGame,
+    potential: BayesianPotential,
+    max_profiles: int = 100_000,
+    tol: float = 1e-7,
+) -> bool:
+    """Verify ``C_i(s) - C_i(s_{-i}, s'_i) = Q(s) - Q(s_{-i}, s'_i)`` everywhere.
+
+    Exhaustive over the (guarded) strategy space; intended for tests and
+    small games.
+    """
+    all_strategies = [
+        list(enumerate_strategies(game, agent)) for agent in range(game.num_agents)
+    ]
+    for strategies in enumerate_strategy_profiles(game, max_profiles):
+        base_potential = potential(strategies)
+        for agent in range(game.num_agents):
+            base_cost = game.ex_ante_cost(agent, strategies)
+            for alternative in all_strategies[agent]:
+                if alternative == strategies[agent]:
+                    continue
+                deviated = list(strategies)
+                deviated[agent] = alternative
+                deviated_profile = tuple(deviated)
+                cost_delta = base_cost - game.ex_ante_cost(agent, deviated_profile)
+                potential_delta = base_potential - potential(deviated_profile)
+                if math.isinf(cost_delta) or math.isinf(potential_delta):
+                    if cost_delta != potential_delta:
+                        return False
+                    continue
+                if not close(cost_delta, potential_delta, tol):
+                    return False
+    return True
+
+
+def minimize_bayesian_potential(
+    game: BayesianGame,
+    potential: BayesianPotential,
+    max_profiles: int = 2_000_000,
+) -> Tuple[StrategyProfile, float]:
+    """Global minimizer of a Bayesian potential: a pure Bayesian equilibrium.
+
+    Returns ``(strategy_profile, potential_value)``.  This is the
+    constructive existence proof behind the paper's Section 2 and the
+    equilibrium used in Lemma 3.8 (its social cost is within ``H(k)`` of
+    ``optP`` for NCS games).
+    """
+    best_profile: Optional[StrategyProfile] = None
+    best_value = math.inf
+    for strategies in enumerate_strategy_profiles(game, max_profiles):
+        value = potential(strategies)
+        if value < best_value:
+            best_value = value
+            best_profile = strategies
+    if best_profile is None:  # pragma: no cover - spaces are non-empty
+        raise RuntimeError("empty strategy space")
+    return best_profile, best_value

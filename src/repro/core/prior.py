@@ -1,0 +1,142 @@
+"""Common priors: probability distributions over type profiles.
+
+A type profile is a tuple ``t = (t_1, ..., t_k)`` of per-agent types.  The
+prior is the ``p`` of the paper's 5-tuple; the classes here expose exactly
+the three operations the theory needs:
+
+* the support with probabilities (for ex-ante expectations),
+* per-agent marginals ``P(t_i)`` (to know which interim constraints bind),
+* conditionals ``p(t | t_i)`` (for interim expected costs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from .._util import validate_distribution
+
+TypeProfile = Tuple[Hashable, ...]
+
+
+class CommonPrior:
+    """An explicit finite-support distribution over type profiles."""
+
+    def __init__(self, probabilities: Mapping[TypeProfile, float]) -> None:
+        cleaned = {
+            tuple(profile): float(prob)
+            for profile, prob in probabilities.items()
+            if prob > 0.0
+        }
+        if not cleaned:
+            raise ValueError("prior must have non-empty support")
+        lengths = {len(profile) for profile in cleaned}
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent profile lengths: {sorted(lengths)}")
+        validate_distribution(cleaned)
+        self._probabilities: Dict[TypeProfile, float] = cleaned
+        self.num_agents = lengths.pop()
+        # Cached marginals and conditionals, built lazily.
+        self._marginals: Dict[int, Dict[Hashable, float]] = {}
+        self._conditionals: Dict[Tuple[int, Hashable], List[Tuple[TypeProfile, float]]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def point_mass(cls, profile: Sequence[Hashable]) -> "CommonPrior":
+        """The degenerate prior concentrated on one profile."""
+        return cls({tuple(profile): 1.0})
+
+    @classmethod
+    def from_independent(
+        cls, marginals: Sequence[Mapping[Hashable, float]]
+    ) -> "CommonPrior":
+        """Product prior from per-agent marginal distributions."""
+        if not marginals:
+            raise ValueError("need at least one agent")
+        for marginal in marginals:
+            validate_distribution(marginal)
+        profiles: Dict[TypeProfile, float] = {(): 1.0}
+        for marginal in marginals:
+            extended: Dict[TypeProfile, float] = {}
+            for prefix, prob in profiles.items():
+                for ti, pi in marginal.items():
+                    if pi > 0:
+                        extended[prefix + (ti,)] = prob * pi
+            profiles = extended
+        return cls(profiles)
+
+    @classmethod
+    def uniform(cls, profiles: Iterable[Sequence[Hashable]]) -> "CommonPrior":
+        """Uniform distribution over the given profiles."""
+        listed = [tuple(profile) for profile in profiles]
+        if not listed:
+            raise ValueError("need at least one profile")
+        weight = 1.0 / len(listed)
+        accumulated: Dict[TypeProfile, float] = {}
+        for profile in listed:
+            accumulated[profile] = accumulated.get(profile, 0.0) + weight
+        return cls(accumulated)
+
+    # ------------------------------------------------------------------
+    def support(self) -> List[Tuple[TypeProfile, float]]:
+        """``(profile, probability)`` pairs, insertion-ordered."""
+        return list(self._probabilities.items())
+
+    def probability(self, profile: Sequence[Hashable]) -> float:
+        return self._probabilities.get(tuple(profile), 0.0)
+
+    def marginal(self, agent: int) -> Dict[Hashable, float]:
+        """``P(t_i)`` for agent ``agent``."""
+        self._check_agent(agent)
+        if agent not in self._marginals:
+            marginal: Dict[Hashable, float] = {}
+            for profile, prob in self._probabilities.items():
+                ti = profile[agent]
+                marginal[ti] = marginal.get(ti, 0.0) + prob
+            self._marginals[agent] = marginal
+        return dict(self._marginals[agent])
+
+    def positive_types(self, agent: int) -> List[Hashable]:
+        """Types of ``agent`` with positive marginal probability."""
+        return list(self.marginal(agent).keys())
+
+    def conditional(
+        self, agent: int, ti: Hashable
+    ) -> List[Tuple[TypeProfile, float]]:
+        """The posterior ``p(t | t_i = ti)`` as full-profile support pairs.
+
+        Raises ``ValueError`` when ``ti`` has zero marginal probability.
+        """
+        self._check_agent(agent)
+        key = (agent, ti)
+        if key not in self._conditionals:
+            matching = [
+                (profile, prob)
+                for profile, prob in self._probabilities.items()
+                if profile[agent] == ti
+            ]
+            total = sum(prob for _, prob in matching)
+            if total <= 0.0:
+                raise ValueError(
+                    f"type {ti!r} of agent {agent} has zero probability"
+                )
+            self._conditionals[key] = [
+                (profile, prob / total) for profile, prob in matching
+            ]
+        return list(self._conditionals[key])
+
+    def expect(self, fn) -> float:
+        """``E[fn(t)]`` over the prior."""
+        return sum(prob * fn(profile) for profile, prob in self._probabilities.items())
+
+    # ------------------------------------------------------------------
+    def _check_agent(self, agent: int) -> None:
+        if not 0 <= agent < self.num_agents:
+            raise IndexError(f"agent {agent} out of range [0, {self.num_agents})")
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CommonPrior agents={self.num_agents} support={len(self)}>"
+        )

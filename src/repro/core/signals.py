@@ -1,0 +1,157 @@
+"""Correlation devices: public signals that shrink Bayesian ignorance.
+
+The paper's introduction motivates measuring ignorance so that a system
+designer can decide whether to "invest into some sort of a correlation
+device".  This module makes that decision quantitative: it transforms a
+Bayesian game by a *public signal* — a (possibly random) function of the
+realized type profile announced to every agent — and recomputes the
+ignorance measures.  The two extremes recover the paper's endpoints:
+
+* an uninformative signal leaves the game unchanged (``optP`` and friends
+  are untouched);
+* a fully revealing signal collapses the partial-information measures
+  onto their complete-information counterparts (``optP = optC`` etc.).
+
+In between, refining the signal partition monotonically (weakly) lowers
+``optP``: more correlation never hurts benevolent agents.  The selfish
+measures may move either way — the paper's "ignorance is bliss" games are
+exactly instances where revelation *raises* equilibrium costs, and the
+tests exhibit this on the Fig. 1 construction.
+
+Implementation: a signal with realization space ``Sigma`` turns each type
+``t_i`` into the pair ``(t_i, sigma)``; the prior over augmented profiles
+is ``p(t) * P(sigma | t)``.  Strategies may then condition on the public
+signal, which is precisely what a correlation device buys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+from .game import ActionProfile, BayesianGame
+from .prior import CommonPrior, TypeProfile
+
+#: A public signal: maps a type profile to a distribution over
+#: realizations, given as ``{realization: probability}``.
+SignalFunction = Callable[[TypeProfile], Dict[Hashable, float]]
+
+
+def deterministic_signal(fn: Callable[[TypeProfile], Hashable]) -> SignalFunction:
+    """Wrap a deterministic announcement as a signal function."""
+
+    def signal(profile: TypeProfile) -> Dict[Hashable, float]:
+        return {fn(profile): 1.0}
+
+    return signal
+
+
+def no_signal() -> SignalFunction:
+    """The uninformative device: one constant announcement."""
+    return deterministic_signal(lambda profile: "-")
+
+
+def full_revelation() -> SignalFunction:
+    """The perfect device: announce the entire type profile."""
+    return deterministic_signal(lambda profile: tuple(profile))
+
+
+def partition_signal(
+    blocks: Sequence[Sequence[TypeProfile]],
+) -> SignalFunction:
+    """Announce which block of a partition the type profile fell into.
+
+    Profiles absent from every block get a dedicated ``"other"`` cell.
+    """
+    lookup: Dict[TypeProfile, int] = {}
+    for index, block in enumerate(blocks):
+        for profile in block:
+            key = tuple(profile)
+            if key in lookup:
+                raise ValueError(f"profile {key!r} appears in two blocks")
+            lookup[key] = index
+
+    def fn(profile: TypeProfile) -> Hashable:
+        return lookup.get(tuple(profile), "other")
+
+    return deterministic_signal(fn)
+
+
+def with_public_signal(
+    game: BayesianGame,
+    signal: SignalFunction,
+    name: str = "",
+) -> BayesianGame:
+    """The game where every agent additionally observes the public signal.
+
+    Types become ``(t_i, sigma)`` pairs; the prior weights
+    ``p(t) * P(sigma | t)``; costs ignore the signal component.  The
+    returned game's measures quantify ignorance *given* the device.
+    """
+    # Collect realizations per supported profile, validating distributions.
+    augmented_prior: Dict[Tuple, float] = {}
+    realizations_by_agent_type: List[Dict[Hashable, set]] = [
+        {} for _ in range(game.num_agents)
+    ]
+    for profile, probability in game.prior.support():
+        distribution = signal(profile)
+        total = sum(distribution.values())
+        if abs(total - 1.0) > 1e-9 or any(p < 0 for p in distribution.values()):
+            raise ValueError(
+                f"signal({profile!r}) is not a probability distribution"
+            )
+        for realization, weight in distribution.items():
+            if weight <= 0:
+                continue
+            augmented = tuple(
+                (profile[agent], realization) for agent in range(game.num_agents)
+            )
+            augmented_prior[augmented] = (
+                augmented_prior.get(augmented, 0.0) + probability * weight
+            )
+            for agent in range(game.num_agents):
+                realizations_by_agent_type[agent].setdefault(
+                    profile[agent], set()
+                ).add(realization)
+
+    type_spaces: List[List[Tuple[Hashable, Hashable]]] = []
+    for agent in range(game.num_agents):
+        space: List[Tuple[Hashable, Hashable]] = []
+        for ti in game.types(agent):
+            for realization in sorted(
+                realizations_by_agent_type[agent].get(ti, ()), key=repr
+            ):
+                space.append((ti, realization))
+        if not space:
+            # Agent's types never appear in the support; keep a dummy.
+            space = [(game.types(agent)[0], "-")]
+        type_spaces.append(space)
+
+    def cost(agent: int, profile: Tuple, actions: ActionProfile) -> float:
+        bare = tuple(ti for ti, _sigma in profile)
+        return game.cost(agent, bare, actions)
+
+    def feasible(agent: int, augmented_type: Tuple) -> List:
+        ti, _sigma = augmented_type
+        return game.feasible_actions(agent, ti)
+
+    return BayesianGame(
+        [game.actions(agent) for agent in range(game.num_agents)],
+        type_spaces,
+        CommonPrior(augmented_prior),
+        cost,
+        feasible_fn=feasible,
+        name=name or (f"{game.name}+signal" if game.name else "signal"),
+    )
+
+
+def revelation_curve(
+    game: BayesianGame,
+    signals: Sequence[Tuple[str, SignalFunction]],
+    measure: Callable[[BayesianGame], float],
+) -> List[Tuple[str, float]]:
+    """Evaluate a measure under each device (e.g. ``opt_p`` sweeps).
+
+    Returns ``[(label, value), ...]`` in the given order — the ablation
+    curve "how much does progressively better correlation help".
+    """
+    return [(label, measure(with_public_signal(game, fn))) for label, fn in signals]

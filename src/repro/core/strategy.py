@@ -1,0 +1,101 @@
+"""Strategy-space enumeration with explosion guards.
+
+A pure strategy of agent ``i`` is a tuple of actions aligned with her type
+list.  Enumeration restricts, per type, to the game's feasible actions, and
+fixes an arbitrary feasible action at *zero-probability* types: those
+entries never influence any cost, so the restriction loses nothing while
+shrinking the space drastically (several constructions have large type
+spaces with tiny prior support).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List
+
+from .._util import ExplosionError, product_size
+from .game import Action, BayesianGame, Strategy, StrategyProfile
+
+#: Default guard on the number of strategy profiles enumerated at once.
+DEFAULT_MAX_PROFILES = 2_000_000
+
+
+def strategy_space_size(game: BayesianGame, agent: int) -> float:
+    """Number of distinct strategies enumerated for ``agent``.
+
+    Only positive-probability types contribute branching.
+    """
+    positive = set(game.prior.positive_types(agent))
+    sizes = [
+        len(game.feasible_actions(agent, ti))
+        for ti in game.types(agent)
+        if ti in positive
+    ]
+    return product_size(sizes)
+
+
+def profile_space_size(game: BayesianGame) -> float:
+    """Number of strategy profiles enumerated for the full game."""
+    return product_size(
+        int(strategy_space_size(game, agent)) for agent in range(game.num_agents)
+    )
+
+
+def enumerate_strategies(game: BayesianGame, agent: int) -> Iterator[Strategy]:
+    """All tuple-encoded strategies of ``agent`` (see module docstring)."""
+    positive = set(game.prior.positive_types(agent))
+    per_type_choices: List[List[Action]] = []
+    for ti in game.types(agent):
+        feasible = game.feasible_actions(agent, ti)
+        if ti in positive:
+            per_type_choices.append(feasible)
+        else:
+            per_type_choices.append(feasible[:1])
+    for combo in product(*per_type_choices):
+        yield tuple(combo)
+
+
+def enumerate_strategy_profiles(
+    game: BayesianGame,
+    max_profiles: int = DEFAULT_MAX_PROFILES,
+) -> Iterator[StrategyProfile]:
+    """All strategy profiles, guarded by ``max_profiles``."""
+    size = profile_space_size(game)
+    if size > max_profiles:
+        raise ExplosionError("strategy profiles", size, max_profiles)
+    spaces = [list(enumerate_strategies(game, agent)) for agent in range(game.num_agents)]
+    for combo in product(*spaces):
+        yield tuple(combo)
+
+
+def greedy_strategy_profile(game: BayesianGame) -> StrategyProfile:
+    """A cheap starting profile: per agent/type, the action minimizing the
+    interim cost assuming she is *alone* (others' contribution ignored by
+    evaluating her own cost against this same placeholder profile).
+
+    Used to seed best-response dynamics; any feasible profile would do.
+    """
+    profile: List[Strategy] = []
+    for agent in range(game.num_agents):
+        picks: List[Action] = []
+        for ti in game.types(agent):
+            feasible = game.feasible_actions(agent, ti)
+            picks.append(feasible[0])
+        profile.append(tuple(picks))
+    return tuple(profile)
+
+
+def replace_strategy_action(
+    game: BayesianGame,
+    strategies: StrategyProfile,
+    agent: int,
+    ti,
+    action: Action,
+) -> StrategyProfile:
+    """Profile equal to ``strategies`` except ``agent`` plays ``action`` at ``ti``."""
+    position = game.type_position(agent, ti)
+    strategy = list(strategies[agent])
+    strategy[position] = action
+    updated = list(strategies)
+    updated[agent] = tuple(strategy)
+    return tuple(updated)

@@ -1,0 +1,39 @@
+"""FRT tree embeddings and dominating-tree strategies (Lemma 3.4)."""
+
+from .frt import (
+    HierarchicalTree,
+    average_stretch,
+    frt_embedding,
+    sample_beta,
+    tree_node_distance,
+    verify_domination,
+)
+from .metric import FiniteMetric
+from .steiner_removal import (
+    ContractedTree,
+    contract_to_terminals,
+    is_tree,
+    verify_contracted_domination,
+)
+from .tree_strategy import (
+    TreeStrategy,
+    sample_contracted_tree,
+    tree_strategy_social_cost,
+)
+
+__all__ = [
+    "HierarchicalTree",
+    "average_stretch",
+    "frt_embedding",
+    "sample_beta",
+    "tree_node_distance",
+    "verify_domination",
+    "FiniteMetric",
+    "ContractedTree",
+    "contract_to_terminals",
+    "is_tree",
+    "verify_contracted_domination",
+    "TreeStrategy",
+    "sample_contracted_tree",
+    "tree_strategy_social_cost",
+]

@@ -1,0 +1,241 @@
+"""Fakcharoenphol-Rao-Talwar (FRT) probabilistic tree embeddings.
+
+Lemma 3.4 of the paper routes benevolent agents along a random *dominating
+tree* whose expected stretch is ``O(log n)``.  This module implements the
+FRT construction:
+
+1. normalize distances so the minimum distance is 1 (diameter ``Delta``);
+2. draw a uniformly random permutation ``pi`` of the points and a radius
+   multiplier ``beta`` in ``[1, 2)`` with density ``1/(x ln 2)``;
+3. processing levels ``top, top-1, ..., -1`` (``2^top >= Delta``), refine
+   each current cluster by assigning every member to the ``pi``-minimal
+   point of the whole space within normalized distance ``beta * 2^level``;
+4. a cluster created at processing level ``level`` hangs below its parent
+   by an edge of (normalized) weight ``2^(level + 2)``; after level ``-1``
+   (radius ``< 1``) all clusters are singletons — the leaves.
+
+The resulting hierarchically separated tree *dominates* the metric
+deterministically (every tree distance is at least the metric distance),
+and over the randomness each pair's expected stretch is ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs import Graph
+from .metric import FiniteMetric, Point
+
+
+def sample_beta(rng: np.random.Generator) -> float:
+    """Draw ``beta`` from ``[1, 2)`` with density ``1/(x ln 2)``.
+
+    Inverse-CDF sampling: ``CDF(x) = log2(x)``, so ``beta = 2^U`` for
+    uniform ``U``.
+    """
+    return float(2.0 ** rng.random())
+
+
+@dataclass
+class HierarchicalTree:
+    """An FRT output tree.
+
+    ``tree`` is an undirected weighted tree whose nodes are cluster ids;
+    singleton (bottom) clusters serve as the leaves and are mapped from
+    metric points by ``leaf_of``.  ``center_of`` gives each cluster's FRT
+    center and ``level_of`` the processing level that created it (the root
+    is above all processing levels).
+    """
+
+    tree: Graph
+    root: Hashable
+    leaf_of: Dict[Point, Hashable]
+    center_of: Dict[Hashable, Point]
+    level_of: Dict[Hashable, int]
+    parent_of: Dict[Hashable, Optional[Hashable]]
+
+    def distance(self, u: Point, v: Point) -> float:
+        """Tree distance between the clusters of two metric points."""
+        return tree_node_distance(
+            self.tree, self.parent_of, self.leaf_of[u], self.leaf_of[v]
+        )
+
+
+def tree_node_distance(
+    tree: Graph,
+    parent_of: Dict[Hashable, Optional[Hashable]],
+    a: Hashable,
+    b: Hashable,
+) -> float:
+    """Distance between two tree nodes by walking parent pointers (LCA)."""
+    if a == b:
+        return 0.0
+
+    def path_to_root(node):
+        chain = [node]
+        while parent_of[chain[-1]] is not None:
+            chain.append(parent_of[chain[-1]])
+        return chain
+
+    chain_a = path_to_root(a)
+    chain_b = path_to_root(b)
+    ancestors_a = {node: idx for idx, node in enumerate(chain_a)}
+    lca = None
+    for node in chain_b:
+        if node in ancestors_a:
+            lca = node
+            break
+    assert lca is not None, "nodes in different trees"
+
+    def climb_cost(start, stop):
+        cost = 0.0
+        node = start
+        while node != stop:
+            parent = parent_of[node]
+            # The parent edge is the unique edge between node and parent.
+            edge_cost = min(
+                edge.cost
+                for edge in tree.out_edges(node)
+                if edge.other(node) == parent
+            )
+            cost += edge_cost
+            node = parent
+        return cost
+
+    return climb_cost(a, lca) + climb_cost(b, lca)
+
+
+def frt_embedding(metric: FiniteMetric, rng: np.random.Generator) -> HierarchicalTree:
+    """Sample one FRT dominating tree for ``metric``.
+
+    Deterministic given ``rng``.  The returned tree always dominates the
+    metric; over the randomness of ``rng``, each pair's expected stretch
+    is ``O(log n)``.
+    """
+    points = list(metric.points)
+    if not points:
+        raise ValueError("empty metric")
+
+    root: Hashable = ("cluster", ())
+    tree = Graph(directed=False)
+    tree.add_node(root)
+    leaf_of: Dict[Point, Hashable] = {}
+    center_of: Dict[Hashable, Point] = {}
+    level_of: Dict[Hashable, int] = {}
+    parent_of: Dict[Hashable, Optional[Hashable]] = {root: None}
+
+    if len(points) == 1:
+        only = points[0]
+        leaf_of[only] = root
+        center_of[root] = only
+        level_of[root] = 0
+        return HierarchicalTree(tree, root, leaf_of, center_of, level_of, parent_of)
+
+    scale = metric.min_distance()
+    diameter = metric.diameter() / scale  # normalized, >= 1
+
+    def ndist(u: Point, v: Point) -> float:
+        return metric.distance(u, v) / scale
+
+    beta = sample_beta(rng)
+    ranks = rng.permutation(len(points))
+    order = {point: int(rank) for point, rank in zip(points, ranks)}
+    center_of[root] = min(points, key=lambda p: order[p])
+    top = max(0, math.ceil(math.log2(diameter)))
+    level_of[root] = top + 1
+
+    def center(point: Point, level: int) -> Point:
+        radius = beta * (2.0**level)
+        best: Optional[Point] = None
+        for candidate in points:
+            if ndist(candidate, point) <= radius:
+                if best is None or order[candidate] < order[best]:
+                    best = candidate
+        # The point itself is within any radius of itself, so best is the
+        # point when nothing closer-ranked qualifies.
+        assert best is not None
+        return best
+
+    # Refine clusters level by level.  `current` maps cluster node -> members.
+    current: Dict[Hashable, List[Point]] = {root: points}
+    for level in range(top, -2, -1):
+        next_clusters: Dict[Hashable, List[Point]] = {}
+        for parent_node, members in current.items():
+            if len(members) == 1:
+                # Already a singleton: keep it as-is (it will become a leaf).
+                next_clusters[parent_node] = members
+                continue
+            groups: Dict[Point, List[Point]] = {}
+            for point in members:
+                groups.setdefault(center(point, level), []).append(point)
+            if len(groups) == 1:
+                # No split at this level: avoid chains of degree-2 nodes.
+                next_clusters[parent_node] = members
+                continue
+            prefix = parent_node[1]
+            for c, group in groups.items():
+                child = ("cluster", prefix + ((level, order[c]),))
+                # Normalized child->parent edge weight 2^(level+2).  Two
+                # points split at this level shared a center at level+1
+                # (or never split above), so their normalized distance is
+                # below 2*beta*2^(level+1) < 2^(level+3), while the tree
+                # path crosses two of these edges: 2 * 2^(level+2) =
+                # 2^(level+3) — domination holds.
+                tree.add_edge(parent_node, child, scale * (2.0 ** (level + 2)))
+                parent_of[child] = parent_node
+                center_of[child] = c
+                level_of[child] = level
+                next_clusters[child] = group
+        current = next_clusters
+
+    for node, members in current.items():
+        assert len(members) == 1, (
+            "clusters must be singletons after the radius drops below the "
+            "minimum distance"
+        )
+        leaf_of[members[0]] = node
+
+    return HierarchicalTree(tree, root, leaf_of, center_of, level_of, parent_of)
+
+
+def verify_domination(
+    metric: FiniteMetric, hst: HierarchicalTree, tol: float = 1e-9
+) -> None:
+    """Assert ``d_T(u, v) >= d(u, v)`` for every pair (always true for FRT).
+
+    The smallest cluster containing both ``u`` and ``v`` was refined at
+    some level ``l`` where they landed in different children; they shared
+    a center at level ``l+1`` (or never split above), so normalized
+    ``d(u, v) < 2 * beta * 2^(l+1) < 2^(l+3)``, while the tree path
+    crosses two child edges of weight ``2^(l+2)`` each.
+    """
+    for i, u in enumerate(metric.points):
+        for v in metric.points[i + 1:]:
+            td = hst.distance(u, v)
+            md = metric.distance(u, v)
+            assert td >= md - tol, (
+                f"domination violated at ({u!r},{v!r}): tree {td} < metric {md}"
+            )
+
+
+def average_stretch(
+    metric: FiniteMetric,
+    trees: Sequence[HierarchicalTree],
+) -> float:
+    """Max over pairs of the empirical mean stretch over ``trees``.
+
+    FRT guarantees ``O(log n)`` in expectation; benchmarks check the
+    growth empirically.
+    """
+    worst = 0.0
+    points = metric.points
+    for i, u in enumerate(points):
+        for v in points[i + 1:]:
+            md = metric.distance(u, v)
+            mean_td = sum(t.distance(u, v) for t in trees) / len(trees)
+            worst = max(worst, mean_td / md)
+    return worst

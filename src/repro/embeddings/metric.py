@@ -1,0 +1,81 @@
+"""Finite metric spaces, typically shortest-path metrics of graphs."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence
+
+from ..graphs import Graph
+from ..graphs.shortest_path import all_pairs_shortest_paths
+
+Point = Hashable
+
+
+class FiniteMetric:
+    """An explicit finite metric: points plus a symmetric distance table."""
+
+    def __init__(self, points: Sequence[Point], distances: Dict[Point, Dict[Point, float]]) -> None:
+        self.points: List[Point] = list(points)
+        self._d = distances
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "FiniteMetric":
+        """The shortest-path metric of a connected undirected graph.
+
+        Raises ``ValueError`` when the graph is directed, disconnected, or
+        has distinct nodes at distance zero (FRT's scaling needs a strictly
+        positive minimum distance).
+        """
+        if graph.directed:
+            raise ValueError("shortest-path metrics require undirected graphs")
+        apsp = all_pairs_shortest_paths(graph)
+        points = graph.nodes
+        for u in points:
+            for v in points:
+                if v not in apsp[u]:
+                    raise ValueError(
+                        f"graph is disconnected: no {u!r}-{v!r} path"
+                    )
+                if u != v and apsp[u][v] <= 0.0:
+                    raise ValueError(
+                        f"distinct nodes {u!r}, {v!r} at distance 0; "
+                        "FRT requires a positive minimum distance"
+                    )
+        return cls(points, apsp)
+
+    def distance(self, u: Point, v: Point) -> float:
+        return self._d[u][v]
+
+    @property
+    def size(self) -> int:
+        return len(self.points)
+
+    def diameter(self) -> float:
+        return max(
+            self._d[u][v] for u in self.points for v in self.points
+        )
+
+    def min_distance(self) -> float:
+        """Smallest distance between *distinct* points."""
+        best = math.inf
+        for u in self.points:
+            for v in self.points:
+                if u != v:
+                    best = min(best, self._d[u][v])
+        return best
+
+    def verify_axioms(self, tol: float = 1e-9) -> None:
+        """Assert symmetry, identity, and the triangle inequality."""
+        for u in self.points:
+            assert abs(self._d[u][u]) <= tol, f"d({u!r},{u!r}) != 0"
+            for v in self.points:
+                assert abs(self._d[u][v] - self._d[v][u]) <= tol, (
+                    f"asymmetry at ({u!r},{v!r})"
+                )
+                for w in self.points:
+                    assert self._d[u][v] <= self._d[u][w] + self._d[w][v] + tol, (
+                        f"triangle violation at ({u!r},{w!r},{v!r})"
+                    )
+
+    def __repr__(self) -> str:
+        return f"<FiniteMetric n={self.size}>"

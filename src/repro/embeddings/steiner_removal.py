@@ -1,0 +1,113 @@
+"""Steiner-point removal: turn an FRT HST into a tree on the points only.
+
+Lemma 3.4 cites Gupta's result that the Steiner (internal) vertices of a
+dominating tree can be removed with O(1) distortion.  We implement the
+standard *leader contraction*: every cluster is represented by its
+minimum-rank member (its leader); each HST edge (cluster, parent) becomes
+an edge between their leaders, weighted by the HST distance between those
+leaders.  Because a cluster's leader is also the leader of exactly one of
+its children, leaders chain down to the leaves and the contraction yields
+a tree on the original points with:
+
+* **domination preserved exactly** — every contracted path's weight is a
+  sum of HST leaf-to-leaf distances, which (by the triangle inequality in
+  the HST) is at least the HST distance, itself at least the metric
+  distance;
+* **constant-factor distortion** — each leader hop is at most twice the
+  leaf-depth of the parent cluster, a geometric sum dominated by the top
+  separating level, so the ``O(log n)`` expected stretch survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from ..graphs import Graph
+from .frt import HierarchicalTree, tree_node_distance
+from .metric import FiniteMetric, Point
+
+
+@dataclass
+class ContractedTree:
+    """A dominating tree over the metric points themselves."""
+
+    tree: Graph  # nodes are metric points
+    root: Point
+
+    def distance(self, u: Point, v: Point) -> float:
+        from ..graphs.shortest_path import shortest_path_cost
+
+        return shortest_path_cost(self.tree, u, v)
+
+
+def contract_to_terminals(hst: HierarchicalTree) -> ContractedTree:
+    """Remove Steiner vertices from an FRT tree by leader contraction."""
+    # Leader of a cluster: the member point whose leaf lies below it and
+    # which leads every cluster on the way down.  Compute bottom-up.
+    leader: Dict[Hashable, Point] = {}
+    children: Dict[Hashable, List[Hashable]] = {}
+    for node, parent in hst.parent_of.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(node)
+
+    # Leaves first: hst.leaf_of maps point -> singleton cluster node.
+    point_rank: Dict[Point, int] = {}
+    for rank, point in enumerate(sorted(hst.leaf_of, key=repr)):
+        point_rank[point] = rank
+    for point, node in hst.leaf_of.items():
+        leader[node] = point
+
+    def resolve(node: Hashable) -> Point:
+        if node in leader:
+            return leader[node]
+        best: Optional[Point] = None
+        for child in children.get(node, []):
+            candidate = resolve(child)
+            if best is None or point_rank[candidate] < point_rank[best]:
+                best = candidate
+        assert best is not None, "cluster without any leaf below it"
+        leader[node] = best
+        return best
+
+    resolve(hst.root)
+
+    contracted = Graph(directed=False)
+    for point in hst.leaf_of:
+        contracted.add_node(point)
+    for node, parent in hst.parent_of.items():
+        if parent is None:
+            continue
+        a = leader[node]
+        b = leader[parent]
+        if a == b:
+            continue
+        weight = tree_node_distance(
+            hst.tree, hst.parent_of, hst.leaf_of[a], hst.leaf_of[b]
+        )
+        contracted.add_edge(a, b, weight)
+    return ContractedTree(tree=contracted, root=leader[hst.root])
+
+
+def verify_contracted_domination(
+    metric: FiniteMetric, contracted: ContractedTree, tol: float = 1e-9
+) -> None:
+    """Assert the contracted tree still dominates the metric."""
+    for i, u in enumerate(metric.points):
+        for v in metric.points[i + 1:]:
+            td = contracted.distance(u, v)
+            md = metric.distance(u, v)
+            assert td >= md - tol, (
+                f"contracted domination violated at ({u!r},{v!r}): "
+                f"tree {td} < metric {md}"
+            )
+
+
+def is_tree(graph: Graph) -> bool:
+    """Connected and acyclic (|E| = |V| - 1 with one component)."""
+    from ..graphs.traversal import connected_components
+
+    return (
+        graph.edge_count == graph.node_count - 1
+        and len(connected_components(graph)) == 1
+    )

@@ -1,0 +1,130 @@
+"""Dominating-tree strategies for Bayesian NCS games (Lemma 3.4).
+
+Given a dominating tree ``tau`` over the vertices of an undirected host
+graph ``G``, fix for every tree edge ``(u, v)`` a designated shortest
+``u``-``v`` path ``P_e`` in ``G``.  The *tree strategy* instructs an agent
+of type ``(x, y)`` to buy the union of the designated paths along the
+unique tree path from ``x`` to ``y``.  Lemma 3.4 shows that sampling
+``tau`` from the FRT distribution makes the expected social cost of this
+profile at most ``O(log n) * optC`` for **every** common prior — and hence
+some fixed tree achieves the bound, proving ``optP/optC = O(log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from ..core.game import StrategyProfile
+from ..graphs import EdgeId, Graph, Node
+from ..graphs.shortest_path import shortest_path_edges
+from ..ncs.actions import NCSType
+from ..ncs.bayesian import BayesianNCSGame
+from .frt import frt_embedding
+from .metric import FiniteMetric
+from .steiner_removal import ContractedTree, contract_to_terminals
+
+
+class TreeStrategy:
+    """The Lemma 3.4 routing strategy for one dominating tree.
+
+    Parameters
+    ----------
+    graph:
+        Undirected host graph (the NCS game's graph).
+    tree:
+        A tree over the *same* node set (typically a contracted FRT tree);
+        edge weights are ignored — only the topology routes agents.
+    """
+
+    def __init__(self, graph: Graph, tree: Graph) -> None:
+        if graph.directed:
+            raise ValueError("tree strategies require undirected host graphs")
+        self.graph = graph
+        self.tree = tree
+        missing = [node for node in graph.nodes if not tree.has_node(node)]
+        if missing:
+            raise ValueError(f"tree is missing host nodes: {missing[:3]}...")
+        # Designated shortest host paths per tree edge.
+        self._designated: Dict[EdgeId, FrozenSet[EdgeId]] = {}
+        for edge in tree.edges():
+            host_path = shortest_path_edges(graph, edge.tail, edge.head)
+            if host_path is None:
+                raise ValueError(
+                    f"tree edge ({edge.tail!r}, {edge.head!r}) has no host path"
+                )
+            self._designated[edge.eid] = frozenset(host_path)
+
+    def _tree_path_edges(self, x: Node, y: Node) -> List[EdgeId]:
+        """Edge ids of the unique tree path x..y (BFS parent walk)."""
+        if x == y:
+            return []
+        from collections import deque
+
+        parent_edge: Dict[Node, EdgeId] = {}
+        seen = {x}
+        queue = deque([x])
+        while queue:
+            node = queue.popleft()
+            if node == y:
+                break
+            for edge in self.tree.out_edges(node):
+                nxt = edge.other(node)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parent_edge[nxt] = edge.eid
+                    queue.append(nxt)
+        if y not in parent_edge:
+            raise ValueError(f"tree does not connect {x!r} and {y!r}")
+        path: List[EdgeId] = []
+        node = y
+        while node != x:
+            eid = parent_edge[node]
+            path.append(eid)
+            node = self.tree.edge(eid).other(node)
+        path.reverse()
+        return path
+
+    def action_for(self, pair: NCSType) -> FrozenSet[EdgeId]:
+        """The host edges bought by an agent of type ``pair``."""
+        x, y = pair
+        bought: set = set()
+        for tree_eid in self._tree_path_edges(x, y):
+            bought |= self._designated[tree_eid]
+        return frozenset(bought)
+
+    def strategy_profile(self, game: BayesianNCSGame) -> StrategyProfile:
+        """Tuple-encoded profile where every type follows the tree."""
+        profile: List[Tuple[FrozenSet[EdgeId], ...]] = []
+        for agent in range(game.num_agents):
+            profile.append(
+                tuple(self.action_for(pair) for pair in game.types(agent))
+            )
+        return tuple(profile)
+
+
+def sample_contracted_tree(
+    graph: Graph, rng: np.random.Generator
+) -> ContractedTree:
+    """One FRT tree for ``graph``'s shortest-path metric, Steiner-removed."""
+    metric = FiniteMetric.from_graph(graph)
+    return contract_to_terminals(frt_embedding(metric, rng))
+
+
+def tree_strategy_social_cost(
+    game: BayesianNCSGame, rng: np.random.Generator, samples: int = 8
+) -> Tuple[float, float]:
+    """Lemma 3.4 in action: ``(best, mean)`` social cost of tree strategies.
+
+    Samples ``samples`` FRT trees, evaluates the tree-strategy profile's
+    social cost under the game's prior, and returns the best and the mean.
+    The *mean* estimates the public-randomness guarantee; the *best*
+    witnesses a deterministic profile (hence an upper bound on ``optP``).
+    """
+    costs = []
+    for _ in range(samples):
+        contracted = sample_contracted_tree(game.graph, rng)
+        strategy = TreeStrategy(game.graph, contracted.tree)
+        costs.append(game.social_cost(strategy.strategy_profile(game)))
+    return min(costs), float(np.mean(costs))

@@ -1,0 +1,45 @@
+"""Finite fields and affine planes (substrate for Lemma 3.2)."""
+
+from .affine_plane import AffinePlane, affine_plane, verify_affine_plane
+from .field import GF, FieldElement, GaloisField
+from .poly import (
+    factorize,
+    find_irreducible,
+    is_irreducible,
+    is_prime,
+    poly_add,
+    poly_degree,
+    poly_divmod,
+    poly_eval,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_pow_mod,
+    poly_sub,
+    poly_trim,
+    prime_power_decomposition,
+)
+
+__all__ = [
+    "AffinePlane",
+    "affine_plane",
+    "verify_affine_plane",
+    "GF",
+    "FieldElement",
+    "GaloisField",
+    "factorize",
+    "find_irreducible",
+    "is_irreducible",
+    "is_prime",
+    "poly_add",
+    "poly_degree",
+    "poly_divmod",
+    "poly_eval",
+    "poly_gcd",
+    "poly_mod",
+    "poly_mul",
+    "poly_pow_mod",
+    "poly_sub",
+    "poly_trim",
+    "prime_power_decomposition",
+]

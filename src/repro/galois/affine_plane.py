@@ -1,0 +1,135 @@
+"""Finite affine planes AG(2, q) of prime-power order.
+
+Lemma 3.2's game is built on an affine plane of order ``m``: ``m^2``
+points, ``m^2 + m`` lines, every line holding ``m`` points, every point on
+``m + 1`` lines, any two points on exactly one common line, and any two
+lines meeting in at most one point.  We coordinatize over GF(q): points are
+pairs ``(x, y)``; lines are ``y = a*x + b`` (one per slope/intercept) plus
+the vertical lines ``x = c``.
+
+Points and lines are exposed as *integer indices* so downstream graph
+constructions get small hashable labels; the incidence structure is a list
+of point-index tuples per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from .field import GF, GaloisField
+
+
+@dataclass
+class AffinePlane:
+    """The affine plane of order ``order`` with explicit incidence lists.
+
+    Attributes
+    ----------
+    order:
+        The plane's order ``m`` (a prime power).
+    points:
+        ``m^2`` point indices are ``range(len(points))``; entry ``i`` holds
+        the GF-coordinate pair of point ``i`` (as integer field codes).
+    lines:
+        ``m^2 + m`` tuples of point indices, each of size ``m``.
+    """
+
+    order: int
+    points: List[Tuple[int, int]]
+    lines: List[Tuple[int, ...]]
+    _lines_through: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._lines_through:
+            for line_index, line in enumerate(self.lines):
+                for point in line:
+                    self._lines_through.setdefault(point, []).append(line_index)
+
+    @property
+    def point_count(self) -> int:
+        return len(self.points)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.lines)
+
+    def lines_through(self, point: int) -> List[int]:
+        """Indices of the ``m + 1`` lines containing ``point``."""
+        return list(self._lines_through.get(point, []))
+
+    def line_through_pair(self, a: int, b: int) -> int:
+        """The unique line containing both distinct points ``a`` and ``b``."""
+        if a == b:
+            raise ValueError("points must be distinct")
+        common = set(self.lines_through(a)) & set(self.lines_through(b))
+        if len(common) != 1:
+            raise RuntimeError(
+                f"affine plane invariant violated: {len(common)} common lines"
+            )
+        return common.pop()
+
+
+def affine_plane(order: int) -> AffinePlane:
+    """Construct AG(2, ``order``) for a prime-power ``order``."""
+    fld: GaloisField = GF(order)
+    elements = list(fld.elements())
+    index_of = {element: i for i, element in enumerate(elements)}
+
+    def point_index(x, y) -> int:
+        return index_of[x] * order + index_of[y]
+
+    points: List[Tuple[int, int]] = [
+        (index_of[x], index_of[y]) for x in elements for y in elements
+    ]
+
+    lines: List[Tuple[int, ...]] = []
+    # Sloped lines y = a*x + b.
+    for a in elements:
+        for b in elements:
+            lines.append(
+                tuple(point_index(x, a * x + b) for x in elements)
+            )
+    # Vertical lines x = c.
+    for c in elements:
+        lines.append(tuple(point_index(c, y) for y in elements))
+
+    return AffinePlane(order=order, points=points, lines=lines)
+
+
+def verify_affine_plane(plane: AffinePlane) -> None:
+    """Assert the four affine-plane properties quoted in Lemma 3.2.
+
+    1. each line contains exactly ``m`` points;
+    2. each point lies on exactly ``m + 1`` lines;
+    3. any two distinct points share exactly one line;
+    4. any two distinct lines share at most one point.
+
+    Raises ``AssertionError`` with a description on the first violation.
+    Exhaustive (``O(m^4)``), intended for tests and small orders.
+    """
+    m = plane.order
+    assert plane.point_count == m * m, (
+        f"expected {m * m} points, found {plane.point_count}"
+    )
+    assert plane.line_count == m * m + m, (
+        f"expected {m * m + m} lines, found {plane.line_count}"
+    )
+    for line in plane.lines:
+        assert len(line) == len(set(line)) == m, f"line {line} has wrong size"
+    for point in range(plane.point_count):
+        incident = plane.lines_through(point)
+        assert len(incident) == m + 1, (
+            f"point {point} lies on {len(incident)} lines, expected {m + 1}"
+        )
+    for a, b in combinations(range(plane.point_count), 2):
+        common = set(plane.lines_through(a)) & set(plane.lines_through(b))
+        assert len(common) == 1, (
+            f"points {a},{b} share {len(common)} lines, expected exactly 1"
+        )
+    for i, j in combinations(range(plane.line_count), 2):
+        shared = set(plane.lines[i]) & set(plane.lines[j])
+        assert len(shared) <= 1, (
+            f"lines {i},{j} share {len(shared)} points, expected at most 1"
+        )

@@ -1,0 +1,174 @@
+"""Finite fields GF(p^n) with operator-overloaded elements.
+
+Lemma 3.2 of the paper needs a finite affine plane of *prime power* order
+``m``; such planes are coordinatized by GF(m).  Elements are residue
+classes of Z_p[x] modulo a fixed irreducible polynomial; the canonical
+representation is the trimmed coefficient tuple, so elements are hashable
+and usable as graph node labels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from .poly import (
+    ONE,
+    ZERO,
+    Poly,
+    find_irreducible,
+    is_prime,
+    poly_add,
+    poly_degree,
+    poly_mod,
+    poly_mul,
+    poly_neg,
+    poly_pow_mod,
+    poly_trim,
+    prime_power_decomposition,
+)
+
+
+class FieldElement:
+    """An element of a :class:`GaloisField`, supporting ``+ - * / **``."""
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: "GaloisField", coeffs: Poly) -> None:
+        self.field = field
+        self.coeffs = coeffs
+
+    # -- arithmetic ----------------------------------------------------
+    def _check(self, other: "FieldElement") -> None:
+        if not isinstance(other, FieldElement) or other.field is not self.field:
+            raise TypeError("operands belong to different fields")
+
+    def __add__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        return FieldElement(
+            self.field, poly_add(self.coeffs, other.coeffs, self.field.p)
+        )
+
+    def __sub__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        return FieldElement(
+            self.field,
+            poly_add(self.coeffs, poly_neg(other.coeffs, self.field.p), self.field.p),
+        )
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(self.field, poly_neg(self.coeffs, self.field.p))
+
+    def __mul__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        product = poly_mul(self.coeffs, other.coeffs, self.field.p)
+        return FieldElement(
+            self.field, poly_mod(product, self.field.modulus, self.field.p)
+        )
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse via ``a^(q-2)`` (Fermat)."""
+        if not self.coeffs:
+            raise ZeroDivisionError("zero has no inverse")
+        inv = poly_pow_mod(
+            self.coeffs, self.field.order - 2, self.field.modulus, self.field.p
+        )
+        return FieldElement(self.field, inv)
+
+    def __truediv__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        return self * other.inverse()
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FieldElement(
+            self.field,
+            poly_pow_mod(self.coeffs, exponent, self.field.modulus, self.field.p),
+        )
+
+    # -- identity ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FieldElement)
+            and other.field is self.field
+            and other.coeffs == self.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.field), self.coeffs))
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def __repr__(self) -> str:
+        return f"GF{self.field.order}({list(self.coeffs)})"
+
+
+class GaloisField:
+    """The finite field GF(p^n) = Z_p[x] / (modulus).
+
+    Construct with :func:`GF` which accepts any prime power order.
+    """
+
+    def __init__(self, p: int, n: int) -> None:
+        if not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        if n < 1:
+            raise ValueError("extension degree must be positive")
+        self.p = p
+        self.n = n
+        self.order = p**n
+        self.modulus: Poly = find_irreducible(p, n)
+        self._zero = FieldElement(self, ZERO)
+        self._one = FieldElement(self, ONE)
+
+    # -- canonical elements ---------------------------------------------
+    @property
+    def zero(self) -> FieldElement:
+        return self._zero
+
+    @property
+    def one(self) -> FieldElement:
+        return self._one
+
+    def element(self, coeffs: List[int] | Tuple[int, ...] | int) -> FieldElement:
+        """Build an element from coefficients (or an integer, reduced mod p).
+
+        Integers map through base-``p`` digits so that ``range(order)``
+        enumerates all field elements bijectively via this method.
+        """
+        if isinstance(coeffs, int):
+            digits = []
+            value = coeffs % self.order
+            for _ in range(self.n):
+                digits.append(value % self.p)
+                value //= self.p
+            coeffs = digits
+        reduced = poly_trim([c % self.p for c in coeffs])
+        if poly_degree(reduced) >= self.n:
+            reduced = poly_mod(reduced, self.modulus, self.p)
+        return FieldElement(self, reduced)
+
+    def elements(self) -> Iterator[FieldElement]:
+        """All ``p^n`` field elements, in base-``p`` counting order."""
+        for code in range(self.order):
+            yield self.element(code)
+
+    def index_of(self, element: FieldElement) -> int:
+        """Inverse of ``element(code)``: the base-``p`` code of an element."""
+        code = 0
+        for i, coeff in enumerate(element.coeffs):
+            code += coeff * (self.p**i)
+        return code
+
+    def __len__(self) -> int:
+        return self.order
+
+    def __repr__(self) -> str:
+        return f"GF({self.p}^{self.n})" if self.n > 1 else f"GF({self.p})"
+
+
+def GF(q: int) -> GaloisField:
+    """The finite field of prime-power order ``q``."""
+    p, n = prime_power_decomposition(q)
+    return GaloisField(p, n)

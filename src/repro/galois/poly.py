@@ -1,0 +1,207 @@
+"""Polynomial arithmetic over the prime field Z_p.
+
+Polynomials are tuples of coefficients in increasing degree order, always
+*trimmed* (no trailing zeros); the zero polynomial is the empty tuple.
+These are the building blocks for :mod:`repro.galois.field`'s GF(p^n)
+construction: field elements are residues modulo an irreducible polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+Poly = Tuple[int, ...]
+
+ZERO: Poly = ()
+ONE: Poly = (1,)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality by trial division (fine for gadget sizes)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def factorize(n: int) -> List[Tuple[int, int]]:
+    """Prime factorization as ``[(prime, exponent), ...]`` in ascending order."""
+    if n < 1:
+        raise ValueError(f"cannot factorize {n}")
+    factors: List[Tuple[int, int]] = []
+    remaining = n
+    candidate = 2
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            exponent = 0
+            while remaining % candidate == 0:
+                remaining //= candidate
+                exponent += 1
+            factors.append((candidate, exponent))
+        candidate += 1 if candidate == 2 else 2
+    if remaining > 1:
+        factors.append((remaining, 1))
+    return factors
+
+
+def prime_power_decomposition(q: int) -> Tuple[int, int]:
+    """Write ``q = p^n`` for prime ``p``; raise ``ValueError`` otherwise."""
+    factors = factorize(q)
+    if len(factors) != 1:
+        raise ValueError(f"{q} is not a prime power")
+    return factors[0]
+
+
+def poly_trim(coeffs: Sequence[int]) -> Poly:
+    """Drop trailing zeros, producing the canonical representation."""
+    last = len(coeffs)
+    while last > 0 and coeffs[last - 1] == 0:
+        last -= 1
+    return tuple(coeffs[:last])
+
+
+def poly_degree(a: Poly) -> int:
+    """Degree of ``a`` (-1 for the zero polynomial)."""
+    return len(a) - 1
+
+
+def poly_add(a: Poly, b: Poly, p: int) -> Poly:
+    length = max(len(a), len(b))
+    out = [0] * length
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = (out[i] + c) % p
+    return poly_trim(out)
+
+
+def poly_neg(a: Poly, p: int) -> Poly:
+    return poly_trim([(-c) % p for c in a])
+
+
+def poly_sub(a: Poly, b: Poly, p: int) -> Poly:
+    return poly_add(a, poly_neg(b, p), p)
+
+
+def poly_mul(a: Poly, b: Poly, p: int) -> Poly:
+    if not a or not b:
+        return ZERO
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] = (out[i + j] + ca * cb) % p
+    return poly_trim(out)
+
+
+def poly_scale(a: Poly, scalar: int, p: int) -> Poly:
+    return poly_trim([(c * scalar) % p for c in a])
+
+
+def poly_divmod(a: Poly, b: Poly, p: int) -> Tuple[Poly, Poly]:
+    """Quotient and remainder of ``a / b`` over Z_p (``b`` nonzero)."""
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    remainder = list(a)
+    quotient = [0] * max(0, len(a) - len(b) + 1)
+    inv_lead = pow(b[-1], -1, p)
+    for shift in range(len(remainder) - len(b), -1, -1):
+        coeff = (remainder[shift + len(b) - 1] * inv_lead) % p
+        if coeff == 0:
+            continue
+        quotient[shift] = coeff
+        for i, cb in enumerate(b):
+            remainder[shift + i] = (remainder[shift + i] - coeff * cb) % p
+    return poly_trim(quotient), poly_trim(remainder)
+
+
+def poly_mod(a: Poly, modulus: Poly, p: int) -> Poly:
+    return poly_divmod(a, modulus, p)[1]
+
+
+def poly_gcd(a: Poly, b: Poly, p: int) -> Poly:
+    """Monic greatest common divisor over Z_p."""
+    while b:
+        a, b = b, poly_mod(a, b, p)
+    if not a:
+        return ZERO
+    return poly_scale(a, pow(a[-1], -1, p), p)
+
+
+def poly_pow_mod(base: Poly, exponent: int, modulus: Poly, p: int) -> Poly:
+    """``base**exponent mod modulus`` by square-and-multiply."""
+    if exponent < 0:
+        raise ValueError("negative exponent")
+    result: Poly = ONE
+    acc = poly_mod(base, modulus, p)
+    e = exponent
+    while e:
+        if e & 1:
+            result = poly_mod(poly_mul(result, acc, p), modulus, p)
+        acc = poly_mod(poly_mul(acc, acc, p), modulus, p)
+        e >>= 1
+    return result
+
+
+def poly_eval(a: Poly, x: int, p: int) -> int:
+    """Evaluate at ``x`` over Z_p (Horner)."""
+    value = 0
+    for coeff in reversed(a):
+        value = (value * x + coeff) % p
+    return value
+
+
+def is_irreducible(f: Poly, p: int) -> bool:
+    """Rabin irreducibility test for ``f`` over Z_p.
+
+    ``f`` of degree ``n`` is irreducible iff ``x^(p^n) == x (mod f)`` and,
+    for every prime divisor ``d`` of ``n``, ``gcd(x^(p^(n/d)) - x, f) = 1``.
+    """
+    n = poly_degree(f)
+    if n <= 0:
+        return False
+    if n == 1:
+        return True
+    x: Poly = (0, 1)
+    for prime, _ in factorize(n):
+        power = poly_pow_mod(x, p ** (n // prime), f, p)
+        if poly_degree(poly_gcd(poly_sub(power, x, p), f, p)) != 0:
+            return False
+    power = poly_pow_mod(x, p**n, f, p)
+    return poly_sub(power, x, p) == ZERO
+
+
+def find_irreducible(p: int, n: int) -> Poly:
+    """Smallest monic irreducible polynomial of degree ``n`` over Z_p.
+
+    Deterministic (lexicographic scan over lower coefficients), so field
+    constructions are reproducible.  For ``n == 1`` returns ``x``.
+    """
+    if not is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    if n < 1:
+        raise ValueError("degree must be positive")
+    if n == 1:
+        return (0, 1)
+    total = p**n
+    for code in range(total):
+        lower = []
+        c = code
+        for _ in range(n):
+            lower.append(c % p)
+            c //= p
+        candidate = poly_trim(lower + [1])
+        if poly_degree(candidate) == n and is_irreducible(candidate, p):
+            return candidate
+    raise RuntimeError(
+        f"no irreducible polynomial of degree {n} over Z_{p} found"
+    )  # pragma: no cover - mathematically impossible

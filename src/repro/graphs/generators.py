@@ -1,0 +1,224 @@
+"""Graph families used by tests, examples, and the benchmark harness.
+
+All generators produce :class:`repro.graphs.graph.Graph` instances with
+deterministic node labels; randomized families take an explicit
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .graph import EdgeId, Graph, Node
+
+
+def path_graph(n: int, cost: float = 1.0) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)`` with uniform edge costs."""
+    if n < 1:
+        raise ValueError("path_graph needs at least one node")
+    graph = Graph(directed=False)
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, cost)
+    return graph
+
+
+def cycle_graph(n: int, cost: float = 1.0) -> Graph:
+    """Cycle on ``n >= 3`` nodes with uniform edge costs."""
+    if n < 3:
+        raise ValueError("cycle_graph needs at least three nodes")
+    graph = path_graph(n, cost)
+    graph.add_edge(n - 1, 0, cost)
+    return graph
+
+
+def complete_graph(n: int, cost: float = 1.0) -> Graph:
+    """Complete undirected graph ``K_n`` with uniform edge costs."""
+    graph = Graph(directed=False)
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_edge(i, j, cost)
+    return graph
+
+
+def star_graph(leaves: int, cost: float = 1.0) -> Graph:
+    """Star with center ``"c"`` and ``leaves`` leaf nodes ``0..leaves-1``."""
+    graph = Graph(directed=False)
+    graph.add_node("c")
+    for i in range(leaves):
+        graph.add_edge("c", i, cost)
+    return graph
+
+
+def grid_graph(rows: int, cols: int, cost: float = 1.0) -> Graph:
+    """``rows x cols`` grid; nodes are ``(r, c)`` tuples."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = Graph(directed=False)
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c), cost)
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1), cost)
+    return graph
+
+
+def random_connected_graph(
+    n: int,
+    extra_edges: int,
+    rng: np.random.Generator,
+    cost_low: float = 0.5,
+    cost_high: float = 2.0,
+    directed: bool = False,
+) -> Graph:
+    """Random connected graph: random spanning tree plus ``extra_edges``.
+
+    For directed graphs, the spanning tree is oriented away from node 0 and
+    a reverse path edge back to 0 is added from a random node, so the graph
+    is connected but not necessarily strongly connected.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    graph = Graph(directed=directed)
+    for i in range(n):
+        graph.add_node(i)
+
+    def draw_cost() -> float:
+        return float(rng.uniform(cost_low, cost_high))
+
+    # Random attachment spanning tree.
+    order = list(rng.permutation(n))
+    placed = [order[0]]
+    for node in order[1:]:
+        anchor = placed[int(rng.integers(len(placed)))]
+        graph.add_edge(anchor, node, draw_cost())
+        placed.append(node)
+    for _ in range(extra_edges):
+        a = int(rng.integers(n))
+        b = int(rng.integers(n))
+        if a == b:
+            continue
+        graph.add_edge(a, b, draw_cost())
+    return graph
+
+
+def random_digraph(
+    n: int,
+    edge_probability: float,
+    rng: np.random.Generator,
+    cost_low: float = 0.5,
+    cost_high: float = 2.0,
+) -> Graph:
+    """Erdos-Renyi style directed graph ``G(n, p)`` with random costs."""
+    graph = Graph(directed=True)
+    for i in range(n):
+        graph.add_node(i)
+    for a in range(n):
+        for b in range(n):
+            if a != b and rng.random() < edge_probability:
+                graph.add_edge(a, b, float(rng.uniform(cost_low, cost_high)))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Diamond graphs (Imase-Waxman online Steiner lower bound, Lemma 3.5)
+# ----------------------------------------------------------------------
+
+@dataclass
+class DiamondCell:
+    """A virtual edge in the diamond hierarchy.
+
+    At the deepest level a cell *is* a real graph edge (``eid`` set);
+    otherwise it has been refined into two parallel two-hop paths through
+    the middle vertices ``mids = (m_left, m_right)``, giving four child
+    cells ordered ``(u-m_left, m_left-v, u-m_right, m_right-v)``.
+    """
+
+    level: int
+    u: Node
+    v: Node
+    cost: float
+    eid: Optional[EdgeId] = None
+    mids: Optional[Tuple[Node, Node]] = None
+    children: Optional[Tuple["DiamondCell", ...]] = None
+
+
+@dataclass
+class DiamondGraph:
+    """The level-``j`` diamond graph plus its refinement hierarchy."""
+
+    graph: Graph
+    root: DiamondCell
+    levels: int
+    source: Node
+    sink: Node
+
+    def cells_at_level(self, level: int) -> List[DiamondCell]:
+        """All cells at the given refinement level (0 is the root)."""
+        frontier = [self.root]
+        for _ in range(level):
+            nxt: List[DiamondCell] = []
+            for cell in frontier:
+                if cell.children is None:
+                    raise ValueError(f"level {level} exceeds hierarchy depth")
+                nxt.extend(cell.children)
+            frontier = nxt
+        return frontier
+
+
+def diamond_graph(levels: int) -> DiamondGraph:
+    """Build the level-``levels`` diamond graph ``D_levels``.
+
+    ``D_0`` is a single unit-cost edge ``s - t``.  ``D_{j+1}`` replaces
+    every edge of ``D_j`` by two parallel two-hop paths whose edges cost
+    half the replaced edge.  Every ``s``-``t`` shortest path in ``D_j``
+    costs exactly 1, while the graph has ``Theta(4^j)`` edges — the
+    classical online Steiner tree lower-bound family.
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    graph = Graph(directed=False)
+    source: Node = "s"
+    sink: Node = "t"
+    graph.add_node(source)
+    graph.add_node(sink)
+    counter = [0]
+
+    def refine(level: int, u: Node, v: Node, cost: float) -> DiamondCell:
+        if level == levels:
+            eid = graph.add_edge(u, v, cost)
+            return DiamondCell(level=level, u=u, v=v, cost=cost, eid=eid)
+        m_left: Node = ("m", level + 1, counter[0])
+        counter[0] += 1
+        m_right: Node = ("m", level + 1, counter[0])
+        counter[0] += 1
+        half = cost / 2.0
+        children = (
+            refine(level + 1, u, m_left, half),
+            refine(level + 1, m_left, v, half),
+            refine(level + 1, u, m_right, half),
+            refine(level + 1, m_right, v, half),
+        )
+        return DiamondCell(
+            level=level,
+            u=u,
+            v=v,
+            cost=cost,
+            mids=(m_left, m_right),
+            children=children,
+        )
+
+    root = refine(0, source, sink, 1.0)
+    return DiamondGraph(
+        graph=graph, root=root, levels=levels, source=source, sink=sink
+    )

@@ -1,0 +1,139 @@
+"""Union-find and minimum spanning trees/forests (Kruskal and Prim)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from .graph import Edge, EdgeId, Graph, Node, WeightFunction, weight_by_cost
+
+
+class UnionFind:
+    """Disjoint-set forest with union by rank and path compression."""
+
+    def __init__(self, elements: Optional[Iterable[Hashable]] = None) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        if elements is not None:
+            for element in elements:
+                self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; True when they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    @property
+    def component_count(self) -> int:
+        return self._count
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+
+def kruskal_mst(
+    graph: Graph,
+    weight: WeightFunction = weight_by_cost,
+) -> Tuple[List[EdgeId], float]:
+    """Minimum spanning forest via Kruskal.
+
+    Works on undirected graphs only.  Returns ``(edge_ids, total_weight)``
+    of a minimum spanning forest (a tree when the graph is connected).
+    """
+    if graph.directed:
+        raise ValueError("kruskal_mst requires an undirected graph")
+    forest = UnionFind(graph.nodes)
+    chosen: List[EdgeId] = []
+    total = 0.0
+    ranked = sorted(graph.edges(), key=lambda e: (weight(e), e.eid))
+    for edge in ranked:
+        if edge.tail == edge.head:
+            continue
+        if forest.union(edge.tail, edge.head):
+            chosen.append(edge.eid)
+            total += weight(edge)
+    return chosen, total
+
+
+def prim_mst(
+    graph: Graph,
+    root: Optional[Node] = None,
+    weight: WeightFunction = weight_by_cost,
+) -> Tuple[List[EdgeId], float]:
+    """Minimum spanning tree of ``root``'s component via Prim.
+
+    Returns ``(edge_ids, total_weight)``.  When the graph is disconnected,
+    only the component containing ``root`` is spanned (use
+    :func:`kruskal_mst` for a full forest).
+    """
+    if graph.directed:
+        raise ValueError("prim_mst requires an undirected graph")
+    if len(graph) == 0:
+        return [], 0.0
+    if root is None:
+        root = graph.nodes[0]
+    in_tree: Set[Node] = {root}
+    chosen: List[EdgeId] = []
+    total = 0.0
+    heap: List[Tuple[float, int, EdgeId]] = []
+
+    def push_edges(node: Node) -> None:
+        for edge in graph.out_edges(node):
+            if edge.tail == edge.head:
+                continue
+            heapq.heappush(heap, (weight(edge), edge.eid, edge.eid))
+
+    push_edges(root)
+    while heap:
+        w, _, eid = heapq.heappop(heap)
+        edge = graph.edge(eid)
+        if edge.tail in in_tree and edge.head in in_tree:
+            continue
+        new_node = edge.head if edge.tail in in_tree else edge.tail
+        in_tree.add(new_node)
+        chosen.append(eid)
+        total += w
+        push_edges(new_node)
+    return chosen, total
+
+
+def is_spanning_tree(graph: Graph, edge_ids: Iterable[EdgeId]) -> bool:
+    """True when ``edge_ids`` form a spanning tree of the (undirected) graph."""
+    if graph.directed:
+        raise ValueError("is_spanning_tree requires an undirected graph")
+    ids = list(edge_ids)
+    if len(ids) != len(graph) - 1:
+        return False
+    forest = UnionFind(graph.nodes)
+    for eid in ids:
+        edge = graph.edge(eid)
+        if not forest.union(edge.tail, edge.head):
+            return False
+    return forest.component_count == 1

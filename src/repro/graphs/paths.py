@@ -1,0 +1,126 @@
+"""Simple-path enumeration.
+
+NCS equilibrium enumeration restricts each agent's action space to simple
+source-destination paths; this module produces those paths as ordered edge
+lists and as hashable ``frozenset`` actions.  Enumeration is guarded by
+``max_paths`` so a dense graph fails fast instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from .._util import ExplosionError
+from .graph import EdgeId, Graph, Node
+
+#: Default guard on the number of enumerated paths per (source, target) pair.
+DEFAULT_MAX_PATHS = 10_000
+
+
+def simple_paths(
+    graph: Graph,
+    source: Node,
+    target: Node,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    max_edges: Optional[int] = None,
+) -> List[Tuple[EdgeId, ...]]:
+    """All simple paths from ``source`` to ``target`` as edge-id tuples.
+
+    A *simple* path repeats no vertex.  Parallel edges yield distinct
+    paths.  ``source == target`` yields the single empty path.  Paths are
+    returned in depth-first discovery order (deterministic given edge
+    insertion order).
+
+    Raises :class:`repro._util.ExplosionError` when more than ``max_paths``
+    paths exist.
+    """
+    if source not in graph:
+        raise KeyError(f"unknown node {source!r}")
+    if target not in graph:
+        raise KeyError(f"unknown node {target!r}")
+    if source == target:
+        return [()]
+
+    results: List[Tuple[EdgeId, ...]] = []
+    visited: Set[Node] = {source}
+    prefix: List[EdgeId] = []
+
+    def extend(node: Node) -> None:
+        if max_edges is not None and len(prefix) >= max_edges:
+            return
+        for edge in graph.out_edges(node):
+            nxt = edge.head if graph.directed else edge.other(node)
+            if nxt == node:  # self-loop never helps a simple path
+                continue
+            if nxt == target:
+                results.append(tuple(prefix) + (edge.eid,))
+                if len(results) > max_paths:
+                    raise ExplosionError(
+                        f"simple paths {source!r}->{target!r}",
+                        len(results),
+                        max_paths,
+                    )
+                continue
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            prefix.append(edge.eid)
+            extend(nxt)
+            prefix.pop()
+            visited.remove(nxt)
+
+    extend(source)
+    return results
+
+
+def path_actions(
+    graph: Graph,
+    source: Node,
+    target: Node,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    max_edges: Optional[int] = None,
+) -> List[FrozenSet[EdgeId]]:
+    """Simple paths as deduplicated ``frozenset`` actions.
+
+    Two parallel-edge paths using different edges remain distinct actions;
+    the same edge set reached through different orderings collapses to one
+    action.  The empty action (for ``source == target``) is ``frozenset()``.
+    """
+    seen: Set[FrozenSet[EdgeId]] = set()
+    ordered: List[FrozenSet[EdgeId]] = []
+    for path in simple_paths(
+        graph, source, target, max_paths=max_paths, max_edges=max_edges
+    ):
+        action = frozenset(path)
+        if action not in seen:
+            seen.add(action)
+            ordered.append(action)
+    return ordered
+
+
+def is_path(graph: Graph, edge_ids: Tuple[EdgeId, ...], source: Node, target: Node) -> bool:
+    """Check that ``edge_ids`` (in order) form a walk ``source -> target``.
+
+    Used by tests; accepts non-simple walks as long as consecutive edges
+    share endpoints and orientation is respected in directed graphs.
+    """
+    node = source
+    for eid in edge_ids:
+        edge = graph.edge(eid)
+        if graph.directed:
+            if edge.tail != node:
+                return False
+            node = edge.head
+        else:
+            if node == edge.tail:
+                node = edge.head
+            elif node == edge.head:
+                node = edge.tail
+            else:
+                return False
+    return node == target
+
+
+def path_cost(graph: Graph, edge_ids: Tuple[EdgeId, ...]) -> float:
+    """Total cost of the edges of a path (each id counted once)."""
+    return graph.total_cost(edge_ids)

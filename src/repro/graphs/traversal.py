@@ -1,0 +1,132 @@
+"""Unweighted traversals, connectivity, and component structure."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from .graph import EdgeId, Graph, Node
+
+
+def bfs_order(graph: Graph, source: Node) -> List[Node]:
+    """Nodes in breadth-first order from ``source``."""
+    if source not in graph:
+        raise KeyError(f"unknown node {source!r}")
+    seen: Set[Node] = {source}
+    order: List[Node] = []
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for edge in graph.out_edges(node):
+            nxt = edge.head if graph.directed else edge.other(node)
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return order
+
+
+def dfs_order(graph: Graph, source: Node) -> List[Node]:
+    """Nodes in (iterative, preorder) depth-first order from ``source``."""
+    if source not in graph:
+        raise KeyError(f"unknown node {source!r}")
+    seen: Set[Node] = set()
+    order: List[Node] = []
+    stack: List[Node] = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        successors = []
+        for edge in graph.out_edges(node):
+            nxt = edge.head if graph.directed else edge.other(node)
+            if nxt not in seen:
+                successors.append(nxt)
+        # Reversed push keeps left-to-right edge order in the preorder.
+        stack.extend(reversed(successors))
+    return order
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Connected components (weak components for directed graphs)."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in graph:
+        if start in seen:
+            continue
+        component: Set[Node] = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for edge in graph.out_edges(node):
+                for nxt in (edge.tail, edge.head):
+                    if nxt not in component:
+                        component.add(nxt)
+                        stack.append(nxt)
+            if graph.directed:
+                for edge in graph.in_edges(node):
+                    for nxt in (edge.tail, edge.head):
+                        if nxt not in component:
+                            component.add(nxt)
+                            stack.append(nxt)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has at most one (weak) component."""
+    return len(connected_components(graph)) <= 1
+
+
+def nodes_touched_by(graph: Graph, edge_ids: Iterable[EdgeId]) -> Set[Node]:
+    """All endpoints of the given edges."""
+    touched: Set[Node] = set()
+    for eid in edge_ids:
+        edge = graph.edge(eid)
+        touched.add(edge.tail)
+        touched.add(edge.head)
+    return touched
+
+
+def spans_terminals(
+    graph: Graph,
+    edge_ids: FrozenSet[EdgeId] | Set[EdgeId],
+    terminals: Iterable[Node],
+) -> bool:
+    """True when the edge set connects all ``terminals`` to each other.
+
+    Undirected semantics (used by Steiner-tree feasibility): every terminal
+    must lie in the same component of the subgraph induced by ``edge_ids``.
+    """
+    terminal_list = list(terminals)
+    if len(terminal_list) <= 1:
+        return True
+    root = terminal_list[0]
+    reachable = graph.reachable(root, allowed_edges=set(edge_ids))
+    return all(term in reachable for term in terminal_list[1:])
+
+
+def topological_order(graph: Graph) -> Optional[List[Node]]:
+    """Topological order of a directed graph, or ``None`` if cyclic."""
+    if not graph.directed:
+        raise ValueError("topological order requires a directed graph")
+    indegree: Dict[Node, int] = {node: 0 for node in graph}
+    for edge in graph.edges():
+        indegree[edge.head] += 1
+    queue: deque[Node] = deque(
+        node for node, deg in indegree.items() if deg == 0
+    )
+    order: List[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for edge in graph.out_edges(node):
+            indegree[edge.head] -= 1
+            if indegree[edge.head] == 0:
+                queue.append(edge.head)
+    if len(order) != len(graph):
+        return None
+    return order

@@ -1,0 +1,57 @@
+"""Zero-sum solvers and Section 4's public-randomness construction."""
+
+from .lp import SimplexError, SimplexSolution, simplex_solve
+from .private_randomness import (
+    PrivateRandomnessResult,
+    analyze_private_randomness,
+    pure_worst_ratio,
+    r_private_exhaustive,
+    r_private_upper,
+)
+from .public_randomness import (
+    PublicRandomnessCertificate,
+    public_randomness_certificate,
+    random_priors,
+    verify_proposition_4_2,
+)
+from .ratio_program import (
+    GamePhi,
+    bisection_value,
+    proposition_4_2_gap,
+    r_star,
+    r_tilde,
+)
+from .zero_sum import (
+    ZeroSumSolution,
+    fictitious_play,
+    multiplicative_weights,
+    solve_zero_sum,
+    solve_zero_sum_lp,
+    solve_zero_sum_simplex,
+)
+
+__all__ = [
+    "SimplexError",
+    "SimplexSolution",
+    "simplex_solve",
+    "PrivateRandomnessResult",
+    "analyze_private_randomness",
+    "pure_worst_ratio",
+    "r_private_exhaustive",
+    "r_private_upper",
+    "PublicRandomnessCertificate",
+    "public_randomness_certificate",
+    "random_priors",
+    "verify_proposition_4_2",
+    "GamePhi",
+    "bisection_value",
+    "proposition_4_2_gap",
+    "r_star",
+    "r_tilde",
+    "ZeroSumSolution",
+    "fictitious_play",
+    "multiplicative_weights",
+    "solve_zero_sum",
+    "solve_zero_sum_lp",
+    "solve_zero_sum_simplex",
+]

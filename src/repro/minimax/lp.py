@@ -1,0 +1,105 @@
+"""A small dense simplex solver (from scratch) for standard-form LPs.
+
+Solves  ``maximize c.x  subject to  A x <= b,  x >= 0``  with ``b >= 0``
+(so the all-slack basis is feasible) using the tableau method with Bland's
+rule (anti-cycling).  This is exactly the form needed by the classical
+zero-sum-game reduction, which keeps the package able to compute Section 4
+quantities without scipy; the scipy/HiGHS backend remains the default and
+the two are cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class SimplexError(RuntimeError):
+    """Raised on unbounded or structurally invalid programs."""
+
+
+@dataclass
+class SimplexSolution:
+    """Primal solution, objective value, and duals of the ``<=`` rows."""
+
+    x: np.ndarray
+    objective: float
+    duals: np.ndarray
+    iterations: int
+
+
+def simplex_solve(
+    c: np.ndarray,
+    A: np.ndarray,
+    b: np.ndarray,
+    max_iterations: int = 10_000,
+    tol: float = 1e-10,
+) -> SimplexSolution:
+    """Solve ``max c.x : A x <= b, x >= 0`` (``b >= 0``) by primal simplex.
+
+    Returns the optimal primal ``x``, objective, and the dual vector of
+    the row constraints (the reduced costs of the slack columns, which for
+    this form are the optimal dual multipliers).
+    """
+    c = np.asarray(c, dtype=float)
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    m, n = A.shape
+    if c.shape != (n,):
+        raise SimplexError(f"c has shape {c.shape}, expected ({n},)")
+    if b.shape != (m,):
+        raise SimplexError(f"b has shape {b.shape}, expected ({m},)")
+    if np.any(b < -tol):
+        raise SimplexError("this solver requires b >= 0 (slack basis start)")
+
+    # Tableau: rows = constraints, columns = [x variables | slacks | rhs].
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = A
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    tableau[m, :n] = -c  # objective row (maximization)
+
+    basis = list(range(n, n + m))
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > max_iterations:
+            raise SimplexError("simplex iteration limit exceeded")
+        # Bland's rule: entering variable = smallest index with negative
+        # reduced cost.
+        objective_row = tableau[m, : n + m]
+        entering_candidates = np.nonzero(objective_row < -tol)[0]
+        if entering_candidates.size == 0:
+            break
+        entering = int(entering_candidates[0])
+        column = tableau[:m, entering]
+        positive = column > tol
+        if not positive.any():
+            raise SimplexError("LP is unbounded")
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        min_ratio = ratios.min()
+        # Bland tie-break: among argmin rows, leave the basic variable with
+        # the smallest index.
+        tie_rows = np.nonzero(ratios <= min_ratio + tol)[0]
+        leaving_row = int(min(tie_rows, key=lambda r: basis[r]))
+        pivot = tableau[leaving_row, entering]
+        tableau[leaving_row] /= pivot
+        for row in range(m + 1):
+            if row != leaving_row and abs(tableau[row, entering]) > tol:
+                tableau[row] -= tableau[row, entering] * tableau[leaving_row]
+        basis[leaving_row] = entering
+
+    x = np.zeros(n)
+    for row, variable in enumerate(basis):
+        if variable < n:
+            x[variable] = tableau[row, -1]
+    duals = tableau[m, n : n + m].copy()
+    return SimplexSolution(
+        x=x,
+        objective=float(tableau[m, -1]),
+        duals=duals,
+        iterations=iterations,
+    )

@@ -1,0 +1,257 @@
+"""Private random bits: the paper's closing open question, made executable.
+
+Section 4 shows *public* random bits let benevolent agents replace the
+common prior: one joint distribution ``q`` over strategy profiles attains
+``R(phi)`` against every prior.  The conclusions ask what *private* bits
+achieve — each agent then mixes independently, so the joint distribution
+must be a **product** ``q = q_1 x ... x q_k``.  Define
+
+    R_priv(phi) = min over product distributions q of
+                  max_t  E_{s~q}[ K(s, t) / v(t) ].
+
+Always ``R(phi) <= R_priv(phi) <= R_pure(phi)`` (mixtures include
+products include point masses).  This module computes:
+
+* ``r_pure`` — the best deterministic profile's worst-type ratio;
+* ``r_private_upper`` — alternating best-response minimization over the
+  product polytope (each agent's marginal subproblem is a linear program
+  solved exactly), with random restarts: an upper bound on ``R_priv``
+  that is exact at every local minimum it certifies;
+* ``r_private_exhaustive`` — for tiny games, a fine grid/corner search
+  used by the tests to confirm the alternating scheme.
+
+The tests exhibit instances where ``R < R_priv = R_pure`` strictly —
+private randomness buys *nothing* there while public randomness does —
+and instances where correlation is unnecessary (``R = R_priv``),
+mapping the landscape the paper left open.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .ratio_program import GamePhi
+
+
+@dataclass
+class PrivateRandomnessResult:
+    """Outcome of the private-bits optimization for one structure."""
+
+    r_public: float
+    r_private_upper: float
+    r_pure: float
+    marginals: List[np.ndarray]  # per-agent mixtures achieving the upper bound
+
+    @property
+    def private_gap(self) -> float:
+        """How much private bits lose to public bits (>= 0)."""
+        return self.r_private_upper - self.r_public
+
+    @property
+    def randomization_gain(self) -> float:
+        """How much private bits beat determinism (>= 0)."""
+        return self.r_pure - self.r_private_upper
+
+
+def _ratio_tensor(phi: GamePhi, strategy_axes: Sequence[Sequence[int]]) -> np.ndarray:
+    """``K'/v`` reshaped to one axis per agent plus the type axis."""
+    ratios = phi.costs / phi.v[None, :]
+    shape = tuple(len(axis) for axis in strategy_axes) + (phi.num_type_profiles,)
+    return ratios.reshape(shape)
+
+
+def factor_strategy_labels(phi: GamePhi) -> List[List[int]]:
+    """Recover per-agent strategy axes from the flat profile list.
+
+    ``GamePhi.from_bayesian_game`` enumerates profiles as the cartesian
+    product of per-agent strategies in row-major order; this returns the
+    per-agent index ranges.  For ``from_matrices`` structures there is a
+    single 'agent' owning all rows.
+    """
+    labels = phi.strategy_labels
+    if labels and isinstance(labels[0], tuple) and labels[0] and isinstance(
+        labels[0][0], tuple
+    ):
+        num_agents = len(labels[0])
+        per_agent: List[List] = [[] for _ in range(num_agents)]
+        for profile in labels:
+            for agent, strategy in enumerate(profile):
+                if strategy not in per_agent[agent]:
+                    per_agent[agent].append(strategy)
+        sizes = [len(options) for options in per_agent]
+        if math.prod(sizes) == len(labels):
+            return [list(range(size)) for size in sizes]
+    return [list(range(len(labels)))]
+
+
+def pure_worst_ratio(phi: GamePhi) -> float:
+    """``min_s max_t K(s,t)/v(t)`` — the best deterministic guarantee."""
+    ratios = phi.costs / phi.v[None, :]
+    return float(ratios.max(axis=1).min())
+
+
+def _contract_except(
+    tensor: np.ndarray, marginals: List[np.ndarray], agent: int
+) -> np.ndarray:
+    """Average out every agent's strategy axis except ``agent``'s.
+
+    Returns the matrix ``A`` of shape ``(n_agent, num_types)`` with
+    ``A[i, t] = E_{s_-agent}[ratio(s_agent=i, s_-agent, t)]``.
+    """
+    # Move the optimized agent's axis to the front; the remaining strategy
+    # axes (in original relative order) sit at positions 1..k-1, followed
+    # by the type axis.
+    moved = np.moveaxis(tensor, agent, 0)
+    others = [m for j, m in enumerate(marginals) if j != agent]
+    for marginal in others:
+        # tensordot(1-D, t, axes=([0], [1])) removes t's axis 1 and keeps
+        # the rest in order, so the next pending axis is again axis 1.
+        moved = np.tensordot(marginal, moved, axes=([0], [1]))
+    return moved  # shape (n_agent, num_types)
+
+
+def _best_marginal(
+    tensor: np.ndarray,
+    marginals: List[np.ndarray],
+    agent: int,
+) -> Tuple[np.ndarray, float]:
+    """Exact LP for agent ``agent``'s marginal with the others fixed.
+
+    With the other agents' mixtures fixed, the worst-type objective is
+    ``max_t (q^T A)_t``; minimizing it over the simplex is a small LP.
+    """
+    A = _contract_except(tensor, marginals, agent)
+    n, m = A.shape
+    # min z s.t. (q^T A)_t <= z for all t, sum q = 1, q >= 0.
+    c = np.zeros(n + 1)
+    c[-1] = 1.0
+    A_ub = np.hstack([A.T, -np.ones((m, 1))])
+    b_ub = np.zeros(m)
+    A_eq = np.zeros((1, n + 1))
+    A_eq[0, :n] = 1.0
+    result = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=[1.0],
+        bounds=[(0, None)] * n + [(None, None)],
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - always feasible
+        raise RuntimeError(f"marginal LP failed: {result.message}")
+    q = np.maximum(result.x[:n], 0.0)
+    return q / q.sum(), float(result.x[-1])
+
+
+def _product_objective(tensor: np.ndarray, marginals: List[np.ndarray]) -> float:
+    contracted = tensor
+    for marginal in marginals:
+        contracted = np.tensordot(marginal, contracted, axes=([0], [0]))
+    return float(contracted.max())
+
+
+def r_private_upper(
+    phi: GamePhi,
+    rng: Optional[np.random.Generator] = None,
+    restarts: int = 8,
+    sweeps: int = 60,
+    tol: float = 1e-10,
+) -> Tuple[float, List[np.ndarray]]:
+    """Alternating exact-LP minimization over product distributions.
+
+    Returns the best worst-type guarantee found and the achieving
+    marginals.  Each restart begins from a random product point; each
+    sweep solves every agent's marginal LP to optimality, so the
+    objective is non-increasing and converges to a blockwise optimum.
+    """
+    rng = rng or np.random.default_rng(0)
+    axes = factor_strategy_labels(phi)
+    tensor = _ratio_tensor(phi, axes)
+    k = len(axes)
+    best_value = math.inf
+    best_marginals: List[np.ndarray] = []
+    for restart in range(restarts):
+        if restart == 0:
+            marginals = [np.full(len(axis), 1.0 / len(axis)) for axis in axes]
+        else:
+            marginals = [rng.dirichlet(np.ones(len(axis))) for axis in axes]
+        value = _product_objective(tensor, marginals)
+        for _ in range(sweeps):
+            improved = False
+            for agent in range(k):
+                marginal, _ = _best_marginal(tensor, marginals, agent)
+                candidate = marginals.copy()
+                candidate[agent] = marginal
+                candidate_value = _product_objective(tensor, candidate)
+                if candidate_value < value - tol:
+                    marginals = candidate
+                    value = candidate_value
+                    improved = True
+            if not improved:
+                break
+        if value < best_value:
+            best_value = value
+            best_marginals = marginals
+    return best_value, best_marginals
+
+
+def r_private_exhaustive(
+    phi: GamePhi,
+    grid: int = 20,
+) -> float:
+    """Grid search over product distributions (tiny structures only).
+
+    Supports at most two agents with at most three strategies each; used
+    by the tests as an independent check of :func:`r_private_upper`.
+    """
+    axes = factor_strategy_labels(phi)
+    if len(axes) > 2 or any(len(axis) > 3 for axis in axes):
+        raise ValueError("exhaustive search supports <= 2 agents x <= 3 strategies")
+    tensor = _ratio_tensor(phi, axes)
+
+    def simplex_points(dimension: int):
+        if dimension == 1:
+            yield np.array([1.0])
+            return
+        if dimension == 2:
+            for i in range(grid + 1):
+                p = i / grid
+                yield np.array([p, 1.0 - p])
+            return
+        for i, j in itertools.product(range(grid + 1), repeat=2):
+            if i + j <= grid:
+                yield np.array([i / grid, j / grid, (grid - i - j) / grid])
+
+    best = math.inf
+    for combo in itertools.product(*(simplex_points(len(axis)) for axis in axes)):
+        best = min(best, _product_objective(tensor, list(combo)))
+    return best
+
+
+def analyze_private_randomness(
+    phi: GamePhi,
+    rng: Optional[np.random.Generator] = None,
+    restarts: int = 8,
+) -> PrivateRandomnessResult:
+    """Full comparison: public vs private vs deterministic guarantees."""
+    from .ratio_program import r_tilde
+
+    public, _ = r_tilde(phi.costs, phi.v)
+    private, marginals = r_private_upper(phi, rng=rng, restarts=restarts)
+    pure = pure_worst_ratio(phi)
+    # Sanity: the sandwich R <= R_priv <= R_pure must hold.
+    assert public <= private + 1e-7, f"{public} > {private}"
+    assert private <= pure + 1e-7, f"{private} > {pure}"
+    return PrivateRandomnessResult(
+        r_public=public,
+        r_private_upper=private,
+        r_pure=pure,
+        marginals=marginals,
+    )

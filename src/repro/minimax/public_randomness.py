@@ -1,0 +1,104 @@
+"""Lemma 4.1 made constructive: public random bits replace the prior.
+
+The paper proves (via Proposition 4.2 and von Neumann's minimax theorem)
+that for every prior-free structure ``phi`` there is a single distribution
+``q`` over strategy profiles such that for **every** common prior ``p``,
+
+    E_{s~q} [ sum_t p(t) K(s,t) ] / sum_t p(t) v(t)   <=   R(phi).
+
+Here we *compute* that ``q``: it is the row player's optimal mixture in
+the zero-sum game with payoff ``K(s,t)/v(t)``.  The certificate object
+carries ``q`` and ``R`` and can verify both the pointwise guarantee
+(Eq. (1) of the paper) and the Lemma 4.1 inequality for arbitrary priors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .ratio_program import GamePhi, r_star, r_tilde
+
+
+@dataclass
+class PublicRandomnessCertificate:
+    """The distribution ``q`` over strategy profiles plus its guarantee."""
+
+    phi: GamePhi
+    q: np.ndarray  # over phi.strategy_labels
+    r: float  # = R~(phi) = R(phi)
+
+    def support(self) -> List[Tuple[object, float]]:
+        """``(strategy_profile_label, probability)`` pairs with q > 0."""
+        return [
+            (self.phi.strategy_labels[i], float(p))
+            for i, p in enumerate(self.q)
+            if p > 1e-12
+        ]
+
+    # ------------------------------------------------------------------
+    def pointwise_guarantees(self) -> np.ndarray:
+        """``E_q[K(s,t)/v(t)]`` per type profile (Eq. (1) of the paper)."""
+        ratios = self.phi.costs / self.phi.v[None, :]
+        return self.q @ ratios
+
+    def verify_pointwise(self, tol: float = 1e-7) -> None:
+        """Assert Eq. (1): every type profile's expected ratio is <= R."""
+        guarantees = self.pointwise_guarantees()
+        worst = float(guarantees.max())
+        assert worst <= self.r + tol, (
+            f"pointwise guarantee violated: {worst} > {self.r}"
+        )
+
+    def lemma_4_1_ratio(self, prior: Sequence[float]) -> float:
+        """The Lemma 4.1 left-hand side for one prior over type profiles."""
+        p = np.asarray(prior, dtype=float)
+        if p.shape != (self.phi.num_type_profiles,):
+            raise ValueError("prior must weight every type profile")
+        if (p < -1e-12).any() or abs(p.sum() - 1.0) > 1e-8:
+            raise ValueError("prior must be a probability vector")
+        numerator = float(self.q @ (self.phi.costs @ p))
+        denominator = float(self.phi.v @ p)
+        return numerator / denominator
+
+    def verify_lemma_4_1(
+        self, priors: Sequence[Sequence[float]], tol: float = 1e-7
+    ) -> None:
+        """Assert the Lemma 4.1 bound for each supplied prior."""
+        for prior in priors:
+            ratio = self.lemma_4_1_ratio(prior)
+            assert ratio <= self.r + tol, (
+                f"Lemma 4.1 violated: ratio {ratio} > R = {self.r}"
+            )
+
+
+def public_randomness_certificate(phi: GamePhi) -> PublicRandomnessCertificate:
+    """Compute ``q`` and ``R~(phi)`` (= ``R(phi)``) for a structure."""
+    value, solution = r_tilde(phi.costs, phi.v)
+    return PublicRandomnessCertificate(
+        phi=phi, q=solution.row_strategy, r=value
+    )
+
+
+def verify_proposition_4_2(phi: GamePhi, tol: float = 1e-5) -> Tuple[float, float]:
+    """Compute ``(R, R~)`` independently and assert they coincide."""
+    tilde_value, _ = r_tilde(phi.costs, phi.v)
+    star_value = r_star(phi.costs, phi.v)
+    assert abs(star_value - tilde_value) <= tol * max(1.0, abs(tilde_value)), (
+        f"Proposition 4.2 violated: R={star_value} vs R~={tilde_value}"
+    )
+    return star_value, tilde_value
+
+
+def random_priors(
+    num_type_profiles: int, count: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Dirichlet-random priors plus all point masses (worst-case corners)."""
+    priors: List[np.ndarray] = [
+        np.eye(num_type_profiles)[t] for t in range(num_type_profiles)
+    ]
+    for _ in range(count):
+        priors.append(rng.dirichlet(np.ones(num_type_profiles)))
+    return priors

@@ -1,0 +1,191 @@
+"""The ratio programs of Section 4: ``R(phi)``, ``R~(phi)``, Proposition 4.2.
+
+Fix a positive cost matrix ``K in R^(m x n)`` (rows: strategy profiles,
+columns: type profiles) and a positive vector ``v in R^n`` (per-state
+optimal costs).  The paper studies two worst-case-over-priors quantities:
+
+* ``r_star`` (the paper's ``R(phi)``) — the smallest ``r`` such that for
+  every prior ``p`` some row ``s`` has *ratio of expectations*
+  ``(p . K_s) / (p . v) <= r``;
+* ``r_tilde`` (the paper's ``R~(phi)``) — the smallest ``r`` such that
+  for every ``p`` some row has *expectation of ratios*
+  ``p . (K_s / v) <= r``.
+
+Proposition 4.2 says the two are equal.  We compute ``r_tilde`` exactly as
+the value of the zero-sum game with payoff ``K[s, t] / v[t]`` (row player
+minimizes over strategy profiles, column player maximizes over types), and
+``r_star`` independently by bisection over zero-sum feasibility programs,
+then assert they coincide — a numerical proof of Proposition 4.2 on each
+instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import ExplosionError, product_size
+from ..core.game import BayesianGame
+from .zero_sum import ZeroSumSolution, solve_zero_sum
+
+
+def _validate_pair(K, v) -> Tuple[np.ndarray, np.ndarray]:
+    K = np.asarray(K, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if K.ndim != 2 or K.size == 0:
+        raise ValueError("K must be a non-empty 2-D matrix")
+    if v.shape != (K.shape[1],):
+        raise ValueError("v must have one entry per column of K")
+    if (K <= 0).any() or (v <= 0).any():
+        raise ValueError(
+            "Section 4 requires strictly positive costs (the paper handles "
+            "zeros only as limits)"
+        )
+    if (v > K.min(axis=0) + 1e-9).any():
+        raise ValueError("v must lower-bound each column of K")
+    return K, v
+
+
+def r_tilde(K, v) -> Tuple[float, ZeroSumSolution]:
+    """``R~(phi)`` and the optimal mixed strategies.
+
+    The row player's optimal mixture is exactly the public-randomness
+    distribution ``q`` of Lemma 4.1.
+    """
+    K, v = _validate_pair(K, v)
+    ratios = K / v[None, :]
+    solution = solve_zero_sum(ratios, method="lp")
+    return solution.value, solution
+
+
+def bisection_value(K, v, r: float) -> float:
+    """Value of the auxiliary game ``B_r[s, t] = K[s, t] - r * v[t]``.
+
+    ``val(r) = min_x max_t sum_s x_s B_r[s, t]`` is continuous and
+    strictly decreasing in ``r``; ``R(phi)`` is its unique root.
+    """
+    B = K - r * v[None, :]
+    return solve_zero_sum(B, method="lp").value
+
+
+def r_star(
+    K,
+    v,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """``R(phi)`` by bisection on the auxiliary zero-sum value."""
+    K, v = _validate_pair(K, v)
+    lo = 0.0
+    hi = float((K / v[None, :]).max()) + 1.0
+    # val(lo) = min_x max_t x.K_t > 0 since K > 0; val(hi) < 0 since every
+    # entry of B_hi is negative.
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        if bisection_value(K, v, mid) > 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+def proposition_4_2_gap(K, v, tolerance: float = 1e-6) -> float:
+    """|R - R~| for one instance (Proposition 4.2 says it vanishes)."""
+    tilde, _ = r_tilde(K, v)
+    star = r_star(K, v, tolerance=tolerance * 1e-2)
+    return abs(star - tilde)
+
+
+# ----------------------------------------------------------------------
+# GamePhi: the (K, v) pair of an actual Bayesian game structure
+# ----------------------------------------------------------------------
+
+@dataclass
+class GamePhi:
+    """The prior-free 4-tuple ``phi`` of Section 4, in matrix form.
+
+    ``costs[s_index, t_index] = K(s, t)`` over *all* type profiles (the
+    full product, not a prior's support — Section 4 quantifies over every
+    prior) and ``v[t_index] = min_s K(s, t)``.
+    """
+
+    costs: np.ndarray
+    v: np.ndarray
+    strategy_labels: List
+    type_labels: List
+
+    @property
+    def num_strategies(self) -> int:
+        return self.costs.shape[0]
+
+    @property
+    def num_type_profiles(self) -> int:
+        return self.costs.shape[1]
+
+    @classmethod
+    def from_bayesian_game(
+        cls,
+        game: BayesianGame,
+        max_strategy_profiles: int = 200_000,
+        max_type_profiles: int = 10_000,
+    ) -> "GamePhi":
+        """Tabulate ``K(s, t)`` for a finite Bayesian game (prior ignored).
+
+        Strategy spaces are full products over *all* types (Section 4 has
+        no prior to restrict them); infeasible-action infinities are not
+        allowed — use positive-cost games.
+        """
+        type_spaces = [game.types(i) for i in range(game.num_agents)]
+        type_size = product_size(len(s) for s in type_spaces)
+        if type_size > max_type_profiles:
+            raise ExplosionError("type profiles", type_size, max_type_profiles)
+        type_profiles = [tuple(t) for t in product(*type_spaces)]
+
+        per_agent_strategies: List[List[Tuple]] = []
+        for agent in range(game.num_agents):
+            feasible_per_type = [
+                game.feasible_actions(agent, ti) for ti in type_spaces[agent]
+            ]
+            per_agent_strategies.append(
+                [tuple(s) for s in product(*feasible_per_type)]
+            )
+        strat_size = product_size(len(s) for s in per_agent_strategies)
+        if strat_size > max_strategy_profiles:
+            raise ExplosionError("strategy profiles", strat_size, max_strategy_profiles)
+        strategy_profiles = [tuple(s) for s in product(*per_agent_strategies)]
+
+        costs = np.zeros((len(strategy_profiles), len(type_profiles)))
+        for si, strategies in enumerate(strategy_profiles):
+            for ti, profile in enumerate(type_profiles):
+                actions = game.action_profile(strategies, profile)
+                costs[si, ti] = game.social_cost_of_actions(profile, actions)
+        if not np.isfinite(costs).all() or (costs <= 0).any():
+            raise ValueError(
+                "GamePhi requires finite positive social costs everywhere"
+            )
+        v = costs.min(axis=0)
+        return cls(
+            costs=costs,
+            v=v,
+            strategy_labels=strategy_profiles,
+            type_labels=type_profiles,
+        )
+
+    @classmethod
+    def from_matrices(cls, K, v=None) -> "GamePhi":
+        """Wrap raw matrices (``v`` defaults to columnwise minima)."""
+        K = np.asarray(K, dtype=float)
+        if v is None:
+            v = K.min(axis=0)
+        K, v = _validate_pair(K, v)
+        return cls(
+            costs=K,
+            v=np.asarray(v, dtype=float),
+            strategy_labels=list(range(K.shape[0])),
+            type_labels=list(range(K.shape[1])),
+        )

@@ -1,0 +1,209 @@
+"""Zero-sum matrix game solvers (the von Neumann engine of Section 4).
+
+Convention: ``M[i, j]`` is the amount the *row* player pays when the row
+player picks ``i`` and the *column* player picks ``j``.  The row player
+mixes ``x`` to minimize, the column player mixes ``y`` to maximize, and
+von Neumann's theorem gives
+
+    value = min_x max_j (x^T M)_j = max_y min_i (M y)_i.
+
+Backends:
+
+* ``"lp"`` (default) — scipy/HiGHS linear programming, exact to solver
+  tolerance, solves both players' LPs and cross-checks the values;
+* ``"simplex"`` — the package's own dense simplex via the classical
+  positive-shift reduction (no scipy needed);
+* ``"fictitious"`` / ``"mwu"`` — learning dynamics (Brown's fictitious
+  play, multiplicative weights), approximate, used to validate the exact
+  backends and as a teaching reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .lp import simplex_solve
+
+
+@dataclass
+class ZeroSumSolution:
+    """Value and optimal mixed strategies of a zero-sum game."""
+
+    value: float
+    row_strategy: np.ndarray  # minimizer
+    col_strategy: np.ndarray  # maximizer
+
+    def exploitability(self, M: np.ndarray) -> float:
+        """How far the strategies are from optimal (0 for exact solvers).
+
+        ``max_j (x^T M)_j - min_i (M y)_i`` — the duality gap.
+        """
+        M = np.asarray(M, dtype=float)
+        upper = float(np.max(self.row_strategy @ M))
+        lower = float(np.min(M @ self.col_strategy))
+        return upper - lower
+
+
+def _validate(M) -> np.ndarray:
+    M = np.asarray(M, dtype=float)
+    if M.ndim != 2 or M.size == 0:
+        raise ValueError("payoff matrix must be 2-D and non-empty")
+    if not np.isfinite(M).all():
+        raise ValueError("payoff matrix must be finite")
+    return M
+
+
+def solve_zero_sum_lp(M) -> ZeroSumSolution:
+    """Exact solution via two scipy/HiGHS LPs (one per player)."""
+    M = _validate(M)
+    m, n = M.shape
+
+    # Row player: min v s.t. (x^T M)_j <= v, sum x = 1, x >= 0.
+    c = np.zeros(m + 1)
+    c[-1] = 1.0
+    A_ub = np.hstack([M.T, -np.ones((n, 1))])
+    b_ub = np.zeros(n)
+    A_eq = np.zeros((1, m + 1))
+    A_eq[0, :m] = 1.0
+    b_eq = np.array([1.0])
+    bounds = [(0.0, None)] * m + [(None, None)]
+    row_res = linprog(
+        c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not row_res.success:  # pragma: no cover - LP is always feasible
+        raise RuntimeError(f"row LP failed: {row_res.message}")
+
+    # Column player: max w s.t. (M y)_i >= w, sum y = 1, y >= 0.
+    c2 = np.zeros(n + 1)
+    c2[-1] = -1.0  # maximize w
+    A_ub2 = np.hstack([-M, np.ones((m, 1))])
+    b_ub2 = np.zeros(m)
+    A_eq2 = np.zeros((1, n + 1))
+    A_eq2[0, :n] = 1.0
+    b_eq2 = np.array([1.0])
+    bounds2 = [(0.0, None)] * n + [(None, None)]
+    col_res = linprog(
+        c2, A_ub=A_ub2, b_ub=b_ub2, A_eq=A_eq2, b_eq=b_eq2, bounds=bounds2,
+        method="highs",
+    )
+    if not col_res.success:  # pragma: no cover
+        raise RuntimeError(f"column LP failed: {col_res.message}")
+
+    row_value = float(row_res.x[-1])
+    col_value = float(col_res.x[-1])
+    if abs(row_value - col_value) > 1e-6 * max(1.0, abs(row_value)):
+        raise RuntimeError(
+            f"minimax duality violated: {row_value} vs {col_value}"
+        )
+    x = np.maximum(row_res.x[:m], 0.0)
+    y = np.maximum(col_res.x[:n], 0.0)
+    return ZeroSumSolution(
+        value=row_value, row_strategy=x / x.sum(), col_strategy=y / y.sum()
+    )
+
+
+def solve_zero_sum_simplex(M) -> ZeroSumSolution:
+    """Exact solution via the package's own simplex (positive shift trick).
+
+    Shift ``M`` to ``M' = M + s > 0``.  With ``w = x / value``, the row
+    player's program ``min max_j (x^T M')_j`` becomes the slack-basis LP
+    ``max 1.w : M'^T w <= 1, w >= 0`` with optimum ``1/value``; the duals
+    of the column constraints recover the column player's strategy.  The
+    true value is the shifted value minus ``s``.
+    """
+    M = _validate(M)
+    shift = float(1.0 - M.min()) if M.min() <= 0 else 0.0
+    shifted = M + shift
+    m, n = shifted.shape
+    solution = simplex_solve(np.ones(m), shifted.T, np.ones(n))
+    total = solution.x.sum()
+    if total <= 0:  # pragma: no cover - impossible for positive matrices
+        raise RuntimeError("degenerate zero-sum reduction")
+    shifted_value = 1.0 / total
+    x = solution.x / total
+    dual_total = solution.duals.sum()
+    y = solution.duals / dual_total
+    return ZeroSumSolution(
+        value=shifted_value - shift, row_strategy=x, col_strategy=y
+    )
+
+
+def fictitious_play(M, iterations: int = 20_000) -> ZeroSumSolution:
+    """Brown's fictitious play: empirical best responses on both sides.
+
+    Converges to the value at rate ``O(iterations^(-1/2))``-ish in
+    practice; returned strategies are the empirical mixtures.
+    """
+    M = _validate(M)
+    m, n = M.shape
+    row_counts = np.zeros(m)
+    col_counts = np.zeros(n)
+    # Start from the first actions.
+    row_counts[0] = 1
+    col_counts[0] = 1
+    row_payoffs = M[:, 0].astype(float).copy()  # against column history
+    col_payoffs = M[0, :].astype(float).copy()  # against row history
+    for _ in range(iterations):
+        row_choice = int(np.argmin(row_payoffs))
+        col_choice = int(np.argmax(col_payoffs))
+        row_counts[row_choice] += 1
+        col_counts[col_choice] += 1
+        row_payoffs += M[:, col_choice]
+        col_payoffs += M[row_choice, :]
+    x = row_counts / row_counts.sum()
+    y = col_counts / col_counts.sum()
+    value = 0.5 * (float(np.max(x @ M)) + float(np.min(M @ y)))
+    return ZeroSumSolution(value=value, row_strategy=x, col_strategy=y)
+
+
+def multiplicative_weights(
+    M, iterations: int = 5_000, eta: float = None
+) -> ZeroSumSolution:
+    """Multiplicative-weights update for the row (minimizing) player.
+
+    The column player best-responds each round; the average row mixture
+    converges to an ``O(sqrt(log m / T))``-optimal strategy.
+    """
+    M = _validate(M)
+    m, n = M.shape
+    spread = float(M.max() - M.min()) or 1.0
+    scaled = (M - M.min()) / spread  # losses in [0, 1]
+    if eta is None:
+        eta = float(np.sqrt(8 * np.log(max(m, 2)) / iterations))
+    weights = np.ones(m)
+    x_sum = np.zeros(m)
+    col_counts = np.zeros(n)
+    for _ in range(iterations):
+        x = weights / weights.sum()
+        x_sum += x
+        col_choice = int(np.argmax(x @ scaled))
+        col_counts[col_choice] += 1
+        weights *= np.exp(-eta * scaled[:, col_choice])
+    x = x_sum / iterations
+    y = col_counts / col_counts.sum()
+    value = 0.5 * (float(np.max(x @ M)) + float(np.min(M @ y)))
+    return ZeroSumSolution(value=value, row_strategy=x, col_strategy=y)
+
+
+_BACKENDS = {
+    "lp": solve_zero_sum_lp,
+    "simplex": solve_zero_sum_simplex,
+    "fictitious": fictitious_play,
+    "mwu": multiplicative_weights,
+}
+
+
+def solve_zero_sum(M, method: str = "lp", **kwargs) -> ZeroSumSolution:
+    """Solve a zero-sum game with the chosen backend (see module docs)."""
+    try:
+        backend = _BACKENDS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(_BACKENDS)}"
+        ) from None
+    return backend(M, **kwargs)

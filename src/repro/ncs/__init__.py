@@ -1,0 +1,54 @@
+"""Network cost sharing games, complete-information and Bayesian."""
+
+from .actions import (
+    EMPTY_ACTION,
+    ActionCatalog,
+    NCSAction,
+    NCSType,
+    bought_edges,
+    edge_loads,
+)
+from .bayesian import BayesianNCSGame, uniform_bayesian_ncs
+from .equilibria import (
+    enumerate_path_profiles,
+    nash_equilibria,
+    nash_extreme_costs,
+    price_of_anarchy,
+    price_of_stability,
+    verify_poa_pos_bounds,
+)
+from .game import NCSGame
+from .opt import benevolent_descent, opt_p, optimal_strategy_profile
+from .potential import (
+    bayesian_rosenthal_potential,
+    bought_cost,
+    potential_sandwich_holds,
+    rosenthal_potential,
+)
+from .weighted import WeightedNCSGame
+
+__all__ = [
+    "EMPTY_ACTION",
+    "ActionCatalog",
+    "NCSAction",
+    "NCSType",
+    "bought_edges",
+    "edge_loads",
+    "BayesianNCSGame",
+    "uniform_bayesian_ncs",
+    "enumerate_path_profiles",
+    "nash_equilibria",
+    "nash_extreme_costs",
+    "price_of_anarchy",
+    "price_of_stability",
+    "verify_poa_pos_bounds",
+    "NCSGame",
+    "benevolent_descent",
+    "opt_p",
+    "optimal_strategy_profile",
+    "bayesian_rosenthal_potential",
+    "bought_cost",
+    "potential_sandwich_holds",
+    "rosenthal_potential",
+    "WeightedNCSGame",
+]

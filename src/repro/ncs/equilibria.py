@@ -1,0 +1,100 @@
+"""Equilibrium sets and price-of-anarchy/stability helpers for NCS games.
+
+Complete-information enumeration runs over simple-path action profiles and
+verifies each candidate with the *shortest-path* best-response check of
+:class:`repro.ncs.game.NCSGame` — so a profile is accepted only when no
+deviation in all of ``2^E`` improves it, even though only path profiles
+are enumerated (sufficient, because every equilibrium is path-supported up
+to irrelevant zero-cost edges).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import List, Tuple
+
+from .._util import ExplosionError, harmonic, product_size
+from .actions import ActionCatalog, NCSAction
+from .game import NCSGame
+
+#: Guard on enumerated action profiles.
+DEFAULT_MAX_PROFILES = 2_000_000
+
+
+def enumerate_path_profiles(
+    game: NCSGame,
+    max_profiles: int = DEFAULT_MAX_PROFILES,
+    catalog: ActionCatalog = None,
+) -> List[Tuple[NCSAction, ...]]:
+    """All simple-path action profiles of the game, guarded."""
+    catalog = catalog or ActionCatalog(game.graph)
+    spaces = [catalog.actions_for(pair) for pair in game.pairs]
+    size = product_size(len(space) for space in spaces)
+    if size > max_profiles:
+        raise ExplosionError("NCS action profiles", size, max_profiles)
+    return [tuple(combo) for combo in product(*spaces)]
+
+
+def nash_equilibria(
+    game: NCSGame,
+    max_profiles: int = DEFAULT_MAX_PROFILES,
+) -> List[Tuple[NCSAction, ...]]:
+    """All pure Nash equilibria (path-supported)."""
+    return [
+        actions
+        for actions in enumerate_path_profiles(game, max_profiles)
+        if game.is_nash_equilibrium(actions)
+    ]
+
+
+def nash_extreme_costs(
+    game: NCSGame,
+    max_profiles: int = DEFAULT_MAX_PROFILES,
+) -> Tuple[float, float]:
+    """``(best, worst)`` Nash social costs; NCS games always have one."""
+    best = math.inf
+    worst = -math.inf
+    found = False
+    for actions in enumerate_path_profiles(game, max_profiles):
+        if game.is_nash_equilibrium(actions):
+            cost = game.social_cost(actions)
+            best = min(best, cost)
+            worst = max(worst, cost)
+            found = True
+    if not found:
+        raise RuntimeError(
+            f"{game!r} has no path-supported pure Nash equilibrium — "
+            "impossible for an NCS game; check guards"
+        )
+    return best, worst
+
+
+def price_of_anarchy(game: NCSGame, max_profiles: int = DEFAULT_MAX_PROFILES) -> float:
+    """worst Nash / optimum.  Known to be at most ``k`` for NCS games."""
+    _, worst = nash_extreme_costs(game, max_profiles)
+    optimum = game.optimum_cost()
+    if optimum == 0:
+        return 1.0 if worst == 0 else math.inf
+    return worst / optimum
+
+
+def price_of_stability(game: NCSGame, max_profiles: int = DEFAULT_MAX_PROFILES) -> float:
+    """best Nash / optimum.  Known to be at most ``H(k)`` (Anshelevich et al.)."""
+    best, _ = nash_extreme_costs(game, max_profiles)
+    optimum = game.optimum_cost()
+    if optimum == 0:
+        return 1.0 if best == 0 else math.inf
+    return best / optimum
+
+
+def verify_poa_pos_bounds(game: NCSGame) -> None:
+    """Assert the classical bounds ``PoS <= H(k)`` and ``PoA <= k``.
+
+    Used as a cross-check of the machinery on arbitrary instances.
+    """
+    k = game.num_agents
+    poa = price_of_anarchy(game)
+    pos = price_of_stability(game)
+    assert pos <= harmonic(k) + 1e-6, f"PoS {pos} > H({k})"
+    assert poa <= k + 1e-6, f"PoA {poa} > {k}"

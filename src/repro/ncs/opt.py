@@ -1,0 +1,88 @@
+"""Benevolent (socially optimal) strategies for Bayesian NCS games.
+
+``optP`` is a minimum over the full strategy-profile space; this module
+provides the exact (guarded) computation plus a coordinate-descent
+heuristic usable on instances too large to enumerate.  The heuristic is a
+*benevolent* analogue of best-response dynamics: each (agent, type) entry
+is iteratively replaced by the choice minimizing the **social** cost, which
+converges because the social cost strictly decreases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .._util import lt
+from ..core.game import StrategyProfile
+from ..core.measures import opt_p as core_opt_p
+from ..core.strategy import DEFAULT_MAX_PROFILES, enumerate_strategy_profiles
+from .bayesian import BayesianNCSGame
+
+
+def opt_p(game: BayesianNCSGame, max_profiles: int = DEFAULT_MAX_PROFILES) -> float:
+    """Exact ``optP`` by enumeration (guarded)."""
+    return core_opt_p(game.game, max_profiles)
+
+
+def optimal_strategy_profile(
+    game: BayesianNCSGame, max_profiles: int = DEFAULT_MAX_PROFILES
+) -> Tuple[StrategyProfile, float]:
+    """An ``optP``-achieving strategy profile and its social cost."""
+    best_profile: Optional[StrategyProfile] = None
+    best_cost = math.inf
+    for strategies in enumerate_strategy_profiles(game.game, max_profiles):
+        cost = game.social_cost(strategies)
+        if cost < best_cost:
+            best_cost = cost
+            best_profile = strategies
+    assert best_profile is not None
+    return best_profile, best_cost
+
+
+def benevolent_descent(
+    game: BayesianNCSGame,
+    initial: Optional[StrategyProfile] = None,
+    max_rounds: int = 1_000,
+) -> Tuple[StrategyProfile, float]:
+    """Coordinate descent on the social cost (an ``optP`` upper bound).
+
+    Each (agent, positive type) entry is replaced by the feasible action
+    minimizing ``K(s)`` with everything else fixed, until a sweep makes no
+    strict improvement.  Returns ``(profile, social_cost)``.  The result is
+    a local optimum of the benevolent game — not necessarily ``optP`` —
+    and is the natural 'coordinated benevolent agents' baseline for large
+    instances.
+    """
+    strategies = initial if initial is not None else game.greedy_profile()
+    current = game.social_cost(strategies)
+    core = game.game
+    for _ in range(max_rounds):
+        changed = False
+        for agent in range(game.num_agents):
+            for ti in game.prior.positive_types(agent):
+                position = core.type_position(agent, ti)
+                best_action = strategies[agent][position]
+                best_cost = current
+                for action in core.feasible_actions(agent, ti):
+                    if action == strategies[agent][position]:
+                        continue
+                    mutated_strategy = list(strategies[agent])
+                    mutated_strategy[position] = action
+                    candidate = list(strategies)
+                    candidate[agent] = tuple(mutated_strategy)
+                    cost = game.social_cost(tuple(candidate))
+                    if lt(cost, best_cost):
+                        best_cost = cost
+                        best_action = action
+                if best_action != strategies[agent][position]:
+                    mutated_strategy = list(strategies[agent])
+                    mutated_strategy[position] = best_action
+                    updated = list(strategies)
+                    updated[agent] = tuple(mutated_strategy)
+                    strategies = tuple(updated)
+                    current = best_cost
+                    changed = True
+        if not changed:
+            return strategies, current
+    raise RuntimeError("benevolent descent did not converge")

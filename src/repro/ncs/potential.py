@@ -1,0 +1,58 @@
+"""Rosenthal potentials for NCS games.
+
+Rosenthal's potential for an NCS action profile is
+
+    q(a) = sum_e c(e) * H(load_e(a)),
+
+where ``H`` is the harmonic number and ``load_e`` counts buyers of ``e``.
+Unilateral deviations change ``q`` by exactly the deviator's cost change,
+so ``q`` is an exact potential; Observation 2.1 lifts it to the Bayesian
+potential ``Q(s) = E_t[q(s(t))]``.  Lemma 3.8's sandwich
+``Q/H(k) <= K <= Q`` is also provided as executable checks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .._util import harmonic
+from ..graphs import Graph
+from .actions import NCSAction, edge_loads
+
+
+def rosenthal_potential(graph: Graph, actions: Tuple[NCSAction, ...]) -> float:
+    """``q(a) = sum_e c(e) H(load_e(a))``."""
+    loads = edge_loads(actions)
+    return sum(graph.edge(eid).cost * harmonic(load) for eid, load in loads.items())
+
+
+def bought_cost(graph: Graph, actions: Tuple[NCSAction, ...]) -> float:
+    """Total cost of edges bought by at least one agent.
+
+    Equals the social cost whenever every agent's action connects her pair.
+    """
+    loads = edge_loads(actions)
+    return sum(graph.edge(eid).cost for eid in loads)
+
+
+def potential_sandwich_holds(
+    graph: Graph, actions: Tuple[NCSAction, ...], num_agents: int
+) -> bool:
+    """Check ``q(a)/H(k) <= bought_cost(a) <= q(a)`` (Lemma 3.8's engine)."""
+    q = rosenthal_potential(graph, actions)
+    k_cost = bought_cost(graph, actions)
+    h_k = harmonic(num_agents)
+    return q / h_k <= k_cost + 1e-9 and k_cost <= q + 1e-9
+
+
+def bayesian_rosenthal_potential(bayesian_ncs_game, strategies) -> float:
+    """Observation 2.1 instantiated for NCS: ``Q(s) = E_t[q(s(t))]``.
+
+    ``bayesian_ncs_game`` is a :class:`repro.ncs.bayesian.BayesianNCSGame`;
+    ``strategies`` a tuple-encoded strategy profile of its core game.
+    """
+    core_game = bayesian_ncs_game.game
+    graph = bayesian_ncs_game.graph
+    return core_game.prior.expect(
+        lambda t: rosenthal_potential(graph, core_game.action_profile(strategies, t))
+    )

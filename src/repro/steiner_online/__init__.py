@@ -1,0 +1,39 @@
+"""Online Steiner trees and the diamond-graph adversary (Lemma 3.5)."""
+
+from .adversary import (
+    DiamondRequestSequence,
+    expected_competitive_ratio,
+    greedy_cost_on_adversary,
+    sample_adversary,
+)
+from .euclidean import (
+    EuclideanGreedyOnlineSteiner,
+    dyadic_adversary_ratio,
+    dyadic_segment_sequence,
+    euclidean_mst_cost,
+    greedy_euclidean_cost,
+    uniform_competitive_ratio,
+    uniform_points,
+)
+from .online import (
+    GreedyOnlineSteiner,
+    competitive_ratio,
+    greedy_online_cost,
+)
+
+__all__ = [
+    "DiamondRequestSequence",
+    "expected_competitive_ratio",
+    "greedy_cost_on_adversary",
+    "sample_adversary",
+    "GreedyOnlineSteiner",
+    "competitive_ratio",
+    "greedy_online_cost",
+    "EuclideanGreedyOnlineSteiner",
+    "dyadic_adversary_ratio",
+    "dyadic_segment_sequence",
+    "euclidean_mst_cost",
+    "greedy_euclidean_cost",
+    "uniform_competitive_ratio",
+    "uniform_points",
+]

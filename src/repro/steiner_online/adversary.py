@@ -1,0 +1,112 @@
+"""The Imase-Waxman diamond-graph adversary (randomized form).
+
+Lemma 3.5 needs a *distribution* ``q`` over request sequences on which
+every deterministic online Steiner algorithm pays ``Omega(log n)`` in
+expectation while the offline optimum is ``O(1)``.  The classical
+construction: on the level-``j`` diamond graph, choose a uniformly random
+refinement path from source to sink (cost exactly 1) and reveal its
+vertices coarse-to-fine — first the sink, then the level-1 midpoint of the
+chosen path, then its two level-2 midpoints, and so on.  Whatever the
+algorithm has built, each newly revealed midpoint sits on the "other side"
+of its diamond with probability 1/2, forcing fresh payments of about
+``2^(1-level)`` per miss; summed over ``2^(level-1)`` requests per level
+and ``j`` levels, the expected total is ``Omega(j) = Omega(log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs import EdgeId, Node
+from ..graphs.generators import DiamondCell, DiamondGraph
+from .online import GreedyOnlineSteiner
+
+
+@dataclass
+class DiamondRequestSequence:
+    """One sampled adversarial instance.
+
+    ``requests`` are the revealed terminals in order (sink first, then
+    midpoints level by level).  ``opt_edges`` are the deepest-level edges
+    of the chosen refinement path, whose total cost ``opt_cost`` is always
+    exactly 1 — an upper bound on the offline optimum (the path spans the
+    root and all requests).
+    """
+
+    requests: List[Node]
+    requests_by_level: List[List[Node]]
+    opt_edges: List[EdgeId]
+    opt_cost: float
+
+
+def sample_adversary(
+    diamond: DiamondGraph, rng: np.random.Generator
+) -> DiamondRequestSequence:
+    """Sample one coarse-to-fine request sequence (see module docstring)."""
+    requests_by_level: List[List[Node]] = [[diamond.sink]]
+    opt_edges: List[EdgeId] = []
+
+    # The chosen refinement path through one cell: pick a midpoint, then
+    # recurse into the two child cells along it.  Cells are visited
+    # breadth-first so requests group by level.
+    frontier: List[DiamondCell] = [diamond.root]
+    while frontier:
+        level_requests: List[Node] = []
+        next_frontier: List[DiamondCell] = []
+        for cell in frontier:
+            if cell.children is None:
+                assert cell.eid is not None
+                opt_edges.append(cell.eid)
+                continue
+            assert cell.mids is not None
+            side = int(rng.integers(2))
+            mid = cell.mids[side]
+            level_requests.append(mid)
+            # children order: (u-m_left, m_left-v, u-m_right, m_right-v).
+            first = cell.children[2 * side]
+            second = cell.children[2 * side + 1]
+            next_frontier.extend([first, second])
+        if level_requests:
+            requests_by_level.append(level_requests)
+        frontier = next_frontier
+
+    requests = [node for level in requests_by_level for node in level]
+    opt_cost = sum(diamond.graph.edge(eid).cost for eid in opt_edges)
+    return DiamondRequestSequence(
+        requests=requests,
+        requests_by_level=requests_by_level,
+        opt_edges=opt_edges,
+        opt_cost=opt_cost,
+    )
+
+
+def greedy_cost_on_adversary(
+    diamond: DiamondGraph, sequence: DiamondRequestSequence
+) -> float:
+    """Greedy online cost on one sampled sequence (root = source)."""
+    algorithm = GreedyOnlineSteiner(diamond.graph, diamond.source)
+    return algorithm.serve_sequence(sequence.requests)
+
+
+def expected_competitive_ratio(
+    diamond: DiamondGraph,
+    rng: np.random.Generator,
+    samples: int = 20,
+) -> Tuple[float, float, float]:
+    """``(E[greedy], E[opt], ratio)`` over sampled adversarial sequences.
+
+    The ratio grows linearly in the number of diamond levels, i.e.
+    ``Omega(log n)`` in the graph size — the Lemma 3.5 engine.
+    """
+    greedy_costs = []
+    opt_costs = []
+    for _ in range(samples):
+        sequence = sample_adversary(diamond, rng)
+        greedy_costs.append(greedy_cost_on_adversary(diamond, sequence))
+        opt_costs.append(sequence.opt_cost)
+    expected_greedy = float(np.mean(greedy_costs))
+    expected_opt = float(np.mean(opt_costs))
+    return expected_greedy, expected_opt, expected_greedy / expected_opt

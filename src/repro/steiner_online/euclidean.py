@@ -1,0 +1,137 @@
+"""Euclidean online Steiner trees (the paper's Alon-Azar remark).
+
+After Lemma 3.5 the paper notes that applying the same reduction to the
+Alon-Azar construction yields an existential
+``Omega(log k / log log k)`` lower bound for ``optP/optC`` of Bayesian
+NCS games *in the Euclidean plane*.  This module supplies the geometric
+substrate: a greedy online Steiner tree over points in the plane, the
+offline MST comparator, and the classical dyadic refinement adversary on
+a segment — on which greedy pays ``Theta(log n)`` against an offline
+optimum of 1 (the plane-optimal ``log k / log log k`` algorithms are
+beyond greedy; the lower-bound *shape* is what the remark transfers).
+
+Points are ``(x, y)`` tuples; distances are Euclidean.  Greedy connects
+each arriving terminal to the nearest vertex of the current tree, which
+is within a constant factor of allowing connections to segment interiors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Point2D = Tuple[float, float]
+
+
+def euclidean_distance(a: Point2D, b: Point2D) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class EuclideanGreedyOnlineSteiner:
+    """Greedy online Steiner tree over points in the plane."""
+
+    def __init__(self, root: Point2D) -> None:
+        self.vertices: List[Point2D] = [tuple(root)]
+        self.total_cost = 0.0
+        self.step_costs: List[float] = []
+
+    def serve(self, terminal: Point2D) -> float:
+        """Connect ``terminal`` to the nearest current tree vertex."""
+        terminal = tuple(terminal)
+        nearest = min(
+            euclidean_distance(terminal, vertex) for vertex in self.vertices
+        )
+        self.vertices.append(terminal)
+        self.total_cost += nearest
+        self.step_costs.append(nearest)
+        return nearest
+
+    def serve_sequence(self, terminals: Sequence[Point2D]) -> float:
+        for terminal in terminals:
+            self.serve(terminal)
+        return self.total_cost
+
+
+def greedy_euclidean_cost(root: Point2D, terminals: Sequence[Point2D]) -> float:
+    """One-shot greedy total cost for a request sequence."""
+    algorithm = EuclideanGreedyOnlineSteiner(root)
+    return algorithm.serve_sequence(terminals)
+
+
+def euclidean_mst_cost(points: Sequence[Point2D]) -> float:
+    """Exact Euclidean MST cost (Prim, O(n^2)) — the offline comparator.
+
+    The Euclidean Steiner minimal tree is within the Steiner ratio
+    (>= sqrt(3)/2) of the MST, so MST cost is a 2-sided O(1) proxy.
+    """
+    pts = [tuple(p) for p in points]
+    if len(pts) <= 1:
+        return 0.0
+    in_tree = [False] * len(pts)
+    best = [math.inf] * len(pts)
+    best[0] = 0.0
+    total = 0.0
+    for _ in range(len(pts)):
+        u = min(
+            (i for i in range(len(pts)) if not in_tree[i]),
+            key=lambda i: best[i],
+        )
+        in_tree[u] = True
+        total += best[u]
+        for v in range(len(pts)):
+            if not in_tree[v]:
+                d = euclidean_distance(pts[u], pts[v])
+                if d < best[v]:
+                    best[v] = d
+    return total
+
+
+def dyadic_segment_sequence(levels: int) -> Tuple[Point2D, List[Point2D]]:
+    """The coarse-to-fine adversary on the unit segment.
+
+    Root at ``(0, 0)``; first request ``(1, 0)``; then, level by level,
+    the odd dyadic points ``k / 2^j`` for odd ``k``.  The offline optimum
+    is the segment itself (cost 1); greedy pays ``2^(j-1) * 2^-j = 1/2``
+    per level — ``Theta(levels) = Theta(log n)`` in total.
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    root: Point2D = (0.0, 0.0)
+    requests: List[Point2D] = [(1.0, 0.0)]
+    for level in range(1, levels + 1):
+        denominator = 2**level
+        for numerator in range(1, denominator, 2):
+            requests.append((numerator / denominator, 0.0))
+    return root, requests
+
+
+def dyadic_adversary_ratio(levels: int) -> Tuple[float, float, float]:
+    """``(greedy, opt, ratio)`` on the dyadic segment instance."""
+    root, requests = dyadic_segment_sequence(levels)
+    greedy = greedy_euclidean_cost(root, requests)
+    opt = euclidean_mst_cost([root, *requests])
+    return greedy, opt, greedy / opt
+
+
+def uniform_points(
+    n: int, rng: np.random.Generator
+) -> List[Point2D]:
+    """``n`` i.i.d. uniform points in the unit square."""
+    return [tuple(map(float, xy)) for xy in rng.random((n, 2))]
+
+
+def uniform_competitive_ratio(
+    n: int, rng: np.random.Generator
+) -> float:
+    """Greedy/MST ratio on random uniform instances (empirically O(1)).
+
+    The contrast with :func:`dyadic_adversary_ratio` shows the lower
+    bound needs adversarial structure, mirroring the NCS story: random
+    priors are benign, designed priors are not.
+    """
+    points = uniform_points(n + 1, rng)
+    greedy = greedy_euclidean_cost(points[0], points[1:])
+    opt = euclidean_mst_cost(points)
+    return greedy / opt

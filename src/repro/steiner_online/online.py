@@ -1,0 +1,125 @@
+"""Greedy online Steiner tree (the algorithm behind Lemma 3.5's reduction).
+
+Terminals arrive one at a time; the algorithm must immediately buy edges
+connecting each new terminal to the already-built component containing the
+root.  The greedy algorithm buys a cheapest path from the new terminal to
+the current component; Imase and Waxman showed this is
+``O(log n)``-competitive and that ``Omega(log n)`` is unavoidable — the
+lower bound being exactly what Lemma 3.5 transfers to ``optP/optC``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graphs import EdgeId, Graph, Node
+
+
+class GreedyOnlineSteiner:
+    """Stateful greedy online Steiner tree on a fixed undirected graph."""
+
+    def __init__(self, graph: Graph, root: Node) -> None:
+        if graph.directed:
+            raise ValueError("online Steiner operates on undirected graphs")
+        if not graph.has_node(root):
+            raise KeyError(f"unknown root {root!r}")
+        self.graph = graph
+        self.root = root
+        self.connected: Set[Node] = {root}
+        self.bought: Set[EdgeId] = set()
+        self.total_cost = 0.0
+        self.step_costs: List[float] = []
+
+    def serve(self, terminal: Node) -> float:
+        """Connect ``terminal``; return the cost paid at this step.
+
+        Buys the edges of a cheapest path from the current connected
+        component to ``terminal`` (cost 0 if already connected).  Raises
+        ``ValueError`` when the terminal is unreachable.
+        """
+        if not self.graph.has_node(terminal):
+            raise KeyError(f"unknown terminal {terminal!r}")
+        if terminal in self.connected:
+            self.step_costs.append(0.0)
+            return 0.0
+
+        # Multi-source Dijkstra from the connected component.
+        dist: Dict[Node, float] = {node: 0.0 for node in self.connected}
+        parent: Dict[Node, Optional[EdgeId]] = {node: None for node in self.connected}
+        heap: List[Tuple[float, int, Node]] = [
+            (0.0, i, node) for i, node in enumerate(self.connected)
+        ]
+        heapq.heapify(heap)
+        counter = len(heap)
+        settled: Set[Node] = set()
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if node == terminal:
+                break
+            for edge in self.graph.out_edges(node):
+                nxt = edge.other(node)
+                # Already-bought edges are free to reuse.
+                weight = 0.0 if edge.eid in self.bought else edge.cost
+                nd = d + weight
+                if nxt not in settled and (nxt not in dist or nd < dist[nxt]):
+                    dist[nxt] = nd
+                    parent[nxt] = edge.eid
+                    heapq.heappush(heap, (nd, counter, nxt))
+                    counter += 1
+        if terminal not in settled:
+            raise ValueError(f"terminal {terminal!r} is unreachable")
+
+        paid = 0.0
+        node = terminal
+        new_nodes: List[Node] = []
+        while parent[node] is not None:
+            eid = parent[node]
+            if eid not in self.bought:
+                self.bought.add(eid)
+                paid += self.graph.edge(eid).cost
+            new_nodes.append(node)
+            node = self.graph.edge(eid).other(node)
+        self.connected.update(new_nodes)
+        self.connected.add(terminal)
+        self.total_cost += paid
+        self.step_costs.append(paid)
+        return paid
+
+    def serve_sequence(self, terminals: Sequence[Node]) -> float:
+        """Serve all terminals in order; return the total cost."""
+        for terminal in terminals:
+            self.serve(terminal)
+        return self.total_cost
+
+
+def greedy_online_cost(graph: Graph, root: Node, terminals: Sequence[Node]) -> float:
+    """One-shot helper: total greedy cost on a request sequence."""
+    algorithm = GreedyOnlineSteiner(graph, root)
+    return algorithm.serve_sequence(terminals)
+
+
+def competitive_ratio(
+    graph: Graph,
+    root: Node,
+    terminals: Sequence[Node],
+    opt_cost: Optional[float] = None,
+) -> float:
+    """``greedy(sigma) / OPT(sigma)`` for one request sequence.
+
+    ``opt_cost`` may be supplied when known analytically (as for diamond
+    adversaries, where the optimum is the chosen root path); otherwise the
+    exact Steiner tree is computed (terminal-count guarded).
+    """
+    algorithm_cost = greedy_online_cost(graph, root, terminals)
+    if opt_cost is None:
+        from ..graphs.steiner import steiner_tree_exact
+
+        opt_cost = steiner_tree_exact(graph, [root, *terminals])
+    if opt_cost == 0:
+        return 1.0 if algorithm_cost == 0 else math.inf
+    return algorithm_cost / opt_cost

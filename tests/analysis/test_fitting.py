@@ -1,0 +1,116 @@
+"""Shape-fitting tests on synthetic series."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    best_fit,
+    fit_constant,
+    fit_inverse,
+    fit_linear,
+    fit_logarithmic,
+    fit_power,
+    growth_exponent,
+)
+
+
+XS = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+
+
+class TestExactRecovery:
+    def test_constant(self):
+        fit = fit_constant(XS, [3.0] * len(XS))
+        assert fit.params == (3.0,)
+        assert fit.r_squared == 1.0
+
+    def test_linear(self):
+        ys = [2.0 * x + 1.0 for x in XS]
+        fit = fit_linear(XS, ys)
+        assert fit.params[0] == pytest.approx(2.0)
+        assert fit.params[1] == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_logarithmic(self):
+        ys = [1.5 * math.log(x) + 0.25 for x in XS]
+        fit = fit_logarithmic(XS, ys)
+        assert fit.params[0] == pytest.approx(1.5)
+        assert fit.params[1] == pytest.approx(0.25)
+
+    def test_power(self):
+        ys = [0.5 * x**1.7 for x in XS]
+        fit = fit_power(XS, ys)
+        assert fit.params[0] == pytest.approx(0.5)
+        assert fit.params[1] == pytest.approx(1.7)
+
+    def test_inverse(self):
+        ys = [4.0 / x + 0.5 for x in XS]
+        fit = fit_inverse(XS, ys)
+        assert fit.params[0] == pytest.approx(4.0)
+        assert fit.params[1] == pytest.approx(0.5)
+
+    def test_predict_callable(self):
+        fit = fit_linear(XS, [2 * x for x in XS])
+        assert fit.predict(10.0) == pytest.approx(20.0)
+
+
+class TestValidation:
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0], [1.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0, 2.0], [1.0])
+
+    def test_nonpositive_xs_rejected(self):
+        with pytest.raises(ValueError):
+            fit_logarithmic([0.0, 1.0], [1.0, 2.0])
+
+    def test_power_needs_positive_ys(self):
+        with pytest.raises(ValueError):
+            fit_power([1.0, 2.0], [1.0, -2.0])
+
+
+class TestBestFit:
+    def test_identifies_linear(self):
+        ys = [3.0 * x + 2.0 for x in XS]
+        assert best_fit(XS, ys).name == "linear"
+
+    def test_identifies_logarithmic(self):
+        ys = [2.0 * math.log(x) + 1.0 for x in XS]
+        assert best_fit(XS, ys).name == "logarithmic"
+
+    def test_identifies_inverse(self):
+        ys = [5.0 / x + 1.0 for x in XS]
+        assert best_fit(XS, ys).name == "inverse"
+
+    def test_identifies_constant_with_noise(self):
+        rng = np.random.default_rng(0)
+        ys = [2.0 + 1e-3 * rng.standard_normal() for _ in XS]
+        assert best_fit(XS, ys).name == "constant"
+
+    def test_candidate_restriction(self):
+        ys = [3.0 * x for x in XS]
+        fit = best_fit(XS, ys, candidates=("constant", "logarithmic"))
+        assert fit.name in ("constant", "logarithmic")
+
+    def test_describes(self):
+        fit = best_fit(XS, [1.0 * x for x in XS])
+        assert "R2=" in fit.describe()
+
+
+class TestGrowthExponent:
+    def test_linear_series(self):
+        assert growth_exponent(XS, [2 * x for x in XS]) == pytest.approx(1.0)
+
+    def test_flat_series(self):
+        assert growth_exponent(XS, [5.0] * len(XS)) == pytest.approx(0.0)
+
+    def test_inverse_series(self):
+        assert growth_exponent(XS, [7.0 / x for x in XS]) == pytest.approx(-1.0)
+
+    def test_log_series_has_small_exponent(self):
+        exponent = growth_exponent(XS, [math.log(x) for x in XS])
+        assert 0.0 < exponent < 0.7

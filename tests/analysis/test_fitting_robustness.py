@@ -1,0 +1,75 @@
+"""Property tests: shape fitting under noise and scaling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import best_fit, fit_power, growth_exponent
+from repro.analysis.fitting import fit_reciprocal_log
+
+XS = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+
+
+class TestReciprocalLog:
+    def test_exact_recovery(self):
+        ys = [2.0 / math.log(x) + 0.3 for x in XS]
+        fit = fit_reciprocal_log(XS, ys)
+        assert fit.params[0] == pytest.approx(2.0)
+        assert fit.params[1] == pytest.approx(0.3)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_requires_xs_above_one(self):
+        with pytest.raises(ValueError):
+            fit_reciprocal_log([1.0, 2.0], [1.0, 2.0])
+
+    def test_predict(self):
+        ys = [1.0 / math.log(x) for x in XS]
+        fit = fit_reciprocal_log(XS, ys)
+        assert fit.predict(256.0) == pytest.approx(1.0 / math.log(256.0), abs=1e-9)
+
+
+class TestNoiseRobustness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=5.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_linear_survives_small_noise(self, slope, seed):
+        rng = np.random.default_rng(seed)
+        ys = [slope * x * (1.0 + 0.01 * rng.standard_normal()) for x in XS]
+        fit = best_fit(XS, ys, candidates=("constant", "logarithmic", "linear"))
+        assert fit.name == "linear"
+        assert fit.params[0] == pytest.approx(slope, rel=0.15)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=3.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_log_survives_small_noise(self, scale, seed):
+        rng = np.random.default_rng(seed)
+        ys = [
+            (scale * math.log(x) + 1.0) * (1.0 + 0.01 * rng.standard_normal())
+            for x in XS
+        ]
+        fit = best_fit(XS, ys, candidates=("constant", "logarithmic", "linear"))
+        assert fit.name == "logarithmic"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.3, max_value=2.0),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    def test_growth_exponent_scale_invariant(self, exponent, scale):
+        ys = [scale * x**exponent for x in XS]
+        assert growth_exponent(XS, ys) == pytest.approx(exponent, abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=4.0))
+    def test_power_fit_amplitude(self, amplitude):
+        ys = [amplitude * x**1.3 for x in XS]
+        fit = fit_power(XS, ys)
+        assert fit.params[0] == pytest.approx(amplitude, rel=1e-6)

@@ -1,0 +1,64 @@
+"""CLI report generator tests (with a stubbed experiment suite)."""
+
+import pytest
+
+from repro.analysis import CellResult, SeriesPoint
+from repro.analysis import experiments as experiments_module
+from repro.analysis import report as report_module
+
+
+def _stub_cell(experiment_id, passed=True):
+    series = [SeriesPoint(k, 2.0 * k if passed else 5.0) for k in (2, 4, 8)]
+    return CellResult(
+        experiment_id=experiment_id,
+        graph_class="-",
+        ratio="optP/optC",
+        bound_kind="existential",
+        paper_claim="Omega(k)",
+        series=series,
+        expected_shape="linear",
+    )
+
+
+@pytest.fixture
+def stubbed_suite(monkeypatch):
+    def exp_a():
+        return [_stub_cell("STUB-A")]
+
+    def exp_b():
+        return [_stub_cell("STUB-B"), _stub_cell("STUB-B2")]
+
+    monkeypatch.setattr(experiments_module, "ALL_EXPERIMENTS", (exp_a, exp_b))
+    return None
+
+
+class TestGenerate:
+    def test_all(self, stubbed_suite):
+        cells = report_module.generate()
+        assert [c.experiment_id for c in cells] == ["STUB-A", "STUB-B", "STUB-B2"]
+
+    def test_prefix_filter(self, stubbed_suite):
+        cells = report_module.generate(["STUB-B"])
+        assert [c.experiment_id for c in cells] == ["STUB-B", "STUB-B2"]
+
+
+class TestMain:
+    def test_success_exit_code(self, stubbed_suite, capsys):
+        assert report_module.main([]) == 0
+        out = capsys.readouterr().out
+        assert "STUB-A" in out
+        assert "PASS" in out
+
+    def test_no_match_exit_code(self, stubbed_suite):
+        assert report_module.main(["NOPE"]) == 2
+
+    def test_failure_exit_code(self, stubbed_suite, monkeypatch, capsys):
+        def failing():
+            cell = _stub_cell("STUB-F")
+            object.__setattr__(cell, "expected_shape", "logarithmic")
+            return [cell]
+
+        monkeypatch.setattr(
+            experiments_module, "ALL_EXPERIMENTS", (failing,)
+        )
+        assert report_module.main([]) == 1

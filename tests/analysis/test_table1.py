@@ -1,0 +1,124 @@
+"""Table 1 harness and registry tests."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    CellResult,
+    SeriesPoint,
+    clear,
+    register,
+    registered_ids,
+    render_markdown,
+    render_series_block,
+    run,
+    run_all,
+)
+from repro.analysis import registry as registry_module
+
+
+def _linear_cell(experiment_id="T1-TEST"):
+    series = [SeriesPoint(k, 2.0 * k) for k in (2, 4, 8, 16)]
+    return CellResult(
+        experiment_id=experiment_id,
+        graph_class="directed",
+        ratio="optP/optC",
+        bound_kind="existential",
+        paper_claim="Omega(k)",
+        series=series,
+        expected_shape="linear",
+    )
+
+
+class TestCellResult:
+    def test_fit_computed_automatically(self):
+        cell = _linear_cell()
+        assert cell.fit is not None
+        assert cell.measured_shape == "linear"
+        assert cell.passed
+
+    def test_mismatch_flags_check(self):
+        series = [SeriesPoint(k, 5.0) for k in (2, 4, 8)]
+        cell = CellResult(
+            experiment_id="X",
+            graph_class="-",
+            ratio="optP/optC",
+            bound_kind="universal",
+            paper_claim="Omega(k)",
+            series=series,
+            expected_shape="linear",
+        )
+        assert cell.measured_shape == "constant"
+        assert not cell.passed
+        assert cell.row()[-1] == "CHECK"
+
+    def test_log_series(self):
+        series = [SeriesPoint(n, math.log(n) + 1) for n in (4, 8, 16, 32, 64)]
+        cell = CellResult(
+            "L", "undirected", "optP/optC", "existential",
+            "Omega(log n)", series, "logarithmic",
+        )
+        assert cell.passed
+
+    def test_series_str(self):
+        cell = _linear_cell()
+        assert "2:4" in cell.series_str()
+
+
+class TestRendering:
+    def test_markdown_table(self):
+        text = render_markdown([_linear_cell()])
+        assert text.startswith("| experiment |")
+        assert "PASS" in text
+        assert "Omega(k)" in text
+
+    def test_series_block(self):
+        text = render_series_block([_linear_cell()])
+        assert "[T1-TEST]" in text
+        assert "fit:" in text
+
+
+class TestRegistry:
+    def setup_method(self):
+        self._saved = dict(registry_module._REGISTRY)
+        clear()
+
+    def teardown_method(self):
+        clear()
+        registry_module._REGISTRY.update(self._saved)
+
+    def test_register_and_run(self):
+        @register("CELL-A")
+        def produce():
+            return [_linear_cell("CELL-A")]
+
+        assert registered_ids() == ["CELL-A"]
+        cells = run("CELL-A")
+        assert cells[0].experiment_id == "CELL-A"
+
+    def test_duplicate_rejected(self):
+        @register("CELL-B")
+        def produce():
+            return []
+
+        with pytest.raises(ValueError):
+            register("CELL-B")(lambda: [])
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run("NOPE")
+
+    def test_run_all(self):
+        @register("CELL-1")
+        def one():
+            return [_linear_cell("CELL-1")]
+
+        @register("CELL-2")
+        def two():
+            return [_linear_cell("CELL-2")]
+
+        results = run_all()
+        assert [c.experiment_id for c in results] == ["CELL-1", "CELL-2"]
+        subset = run_all(["CELL-2"])
+        assert [c.experiment_id for c in subset] == ["CELL-2"]

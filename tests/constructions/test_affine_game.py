@@ -1,0 +1,123 @@
+"""Lemma 3.2 construction tests."""
+
+import numpy as np
+import pytest
+
+from repro import ExplosionError
+from repro.constructions import build_affine_plane_game
+from repro.ncs import nash_extreme_costs
+
+
+class TestGraphStructure:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_node_count_theta_k_squared(self, m):
+        game = build_affine_plane_game(m)
+        # 1 source + (m^2 + m) line nodes + m^2 point nodes.
+        assert game.node_count == 1 + (m * m + m) + m * m
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_edge_costs(self, m):
+        game = build_affine_plane_game(m)
+        for eid in game.line_edges:
+            assert game.graph.edge(eid).cost == 1.0
+        # Every line->point edge is free.
+        zero_edges = [
+            e for e in game.graph.edges() if e.eid not in set(game.line_edges)
+        ]
+        assert all(e.cost == 0.0 for e in zero_edges)
+        assert len(zero_edges) == (m * m + m) * m
+
+    def test_num_agents(self):
+        assert build_affine_plane_game(3).num_agents == 4
+
+    def test_type_profile_layout(self):
+        game = build_affine_plane_game(2)
+        profile = game.type_profile(0, (0, 1))
+        assert len(profile) == 3
+        assert profile[-1] == (game.source, game.line_nodes[0])
+        line_points = game.plane.lines[0]
+        assert profile[0] == (game.source, game.point_nodes[line_points[0]])
+        assert profile[1] == (game.source, game.point_nodes[line_points[1]])
+
+    def test_all_type_profiles_count(self):
+        game = build_affine_plane_game(2)
+        # (m^2 + m) lines * m! permutations = 6 * 2.
+        assert len(game.all_type_profiles()) == 12
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_profile_cost_formula(self, m):
+        game = build_affine_plane_game(m)
+        assert game.profile_cost() == pytest.approx(1 + m * m / (m + 1))
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_monte_carlo_matches_closed_form(self, m):
+        game = build_affine_plane_game(m)
+        rng = np.random.default_rng(m)
+        estimate = game.simulate_profile_cost(rng, samples=4000)
+        assert estimate == pytest.approx(game.profile_cost(), rel=0.05)
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_chooser_independence(self, m):
+        """The symmetry argument: any line chooser gives the same cost."""
+        game = build_affine_plane_game(m)
+        rng = np.random.default_rng(77)
+        default = game.simulate_profile_cost(rng, samples=4000)
+        # A 'last line' chooser instead of the first.
+        alt_chooser = {
+            p: game.plane.lines_through(p)[-1]
+            for p in range(game.plane.point_count)
+        }
+        alt = game.simulate_profile_cost(rng, samples=4000, chooser=alt_chooser)
+        assert alt == pytest.approx(default, rel=0.05)
+
+    def test_predicted_ratio_grows_linearly(self):
+        ratios = [
+            build_affine_plane_game(m).predicted_ratio() for m in (2, 3, 4, 5, 7)
+        ]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        # ratio(m) ~ m: the paper's Omega(k).
+        assert ratios[-1] / ratios[0] > 2.5
+
+
+class TestExactSmallInstance:
+    """Full exact machinery on m = 2 (k = 3 agents, 12-profile prior)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        game = build_affine_plane_game(2).bayesian_game()
+        return game.ignorance_report()
+
+    def test_all_profiles_cost_the_same(self, report):
+        assert report.opt_p == pytest.approx(7 / 3)
+        assert report.best_eq_p == pytest.approx(7 / 3)
+        assert report.worst_eq_p == pytest.approx(7 / 3)
+
+    def test_underlying_equilibria_cost_one(self, report):
+        assert report.opt_c == pytest.approx(1.0)
+        assert report.best_eq_c == pytest.approx(1.0)
+        assert report.worst_eq_c == pytest.approx(1.0)
+
+    def test_lemma_3_2_ratio(self, report):
+        assert report.ratio("optP", "worst-eqC") == pytest.approx(7 / 3)
+
+    def test_support_guard(self):
+        game = build_affine_plane_game(3)
+        with pytest.raises(ExplosionError):
+            game.bayesian_game(max_support=10)
+
+
+class TestUnderlyingUniqueness:
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_unique_state_equilibrium_costs_one(self, m):
+        game = build_affine_plane_game(m)
+        bayesian = game.bayesian_game() if m == 2 else None
+        # For m=3 the full game is big; test the underlying game directly.
+        profile = game.type_profile(0, tuple(range(m)))
+        from repro.ncs import NCSGame
+
+        ncs = NCSGame(game.graph, profile)
+        best, worst = nash_extreme_costs(ncs)
+        assert best == pytest.approx(1.0)
+        assert worst == pytest.approx(1.0)

@@ -1,0 +1,127 @@
+"""Lemma 3.3 / Fig. 1 / Remark 1 tests."""
+
+import numpy as np
+import pytest
+
+from repro._util import harmonic
+from repro.constructions import build_anshelevich_game
+from repro.core import enumerate_strategy_profiles
+from repro.ncs import nash_extreme_costs
+
+
+class TestConstruction:
+    def test_graph_shape(self):
+        game = build_anshelevich_game(5)
+        # x, z, and k-1 destinations; 1 + 2*(k-1) edges.
+        assert game.graph.node_count == 2 + 4
+        assert game.graph.edge_count == 1 + 2 * 4
+
+    def test_edge_costs(self):
+        game = build_anshelevich_game(4)
+        for i in range(1, 4):
+            assert game.graph.edge(game.direct_edges[i]).cost == pytest.approx(1 / i)
+            assert game.graph.edge(game.free_edges[i]).cost == 0.0
+        assert game.graph.edge(game.hub_edge).cost == pytest.approx(
+            1 + game.epsilon
+        )
+
+    def test_default_epsilon_valid(self):
+        for k in (2, 5, 20, 100):
+            game = build_anshelevich_game(k)
+            assert 0 < game.epsilon <= 1 / (2 * k)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_anshelevich_game(1)
+        with pytest.raises(ValueError):
+            build_anshelevich_game(5, epsilon=0.5)
+        with pytest.raises(ValueError):
+            build_anshelevich_game(5, epsilon=0.0)
+
+
+class TestBayesianEquilibrium:
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_hub_profile_is_equilibrium(self, k):
+        game = build_anshelevich_game(k)
+        bayesian = game.bayesian_game()
+        assert bayesian.is_bayesian_equilibrium(game.hub_strategy_profile())
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_direct_profile_is_not(self, k):
+        game = build_anshelevich_game(k)
+        bayesian = game.bayesian_game()
+        assert not bayesian.is_bayesian_equilibrium(game.direct_strategy_profile())
+
+    @pytest.mark.parametrize("k", [3, 4, 6, 8])
+    def test_uniqueness_by_enumeration(self, k):
+        """The paper's induction, verified exhaustively."""
+        game = build_anshelevich_game(k)
+        bayesian = game.bayesian_game()
+        equilibria = [
+            s
+            for s in enumerate_strategy_profiles(bayesian.game)
+            if bayesian.is_bayesian_equilibrium(s)
+        ]
+        assert equilibria == [game.hub_strategy_profile()]
+
+    @pytest.mark.parametrize("k", [3, 5])
+    def test_equilibrium_cost(self, k):
+        game = build_anshelevich_game(k)
+        bayesian = game.bayesian_game()
+        assert bayesian.social_cost(game.hub_strategy_profile()) == pytest.approx(
+            1 + game.epsilon
+        )
+
+
+class TestUnderlyingGames:
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_inactive_branch_unique_ne_is_all_direct(self, k):
+        """The classical PoS lower-bound game: unique NE costs H(k-1)."""
+        game = build_anshelevich_game(k)
+        bayesian = game.bayesian_game()
+        inactive = tuple(
+            [(game.source, game.destinations[i - 1]) for i in range(1, k)]
+            + [(game.source, game.source)]
+        )
+        best, worst = nash_extreme_costs(bayesian.underlying_ncs(inactive))
+        assert best == pytest.approx(harmonic(k - 1))
+        assert worst == pytest.approx(harmonic(k - 1))
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_active_branch_best_ne_is_hub(self, k):
+        game = build_anshelevich_game(k)
+        bayesian = game.bayesian_game()
+        active = tuple(
+            [(game.source, game.destinations[i - 1]) for i in range(1, k)]
+            + [(game.source, game.hub)]
+        )
+        best, _ = nash_extreme_costs(bayesian.underlying_ncs(active))
+        assert best == pytest.approx(1 + game.epsilon)
+
+
+class TestClosedFormsAgainstExact:
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_report_matches_closed_forms(self, k):
+        game = build_anshelevich_game(k)
+        report = game.bayesian_game().ignorance_report()
+        assert report.best_eq_p == pytest.approx(game.bayesian_equilibrium_cost())
+        assert report.worst_eq_p == pytest.approx(game.bayesian_equilibrium_cost())
+        assert report.best_eq_c == pytest.approx(game.best_eq_c_exact())
+        assert report.opt_c == pytest.approx(game.opt_c())
+        assert report.best_eq_c > game.best_eq_c_lower_bound()
+
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_remark_1_ignorance_is_bliss(self, k):
+        """worst-eqP = O(1) while best-eqC = Omega(log k)."""
+        game = build_anshelevich_game(k)
+        report = game.bayesian_game().ignorance_report()
+        assert report.worst_eq_p < 1.2
+        assert report.best_eq_c >= harmonic(k - 1) / 2
+        assert report.ratio("worst-eqP", "best-eqC") < 1.0
+
+    def test_bliss_ratio_shrinks_with_k(self):
+        ratios = [
+            build_anshelevich_game(k).predicted_bliss_ratio()
+            for k in (4, 8, 16, 32, 64)
+        ]
+        assert all(b < a for a, b in zip(ratios, ratios[1:]))

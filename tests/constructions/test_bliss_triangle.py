@@ -1,0 +1,106 @@
+"""The undirected best-eq 'ignorance is bliss' gadget."""
+
+import pytest
+
+from repro.constructions import build_bliss_triangle
+from repro.core import enumerate_strategy_profiles
+from repro.ncs import nash_extreme_costs
+
+
+class TestConstruction:
+    def test_graph(self):
+        gadget = build_bliss_triangle()
+        assert gadget.graph.node_count == 3
+        assert not gadget.graph.directed
+        assert gadget.graph.edge(gadget.ac).cost == pytest.approx(1.2)
+
+    def test_parameter_window(self):
+        with pytest.raises(ValueError):
+            build_bliss_triangle(gamma=0.9)
+        with pytest.raises(ValueError):
+            build_bliss_triangle(gamma=2.5)
+        with pytest.raises(ValueError):
+            # p below the incentive threshold 2(gamma-1)/gamma.
+            build_bliss_triangle(gamma=1.8, active_probability=0.5)
+
+    def test_alternative_parameters(self):
+        gadget = build_bliss_triangle(gamma=1.5, active_probability=0.8)
+        report = gadget.bayesian_game().ignorance_report()
+        assert report.best_eq_ratio < 1.0
+        assert report.best_eq_p == pytest.approx(gadget.best_eq_p())
+        assert report.best_eq_c == pytest.approx(gadget.best_eq_c())
+
+
+class TestHeadlineResult:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_bliss_triangle().bayesian_game().ignorance_report()
+
+    def test_best_eq_ratio_below_one(self, report):
+        assert report.best_eq_ratio == pytest.approx(3.2 / 3.6)
+        assert report.best_eq_ratio < 1.0
+
+    def test_bayesian_equilibrium_is_globally_optimal(self, report):
+        # optP = optC = best-eqP: local views achieve the global optimum.
+        assert report.opt_p == pytest.approx(3.2)
+        assert report.opt_c == pytest.approx(3.2)
+        assert report.best_eq_p == pytest.approx(3.2)
+
+    def test_closed_forms(self, report):
+        gadget = build_bliss_triangle()
+        assert gadget.best_eq_p() == pytest.approx(report.best_eq_p)
+        assert gadget.best_eq_c() == pytest.approx(report.best_eq_c)
+        assert gadget.predicted_ratio() == pytest.approx(report.best_eq_ratio)
+
+    def test_observation_2_2(self, report):
+        report.verify_observation_2_2()
+
+
+class TestMechanism:
+    def test_inactive_branch_unique_ne_is_both_direct(self):
+        """Without agent 3, the hub route is not credible."""
+        gadget = build_bliss_triangle()
+        game = gadget.bayesian_game()
+        inactive = (("a", "b"), ("b", "c"), ("a", "a"))
+        best, worst = nash_extreme_costs(game.underlying_ncs(inactive))
+        assert best == pytest.approx(4.0)
+        assert worst == pytest.approx(4.0)
+
+    def test_active_branch_best_ne_uses_hub(self):
+        gadget = build_bliss_triangle()
+        game = gadget.bayesian_game()
+        active = (("a", "b"), ("b", "c"), ("a", "c"))
+        best, _ = nash_extreme_costs(game.underlying_ncs(active))
+        assert best == pytest.approx(3.2)
+
+    def test_all_equilibria_cost_the_optimum(self):
+        """Two symmetric equilibria exist (either direct agent may take
+        the shortcut route); both cost the global optimum 3.2."""
+        gadget = build_bliss_triangle()
+        game = gadget.bayesian_game()
+        equilibria = [
+            s
+            for s in enumerate_strategy_profiles(game.game)
+            if game.is_bayesian_equilibrium(s)
+        ]
+        assert len(equilibria) == 2
+        for equilibrium in equilibria:
+            assert game.social_cost(equilibrium) == pytest.approx(3.2)
+
+    def test_hub_route_equilibrium_present(self):
+        """The canonical equilibrium routes agent 2 via b-a-c."""
+        gadget = build_bliss_triangle()
+        game = gadget.bayesian_game()
+        hub_profile = (
+            (frozenset({gadget.ab}),),
+            (frozenset({gadget.ab, gadget.ac}),),
+            (frozenset({gadget.ac}), frozenset()),
+        )
+        assert game.is_bayesian_equilibrium(hub_profile)
+        # ...and its mirror (agent 1 via a-c-b) is the other equilibrium.
+        mirror_profile = (
+            (frozenset({gadget.bc, gadget.ac}),),
+            (frozenset({gadget.bc}),),
+            (frozenset({gadget.ac}), frozenset()),
+        )
+        assert game.is_bayesian_equilibrium(mirror_profile)

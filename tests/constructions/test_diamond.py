@@ -1,0 +1,104 @@
+"""Lemma 3.5 reduction tests (diamond online-Steiner games)."""
+
+import numpy as np
+import pytest
+
+from repro.constructions import (
+    diamond_bayesian_game,
+    expected_fixed_profile_ratio,
+    fixed_profile_cost,
+    fixed_shortest_path_map,
+    sequence_type_profile,
+)
+from repro.graphs import diamond_graph
+from repro.steiner_online import sample_adversary
+
+
+class TestTypeProfiles:
+    def test_layout_and_padding(self):
+        d = diamond_graph(1)
+        sequence = sample_adversary(d, np.random.default_rng(0))
+        profile = sequence_type_profile(d, sequence, num_agents=4)
+        assert len(profile) == 4
+        assert profile[0] == (d.sink, d.source)
+        # Padding agents are trivial.
+        assert profile[-1] == (d.source, d.source)
+
+    def test_too_many_requests_rejected(self):
+        d = diamond_graph(2)
+        sequence = sample_adversary(d, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sequence_type_profile(d, sequence, num_agents=1)
+
+
+class TestGameConstruction:
+    def test_game_shape(self):
+        game, d = diamond_bayesian_game(1, np.random.default_rng(3), scenarios=3)
+        assert game.num_agents == 2
+        assert len(game.prior) <= 3
+
+    def test_opt_c_is_at_most_one(self):
+        # Every scenario's requests lie on a unit-cost s-t path.
+        game, _ = diamond_bayesian_game(1, np.random.default_rng(1), scenarios=2)
+        assert game.opt_c() <= 1.0 + 1e-9
+
+    def test_report_sanity(self):
+        game, _ = diamond_bayesian_game(1, np.random.default_rng(5), scenarios=2)
+        report = game.ignorance_report()
+        report.verify_observation_2_2()
+        assert report.opt_p >= report.opt_c - 1e-9
+
+
+class TestFixedProfile:
+    def test_mapping_reaches_root(self):
+        d = diamond_graph(2)
+        mapping = fixed_shortest_path_map(d)
+        for node, action in mapping.items():
+            assert d.graph.connects(node, d.source, allowed_edges=set(action))
+
+    def test_fixed_profile_cost_at_least_opt(self):
+        d = diamond_graph(2)
+        for seed in range(5):
+            sequence = sample_adversary(d, np.random.default_rng(seed))
+            cost = fixed_profile_cost(d, sequence)
+            assert cost >= sequence.opt_cost - 1e-9
+
+    def test_ratio_grows_with_levels(self):
+        rng = np.random.default_rng(42)
+        ratios = [
+            expected_fixed_profile_ratio(levels, rng, samples=16)[2]
+            for levels in (1, 2, 3, 4)
+        ]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+    def test_expected_opt_is_one(self):
+        rng = np.random.default_rng(0)
+        _, expected_opt, _ = expected_fixed_profile_ratio(2, rng, samples=10)
+        assert expected_opt == pytest.approx(1.0)
+
+
+class TestReductionConsistency:
+    def test_fixed_profile_matches_game_social_cost(self):
+        """The shortcut evaluation equals the real game's social cost."""
+        rng = np.random.default_rng(9)
+        game, d = diamond_bayesian_game(1, rng, scenarios=2)
+        mapping = fixed_shortest_path_map(d)
+        # Build the tuple-encoded profile from the fixed mapping.
+        strategies = []
+        for agent in range(game.num_agents):
+            per_type = []
+            for source, target in game.types(agent):
+                per_type.append(
+                    frozenset() if source == target else mapping[source]
+                )
+            strategies.append(tuple(per_type))
+        strategies = tuple(strategies)
+        game_cost = game.social_cost(strategies)
+        by_hand = 0.0
+        for profile, prob in game.prior.support():
+            bought = set()
+            for source, target in profile:
+                if source != target:
+                    bought |= mapping[source]
+            by_hand += prob * d.graph.total_cost(bought)
+        assert game_cost == pytest.approx(by_hand)

@@ -1,0 +1,161 @@
+"""Fig. 2 / Lemmas 3.6-3.7 gadget tests."""
+
+import pytest
+
+from repro.constructions import (
+    build_gworst_high_ratio_game,
+    build_gworst_low_ratio_game,
+)
+
+
+class TestConstruction:
+    def test_graph(self):
+        game = build_gworst_low_ratio_game(5)
+        assert game.graph.node_count == 3
+        assert game.graph.edge(game.uv).cost == 6.0
+        assert game.graph.edge(game.vw).cost == 1.0
+        assert game.graph.edge(game.uw).cost == pytest.approx(1 + game.epsilon)
+
+    def test_epsilon_ranges(self):
+        low = build_gworst_low_ratio_game(10)
+        assert 1 / 10 < low.epsilon < 1.5 / 10
+        high = build_gworst_high_ratio_game(10)
+        assert 2 / 10 - 1 / 100 < high.epsilon < 2 / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_gworst_low_ratio_game(1)
+        with pytest.raises(ValueError):
+            build_gworst_low_ratio_game(5, epsilon=0.5)
+        with pytest.raises(ValueError):
+            build_gworst_high_ratio_game(5, epsilon=0.5)
+
+    def test_active_probabilities(self):
+        assert build_gworst_low_ratio_game(6).active_probability == 0.5
+        assert build_gworst_high_ratio_game(6).active_probability == pytest.approx(
+            1 / 6
+        )
+
+
+class TestLowRatioRegime:
+    """Proof printed under Lemma 3.6: worst-eqP / worst-eqC = O(1/k)."""
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_direct_profile_unique_bayesian_equilibrium(self, k):
+        game = build_gworst_low_ratio_game(k)
+        bayesian = game.bayesian_game()
+        assert bayesian.is_bayesian_equilibrium(game.direct_bayesian_profile())
+        assert not bayesian.is_bayesian_equilibrium(game.two_hop_bayesian_profile())
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_report_matches_closed_forms(self, k):
+        game = build_gworst_low_ratio_game(k)
+        report = game.bayesian_game().ignorance_report()
+        assert report.worst_eq_p == pytest.approx(game.worst_eq_p())
+        assert report.worst_eq_c == pytest.approx(game.worst_eq_c())
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_two_hop_survives_complete_information(self, k):
+        """The dest-v underlying game keeps the expensive equilibrium."""
+        game = build_gworst_low_ratio_game(k)
+        bayesian = game.bayesian_game()
+        active = tuple([("u", "w")] * k + [("u", "v")])
+        ncs = bayesian.underlying_ncs(active)
+        two_hop = tuple(
+            [frozenset({game.uv, game.vw})] * k + [frozenset({game.uv})]
+        )
+        assert ncs.is_nash_equilibrium(two_hop)
+        assert ncs.social_cost(two_hop) == pytest.approx(k + 2)
+
+    def test_ratio_shrinks_like_one_over_k(self):
+        ratios = [
+            build_gworst_low_ratio_game(k).predicted_ratio()
+            for k in (4, 8, 16, 32, 64)
+        ]
+        assert all(b < a for a, b in zip(ratios, ratios[1:]))
+        # k * ratio should be roughly constant (~2 * direct cost).
+        products = [
+            k * build_gworst_low_ratio_game(k).predicted_ratio()
+            for k in (16, 32, 64)
+        ]
+        assert max(products) / min(products) < 1.5
+
+
+class TestHighRatioRegime:
+    """Proof printed under Lemma 3.7: worst-eqP / worst-eqC = Omega(k)."""
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_two_hop_is_bayesian_equilibrium(self, k):
+        game = build_gworst_high_ratio_game(k)
+        bayesian = game.bayesian_game()
+        assert bayesian.is_bayesian_equilibrium(game.two_hop_bayesian_profile())
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_report_matches_closed_forms(self, k):
+        game = build_gworst_high_ratio_game(k)
+        report = game.bayesian_game().ignorance_report()
+        assert report.worst_eq_p == pytest.approx(game.worst_eq_p())
+        assert report.worst_eq_c == pytest.approx(game.worst_eq_c())
+        assert report.worst_eq_c <= game.paper_worst_eq_c_upper_bound() + 1e-9
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_underlying_games_are_cheap(self, k):
+        game = build_gworst_high_ratio_game(k)
+        report = game.bayesian_game().ignorance_report()
+        # worst-eqC = O(1): explicitly below 2 + 3 = small constant.
+        assert report.worst_eq_c <= 1 + game.epsilon + (game.k + 2) / game.k + 1e-9
+
+    def test_ratio_grows_linearly(self):
+        ratios = [
+            build_gworst_high_ratio_game(k).predicted_ratio()
+            for k in (4, 8, 16, 32, 64)
+        ]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        # ratio / k roughly constant.
+        normalized = [
+            build_gworst_high_ratio_game(k).predicted_ratio() / k
+            for k in (16, 32, 64)
+        ]
+        assert max(normalized) / min(normalized) < 1.5
+
+
+class TestObservation22OnGadgets:
+    @pytest.mark.parametrize("builder", [
+        build_gworst_low_ratio_game,
+        build_gworst_high_ratio_game,
+    ])
+    def test_sanity_chain(self, builder):
+        report = builder(4).bayesian_game().ignorance_report()
+        report.verify_observation_2_2()
+
+
+class TestDirectedVariant:
+    """The paper's 'trivial modification' for Table 1's directed rows."""
+
+    @pytest.mark.parametrize("builder", [
+        build_gworst_low_ratio_game,
+        build_gworst_high_ratio_game,
+    ])
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_closed_forms_still_match_enumeration(self, builder, k):
+        game = builder(k, directed=True)
+        assert game.graph.directed
+        assert game.wv is not None
+        report = game.bayesian_game().ignorance_report()
+        assert report.worst_eq_p == pytest.approx(game.worst_eq_p())
+        assert report.worst_eq_c == pytest.approx(game.worst_eq_c())
+
+    def test_directed_profiles_use_back_arc(self):
+        game = build_gworst_low_ratio_game(4, directed=True)
+        profile = game.direct_bayesian_profile()
+        # Agent k+1's active action routes u -> w -> v via the w->v arc.
+        assert game.wv in profile[-1][0]
+        assert game.vw not in profile[-1][0]
+
+    def test_directed_ratios_match_undirected(self):
+        for builder in (build_gworst_low_ratio_game, build_gworst_high_ratio_game):
+            undirected = builder(8)
+            directed = builder(8, directed=True)
+            assert directed.predicted_ratio() == pytest.approx(
+                undirected.predicted_ratio()
+            )

@@ -1,0 +1,59 @@
+"""Random Bayesian NCS family tests."""
+
+import numpy as np
+import pytest
+
+from repro.constructions import random_bayesian_ncs, random_independent_bayesian_ncs
+
+
+class TestUniformScenarioFamily:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        game = random_bayesian_ncs(3, 6, rng, scenarios=2)
+        assert game.num_agents == 3
+        assert game.graph.node_count == 6
+        assert 1 <= len(game.prior) <= 2
+
+    def test_deterministic_given_seed(self):
+        g1 = random_bayesian_ncs(2, 5, np.random.default_rng(3))
+        g2 = random_bayesian_ncs(2, 5, np.random.default_rng(3))
+        assert [t for t in g1.types(0)] == [t for t in g2.types(0)]
+        assert g1.prior.support() == g2.prior.support()
+
+    def test_all_types_feasible(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            game = random_bayesian_ncs(3, 6, rng, directed=seed % 2 == 0)
+            for agent in range(game.num_agents):
+                for source, target in game.types(agent):
+                    assert game.graph.connects(source, target)
+
+    def test_nontrivial_pairs_option(self):
+        rng = np.random.default_rng(1)
+        game = random_bayesian_ncs(3, 6, rng, allow_trivial=False, scenarios=3)
+        for agent in range(game.num_agents):
+            for source, target in game.types(agent):
+                assert source != target
+
+    def test_reports_run_end_to_end(self):
+        for seed in range(3):
+            rng = np.random.default_rng(100 + seed)
+            game = random_bayesian_ncs(2, 5, rng)
+            game.ignorance_report().verify_observation_2_2()
+
+
+class TestIndependentFamily:
+    def test_prior_is_product(self):
+        rng = np.random.default_rng(4)
+        game = random_independent_bayesian_ncs(2, 5, rng, types_per_agent=2)
+        # Product prior: joint = product of marginals on the support.
+        m0 = game.prior.marginal(0)
+        m1 = game.prior.marginal(1)
+        for profile, prob in game.prior.support():
+            assert prob == pytest.approx(m0[profile[0]] * m1[profile[1]])
+
+    def test_types_per_agent(self):
+        rng = np.random.default_rng(5)
+        game = random_independent_bayesian_ncs(3, 6, rng, types_per_agent=2)
+        for agent in range(3):
+            assert len(game.types(agent)) == 2

@@ -1,0 +1,119 @@
+"""Resource selection with unknown active players (Ashlagi et al. bridge)."""
+
+import pytest
+
+from repro.constructions import (
+    bayesian_resource_selection,
+    resource_selection_report,
+)
+from repro.constructions.resource_selection import ACTIVE, IDLE, state_potential
+from repro.core import (
+    bayesian_potential_from_state_potentials,
+    enumerate_nash_equilibria,
+    is_bayesian_potential,
+    ignorance_report,
+)
+
+
+class TestValidation:
+    def test_empty_machines(self):
+        with pytest.raises(ValueError):
+            bayesian_resource_selection([], [0.5])
+
+    def test_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            bayesian_resource_selection([1.0, 0.0], [0.5])
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            bayesian_resource_selection([1.0], [1.5])
+
+    def test_no_agents(self):
+        with pytest.raises(ValueError):
+            bayesian_resource_selection([1.0], [])
+
+
+class TestStructure:
+    def test_types_and_actions(self):
+        game = bayesian_resource_selection([1.0, 1.5], [0.5, 0.5])
+        assert game.num_agents == 2
+        assert game.types(0) == [ACTIVE, IDLE]
+        assert game.actions(0) == [0, 1]
+        assert game.feasible_actions(0, IDLE) == [0]
+
+    def test_idle_agents_cost_nothing(self):
+        game = bayesian_resource_selection([1.0, 1.5], [0.5, 0.5])
+        assert game.cost(0, (IDLE, ACTIVE), (0, 0)) == 0.0
+
+    def test_load_costs(self):
+        game = bayesian_resource_selection([1.0, 1.5], [0.5, 0.5])
+        # Both active on machine 0: load 2, rate 1 -> cost 2 each.
+        assert game.cost(0, (ACTIVE, ACTIVE), (0, 0)) == 2.0
+        # Split: each alone.
+        assert game.cost(0, (ACTIVE, ACTIVE), (0, 1)) == 1.0
+        assert game.cost(1, (ACTIVE, ACTIVE), (0, 1)) == 1.5
+
+    def test_certain_activity_reduces_to_complete_info(self):
+        game = bayesian_resource_selection([1.0, 1.5], [1.0, 1.0])
+        report = ignorance_report(game)
+        assert report.opt_p == pytest.approx(report.opt_c)
+        assert report.best_eq_p == pytest.approx(report.best_eq_c)
+
+
+class TestPotential:
+    def test_state_potential_certifies_equilibria(self):
+        game = bayesian_resource_selection([1.0, 1.5], [0.5, 0.5])
+        for profile, _ in game.prior.support():
+            underlying = game.underlying_game(profile)
+            assert enumerate_nash_equilibria(underlying), profile
+
+    def test_lifted_potential_is_bayesian_potential(self):
+        speeds = [1.0, 1.5]
+        game = bayesian_resource_selection(speeds, [0.5, 0.5])
+        lifted = bayesian_potential_from_state_potentials(
+            game, lambda t, a: state_potential(speeds, t, a)
+        )
+        assert is_bayesian_potential(game, lifted)
+
+
+class TestMeasures:
+    def test_hand_computed_two_agents(self):
+        """speeds (1, 1.5), both agents active w.p. 1/2.
+
+        optC: both active -> split (1 + 1.5 = 2.5); one active -> fast
+        machine (1); none -> 0.  optC = 1/4*2.5 + 1/2*1 = 1.125.
+        """
+        report = resource_selection_report([1.0, 1.5], [0.5, 0.5])
+        assert report.opt_c == pytest.approx(0.25 * 2.5 + 0.5 * 1.0)
+        # Under local views some profile must pay the slow machine even
+        # when alone, or double up when both show: optP > optC.
+        assert report.opt_p > report.opt_c + 1e-9
+        report.verify_observation_2_2()
+
+    def test_opt_p_value_two_agents(self):
+        """Best fixed assignment: both-on-fast vs split.
+
+        both fast: 1/4 * 4 + 1/2 * 1 = 1.5;
+        split:     1/4 * 2.5 + 1/4 * 1 + 1/4 * 1.5 = 1.25.  optP = 1.25.
+        """
+        report = resource_selection_report([1.0, 1.5], [0.5, 0.5])
+        assert report.opt_p == pytest.approx(1.25)
+
+    def test_homogeneous_machines_no_benevolent_gap(self):
+        """With identical machines, a fixed split is optimal in every
+        state: ignorance is free for benevolent agents."""
+        report = resource_selection_report([1.0, 1.0], [0.5, 0.5])
+        assert report.opt_p == pytest.approx(report.opt_c)
+
+    def test_rare_activity_prefers_fast_sharing(self):
+        """When the partner is almost never there, both pile onto the
+        fast machine — and that is also (near) optimal."""
+        report = resource_selection_report([1.0, 3.0], [1.0, 0.05])
+        # optP: both-on-fast = 0.95*1 + 0.05*4 = 1.15 vs split 1*1+0.05*3…
+        assert report.opt_p == pytest.approx(min(1.15, 1.0 + 0.05 * 3.0))
+        report.verify_observation_2_2()
+
+    def test_three_agents_two_machines(self):
+        report = resource_selection_report([1.0, 2.0], [0.6, 0.6, 0.6])
+        report.verify_observation_2_2()
+        assert report.worst_eq_p >= report.best_eq_p

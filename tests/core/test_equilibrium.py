@@ -1,0 +1,127 @@
+"""Equilibrium verification, enumeration, and dynamics tests."""
+
+import pytest
+
+from repro.core import (
+    bayesian_best_response_dynamics,
+    bayesian_equilibrium_extreme_costs,
+    complete_best_response_dynamics,
+    enumerate_bayesian_equilibria,
+    enumerate_nash_equilibria,
+    interim_best_response,
+    is_bayesian_equilibrium,
+    is_nash_equilibrium,
+    nash_extreme_costs,
+)
+
+from .conftest import (
+    coordination_game,
+    matching_pennies,
+    matching_state_game,
+    prisoners_dilemma,
+)
+
+
+class TestNashComplete:
+    def test_pd_unique_equilibrium(self):
+        game = prisoners_dilemma().to_bayesian().underlying_game((0, 0))
+        equilibria = enumerate_nash_equilibria(game)
+        assert equilibria == [(1, 1)]
+        assert is_nash_equilibrium(game, (1, 1))
+        assert not is_nash_equilibrium(game, (0, 0))
+
+    def test_coordination_two_equilibria(self):
+        game = coordination_game().to_bayesian().underlying_game((0, 0))
+        equilibria = enumerate_nash_equilibria(game)
+        assert sorted(equilibria) == [(0, 0), (1, 1)]
+
+    def test_matching_pennies_no_pure_equilibrium(self):
+        game = matching_pennies().to_bayesian().underlying_game((0, 0))
+        assert enumerate_nash_equilibria(game) == []
+        with pytest.raises(RuntimeError):
+            nash_extreme_costs(game)
+
+    def test_nash_extreme_costs(self):
+        game = coordination_game().to_bayesian().underlying_game((0, 0))
+        best, worst = nash_extreme_costs(game)
+        assert best == 2.0
+        assert worst == 2.0
+
+    def test_pd_extremes_coincide(self):
+        game = prisoners_dilemma().to_bayesian().underlying_game((0, 0))
+        assert nash_extreme_costs(game) == (4.0, 4.0)
+
+
+class TestBestResponseDynamicsComplete:
+    def test_pd_converges_to_dd(self):
+        game = prisoners_dilemma().to_bayesian().underlying_game((0, 0))
+        result = complete_best_response_dynamics(game, initial=(0, 0))
+        assert result == (1, 1)
+
+    def test_coordination_fixed_point_depends_on_start(self):
+        game = coordination_game().to_bayesian().underlying_game((0, 0))
+        assert complete_best_response_dynamics(game, initial=(0, 0)) == (0, 0)
+        assert complete_best_response_dynamics(game, initial=(1, 1)) == (1, 1)
+
+    def test_result_is_nash(self):
+        game = coordination_game().to_bayesian().underlying_game((0, 0))
+        result = complete_best_response_dynamics(game, initial=(0, 1))
+        assert is_nash_equilibrium(game, result)
+
+    def test_nonconvergence_detected(self):
+        game = matching_pennies().to_bayesian().underlying_game((0, 0))
+        with pytest.raises(RuntimeError):
+            complete_best_response_dynamics(game, max_rounds=50)
+
+
+class TestBayesianEquilibria:
+    def test_matching_state_equilibrium_set(self, matching_state):
+        equilibria = enumerate_bayesian_equilibria(matching_state)
+        # Hand enumeration (see conftest): exactly four equilibria, all of
+        # social cost 3.
+        assert len(equilibria) == 4
+        for strategies in equilibria:
+            assert matching_state.social_cost(strategies) == pytest.approx(3.0)
+
+    def test_extreme_costs(self, matching_state):
+        best, worst = bayesian_equilibrium_extreme_costs(matching_state)
+        assert best == pytest.approx(3.0)
+        assert worst == pytest.approx(3.0)
+
+    def test_is_bayesian_equilibrium_flags_non_eq(self, matching_state):
+        # Agent 0 playing the wrong action at her observed state is not an
+        # equilibrium.
+        assert not is_bayesian_equilibrium(matching_state, (((1, 0)), (0,)))
+
+    def test_informed_agent_tracks_state(self, informed_coordination):
+        equilibria = enumerate_bayesian_equilibria(informed_coordination)
+        assert equilibria, "game admits a pure Bayesian equilibrium"
+        # In every equilibrium the informed agent must best-respond per
+        # state; verify the interim condition explicitly.
+        for strategies in equilibria:
+            for ti in (0, 1):
+                current = informed_coordination.interim_cost(0, ti, strategies)
+                _, best = interim_best_response(
+                    informed_coordination, 0, ti, strategies
+                )
+                assert current <= best + 1e-9
+
+    def test_degenerate_bayesian_matches_nash(self):
+        bayesian = prisoners_dilemma().to_bayesian()
+        equilibria = enumerate_bayesian_equilibria(bayesian)
+        assert [tuple(s[0] for s in eq) for eq in equilibria] == [(1, 1)]
+
+
+class TestBayesianDynamics:
+    def test_converges_to_equilibrium(self, matching_state):
+        result = bayesian_best_response_dynamics(matching_state)
+        assert is_bayesian_equilibrium(matching_state, result)
+
+    def test_converges_on_informed_game(self, informed_coordination):
+        result = bayesian_best_response_dynamics(informed_coordination)
+        assert is_bayesian_equilibrium(informed_coordination, result)
+
+    def test_respects_initial_profile(self, matching_state):
+        initial = ((0, 1), (0,))  # already an equilibrium
+        result = bayesian_best_response_dynamics(matching_state, initial=initial)
+        assert result == initial

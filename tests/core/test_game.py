@@ -1,0 +1,171 @@
+"""BayesianGame container tests: costs, strategies, interim expectations."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BayesianGame,
+    CommonPrior,
+    complete_information_game,
+    enumerate_strategies,
+    enumerate_strategy_profiles,
+    profile_space_size,
+    replace_strategy_action,
+    strategy_space_size,
+)
+from repro import ExplosionError
+
+from .conftest import matching_state_game
+
+
+class TestValidation:
+    def test_mismatched_spaces(self):
+        prior = CommonPrior.point_mass((0,))
+        with pytest.raises(ValueError):
+            BayesianGame([[0], [0]], [[0]], prior, lambda i, t, a: 0.0)
+
+    def test_prior_agent_count_checked(self):
+        prior = CommonPrior.point_mass((0, 0))
+        with pytest.raises(ValueError):
+            BayesianGame([[0]], [[0]], prior, lambda i, t, a: 0.0)
+
+    def test_empty_action_space_rejected(self):
+        prior = CommonPrior.point_mass((0,))
+        with pytest.raises(ValueError):
+            BayesianGame([[]], [[0]], prior, lambda i, t, a: 0.0)
+
+    def test_prior_types_must_exist(self):
+        prior = CommonPrior.point_mass(("mystery",))
+        with pytest.raises(ValueError):
+            BayesianGame([[0]], [[0]], prior, lambda i, t, a: 0.0)
+
+    def test_unknown_type_lookup(self):
+        game = matching_state_game()
+        with pytest.raises(KeyError):
+            game.type_position(0, "zzz")
+
+
+class TestCosts:
+    def test_cost_and_social_cost(self, matching_state):
+        # State 0, both play 0 -> each pays 1.
+        assert matching_state.cost(0, (0, 0), (0, 0)) == 1.0
+        assert matching_state.social_cost_of_actions((0, 0), (0, 0)) == 2.0
+        assert matching_state.social_cost_of_actions((1, 0), (0, 0)) == 4.0
+
+    def test_action_profile_lookup(self, matching_state):
+        strategies = ((0, 1), (0,))  # agent 0 plays her type; agent 1 plays 0
+        assert matching_state.action_profile(strategies, (0, 0)) == (0, 0)
+        assert matching_state.action_profile(strategies, (1, 0)) == (1, 0)
+
+    def test_social_cost_of_strategies(self, matching_state):
+        strategies = ((0, 1), (0,))
+        # State 0: both match -> 2. State 1: agent 1 misses -> 4.
+        assert matching_state.social_cost(strategies) == pytest.approx(3.0)
+
+    def test_ex_ante_cost(self, matching_state):
+        strategies = ((0, 1), (0,))
+        assert matching_state.ex_ante_cost(0, strategies) == pytest.approx(1.5)
+        assert matching_state.ex_ante_cost(1, strategies) == pytest.approx(1.5)
+
+    def test_interim_cost(self, matching_state):
+        strategies = ((0, 1), (0,))
+        assert matching_state.interim_cost(0, 0, strategies) == 1.0
+        assert matching_state.interim_cost(0, 1, strategies) == 2.0
+
+    def test_interim_cost_of_deviation(self, matching_state):
+        strategies = ((0, 0), (0,))
+        # At type 1, switching to action 1 keeps the mismatch (agent 1
+        # plays 0), so the interim cost stays 2.
+        assert matching_state.interim_cost_of_action(0, 1, 1, strategies) == 2.0
+
+    def test_underlying_game_view(self, matching_state):
+        underlying = matching_state.underlying_game((1, 0))
+        assert underlying.num_agents == 2
+        assert underlying.cost(0, (1, 1)) == 1.0
+        assert underlying.social_cost((0, 0)) == 4.0
+
+
+class TestStrategyEnumeration:
+    def test_strategy_space_sizes(self, matching_state):
+        assert strategy_space_size(matching_state, 0) == 4
+        assert strategy_space_size(matching_state, 1) == 2
+        assert profile_space_size(matching_state) == 8
+
+    def test_enumerate_strategies_alignment(self, matching_state):
+        strategies = list(enumerate_strategies(matching_state, 0))
+        assert len(strategies) == 4
+        assert all(len(s) == 2 for s in strategies)
+
+    def test_enumerate_profiles_count(self, matching_state):
+        assert len(list(enumerate_strategy_profiles(matching_state))) == 8
+
+    def test_zero_probability_types_not_branched(self):
+        # Agent 0 has 3 types but only one in the prior's support.
+        prior = CommonPrior({("a", 0): 1.0})
+        game = BayesianGame(
+            [[0, 1], [0, 1]],
+            [["a", "b", "c"], [0]],
+            prior,
+            lambda i, t, a: 0.0,
+        )
+        assert strategy_space_size(game, 0) == 2
+        assert len(list(enumerate_strategies(game, 0))) == 2
+
+    def test_explosion_guard(self, matching_state):
+        with pytest.raises(ExplosionError):
+            list(enumerate_strategy_profiles(matching_state, max_profiles=2))
+
+    def test_replace_strategy_action(self, matching_state):
+        strategies = ((0, 0), (0,))
+        updated = replace_strategy_action(matching_state, strategies, 0, 1, 1)
+        assert updated == ((0, 1), (0,))
+        # Original untouched.
+        assert strategies == ((0, 0), (0,))
+
+
+class TestFeasibleActions:
+    def test_default_all_feasible(self, matching_state):
+        assert matching_state.feasible_actions(0, 0) == [0, 1]
+
+    def test_custom_feasibility(self):
+        prior = CommonPrior.point_mass(("x", "y"))
+        game = BayesianGame(
+            [[0, 1, 2], [0, 1, 2]],
+            [["x"], ["y"]],
+            prior,
+            lambda i, t, a: float(a[i]),
+            feasible_fn=lambda i, ti: [i],  # agent i may only play i
+        )
+        assert game.feasible_actions(0, "x") == [0]
+        assert game.feasible_actions(1, "y") == [1]
+        assert profile_space_size(game) == 1
+
+    def test_empty_feasible_set_rejected(self):
+        prior = CommonPrior.point_mass(("x",))
+        game = BayesianGame(
+            [[0]],
+            [["x"]],
+            prior,
+            lambda i, t, a: 0.0,
+            feasible_fn=lambda i, ti: [],
+        )
+        with pytest.raises(ValueError):
+            game.feasible_actions(0, "x")
+
+
+class TestCompleteInformationWrapper:
+    def test_degenerate_structure(self):
+        game = complete_information_game(
+            [[0, 1], [0, 1]], lambda i, a: float(a[0] + a[1])
+        )
+        assert game.num_agents == 2
+        assert game.types(0) == [0]
+        assert len(game.prior) == 1
+        assert game.social_cost(((1,), (1,))) == 4.0
+
+    def test_infinite_costs_flow_through(self):
+        game = complete_information_game(
+            [[0, 1]], lambda i, a: math.inf if a[0] == 1 else 0.0
+        )
+        assert math.isinf(game.social_cost(((1,),)))

@@ -1,0 +1,100 @@
+"""MatrixGame and the one-informed-agent builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import MatrixGame, bayesian_game_from_state_games
+
+from .conftest import coordination_game, prisoners_dilemma
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MatrixGame([])
+        with pytest.raises(ValueError):
+            MatrixGame([np.zeros((2, 2))])  # 1 agent, 2 axes
+        with pytest.raises(ValueError):
+            MatrixGame([np.zeros((2, 2)), np.zeros((2, 3))])
+
+    def test_basic_accessors(self):
+        game = prisoners_dilemma()
+        assert game.num_agents == 2
+        assert game.action_counts() == (2, 2)
+        assert game.cost(0, (0, 1)) == 3.0
+        assert game.social_cost((0, 0)) == 2.0
+
+    def test_action_profiles(self):
+        game = prisoners_dilemma()
+        assert len(game.action_profiles()) == 4
+
+    def test_random_game_positive(self):
+        rng = np.random.default_rng(0)
+        game = MatrixGame.random([2, 3, 2], rng)
+        assert game.action_counts() == (2, 3, 2)
+        assert all((tensor > 0).all() for tensor in game.costs)
+
+
+class TestNash:
+    def test_pd(self):
+        game = prisoners_dilemma()
+        assert game.nash_equilibria() == [(1, 1)]
+
+    def test_coordination(self):
+        game = coordination_game()
+        assert sorted(game.nash_equilibria()) == [(0, 0), (1, 1)]
+
+    def test_optimum(self):
+        profile, cost = prisoners_dilemma().optimum()
+        assert profile == (0, 0)
+        assert cost == 2.0
+
+    def test_is_nash_tolerates_ties(self):
+        flat = MatrixGame([np.zeros((2, 2)), np.zeros((2, 2))])
+        assert all(flat.is_nash(a) for a in flat.action_profiles())
+
+
+class TestToBayesian:
+    def test_roundtrip_costs(self):
+        game = prisoners_dilemma()
+        bayesian = game.to_bayesian()
+        underlying = bayesian.underlying_game((0, 0))
+        for actions in game.action_profiles():
+            assert underlying.social_cost(actions) == game.social_cost(actions)
+
+
+class TestBayesianFromStateGames:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bayesian_game_from_state_games([], [])
+        with pytest.raises(ValueError):
+            bayesian_game_from_state_games([prisoners_dilemma()], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            bayesian_game_from_state_games(
+                [prisoners_dilemma(), MatrixGame([np.zeros((3, 3)), np.zeros((3, 3))])],
+                [0.5, 0.5],
+            )
+
+    def test_informed_agent_structure(self):
+        game = bayesian_game_from_state_games(
+            [prisoners_dilemma(), coordination_game()], [0.3, 0.7]
+        )
+        assert game.num_agents == 2
+        assert game.types(0) == [0, 1]
+        assert game.types(1) == [0]
+        assert game.prior.marginal(0) == pytest.approx({0: 0.3, 1: 0.7})
+
+    def test_underlying_games_match_state_games(self):
+        states = [prisoners_dilemma(), coordination_game()]
+        game = bayesian_game_from_state_games(states, [0.5, 0.5])
+        for state, matrix in enumerate(states):
+            underlying = game.underlying_game((state, 0))
+            for actions in matrix.action_profiles():
+                assert underlying.cost(0, actions) == matrix.cost(0, actions)
+                assert underlying.cost(1, actions) == matrix.cost(1, actions)
+
+    def test_zero_probability_states_dropped(self):
+        game = bayesian_game_from_state_games(
+            [prisoners_dilemma(), coordination_game()], [1.0, 0.0]
+        )
+        assert len(game.prior) == 1

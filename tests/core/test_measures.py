@@ -1,0 +1,127 @@
+"""Ignorance measure tests against hand-computed values."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    IgnoranceReport,
+    eq_c,
+    ignorance_report,
+    opt_c,
+    opt_p,
+    state_optimum,
+)
+
+from .conftest import matching_state_game, prisoners_dilemma
+
+
+class TestQuantitiesOnMatchingState:
+    """The fixture's measures were enumerated by hand in conftest."""
+
+    def test_opt_p(self, matching_state):
+        assert opt_p(matching_state) == pytest.approx(3.0)
+
+    def test_opt_c(self, matching_state):
+        assert opt_c(matching_state) == pytest.approx(2.0)
+
+    def test_state_optimum(self, matching_state):
+        assert state_optimum(matching_state, (0, 0)) == pytest.approx(2.0)
+        assert state_optimum(matching_state, (1, 0)) == pytest.approx(2.0)
+
+    def test_eq_c(self, matching_state):
+        best, worst = eq_c(matching_state)
+        assert best == pytest.approx(2.0)
+        assert worst == pytest.approx(4.0)
+
+    def test_full_report(self, matching_state):
+        report = ignorance_report(matching_state)
+        assert report.opt_p == pytest.approx(3.0)
+        assert report.best_eq_p == pytest.approx(3.0)
+        assert report.worst_eq_p == pytest.approx(3.0)
+        assert report.opt_c == pytest.approx(2.0)
+        assert report.best_eq_c == pytest.approx(2.0)
+        assert report.worst_eq_c == pytest.approx(4.0)
+
+    def test_ratios(self, matching_state):
+        report = ignorance_report(matching_state)
+        assert report.opt_ratio == pytest.approx(1.5)
+        assert report.best_eq_ratio == pytest.approx(1.5)
+        # Ignorance is (mildly) bliss against worst equilibria here.
+        assert report.worst_eq_ratio == pytest.approx(0.75)
+
+    def test_cross_ratios(self, matching_state):
+        report = ignorance_report(matching_state)
+        assert report.ratio("worst-eqP", "optC") == pytest.approx(1.5)
+        assert report.ratio("optP", "worst-eqC") == pytest.approx(0.75)
+
+
+class TestDegenerateCollapse:
+    def test_complete_information_game_collapses(self):
+        report = ignorance_report(prisoners_dilemma().to_bayesian())
+        assert report.opt_p == report.opt_c == pytest.approx(2.0)
+        assert report.best_eq_p == report.best_eq_c == pytest.approx(4.0)
+        assert report.worst_eq_p == report.worst_eq_c == pytest.approx(4.0)
+        assert report.opt_ratio == 1.0
+        assert report.best_eq_ratio == 1.0
+        assert report.worst_eq_ratio == 1.0
+
+
+class TestObservation22:
+    def test_holds_on_fixtures(self, matching_state, informed_coordination):
+        ignorance_report(matching_state).verify_observation_2_2()
+        ignorance_report(informed_coordination).verify_observation_2_2()
+
+    def test_violation_detected(self):
+        bogus = IgnoranceReport(
+            opt_p=1.0,
+            best_eq_p=0.5,  # violates optP <= best-eqP
+            worst_eq_p=2.0,
+            opt_c=0.5,
+            best_eq_c=1.0,
+            worst_eq_c=1.0,
+        )
+        with pytest.raises(AssertionError):
+            bogus.verify_observation_2_2()
+
+
+class TestReportInterface:
+    def test_value_lookup(self):
+        report = IgnoranceReport(1, 2, 3, 4, 5, 6)
+        assert report.value("optP") == 1
+        assert report.value("worst-eqC") == 6
+        with pytest.raises(KeyError):
+            report.value("bogus")
+
+    def test_ratio_label_validation(self):
+        report = IgnoranceReport(1, 2, 3, 4, 5, 6)
+        with pytest.raises(KeyError):
+            report.ratio("optC", "optP")  # swapped roles
+        with pytest.raises(KeyError):
+            report.ratio("optP", "optP")
+
+    def test_zero_denominator_conventions(self):
+        report = IgnoranceReport(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert report.ratio("optP", "optC") == 1.0
+        positive = IgnoranceReport(1.0, 1.0, 1.0, 0.0, 0.0, 0.0)
+        assert math.isinf(positive.ratio("optP", "optC"))
+
+    def test_as_dict_and_str(self):
+        report = IgnoranceReport(1, 2, 3, 4, 5, 6, name="demo")
+        d = report.as_dict()
+        assert set(d) == {
+            "optP", "best-eqP", "worst-eqP", "optC", "best-eqC", "worst-eqC"
+        }
+        assert "demo" in str(report)
+
+
+class TestInformedCoordination:
+    def test_information_has_value_for_benevolent_agents(
+        self, informed_coordination
+    ):
+        report = ignorance_report(informed_coordination)
+        # Complete info: always coordinate on the good coordinate -> 0.
+        assert report.opt_c == pytest.approx(0.0)
+        # Partial info: the uninformed agent commits; half the time wrong.
+        assert report.opt_p == pytest.approx(2.0)
+        report.verify_observation_2_2()

@@ -1,0 +1,123 @@
+"""Potential function tests (Observation 2.1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MatrixGame,
+    bayesian_game_from_state_games,
+    bayesian_potential_from_state_potentials,
+    find_exact_potential,
+    has_exact_potential,
+    is_bayesian_equilibrium,
+    is_bayesian_potential,
+    minimize_bayesian_potential,
+)
+
+from .conftest import (
+    coordination_game,
+    matching_pennies,
+    matching_state_game,
+    prisoners_dilemma,
+)
+
+
+class TestExactPotentialReconstruction:
+    def test_pd_has_potential(self):
+        game = prisoners_dilemma().to_bayesian().underlying_game((0, 0))
+        potential = find_exact_potential(game)
+        assert potential is not None
+        # Verify the defining identity on every unilateral deviation.
+        for profile, value in potential.items():
+            for agent in range(2):
+                for alt in (0, 1):
+                    if alt == profile[agent]:
+                        continue
+                    other = list(profile)
+                    other[agent] = alt
+                    other = tuple(other)
+                    cost_delta = game.cost(agent, other) - game.cost(agent, profile)
+                    pot_delta = potential[other] - value
+                    assert cost_delta == pytest.approx(pot_delta)
+
+    def test_coordination_has_potential(self):
+        game = coordination_game().to_bayesian().underlying_game((0, 0))
+        assert has_exact_potential(game)
+
+    def test_matching_pennies_has_none(self):
+        game = matching_pennies().to_bayesian().underlying_game((0, 0))
+        assert find_exact_potential(game) is None
+        assert not has_exact_potential(game)
+
+    def test_three_agent_congestion_style(self):
+        # Three agents each pick resource 0 or 1; cost = load on the chosen
+        # resource.  Congestion games always admit exact potentials.
+        def load_cost(agent, actions):
+            return float(sum(1 for a in actions if a == actions[agent]))
+
+        shape = (2, 2, 2)
+        tensors = []
+        for agent in range(3):
+            tensor = np.zeros(shape)
+            for idx in np.ndindex(shape):
+                tensor[idx] = load_cost(agent, idx)
+            tensors.append(tensor)
+        game = MatrixGame(tensors).to_bayesian().underlying_game((0, 0, 0))
+        assert has_exact_potential(game)
+
+
+class TestBayesianPotential:
+    def _state_potential(self, state_games):
+        potentials = {}
+        for state, game in enumerate(state_games):
+            underlying = game.to_bayesian().underlying_game((0, 0))
+            values = find_exact_potential(underlying)
+            assert values is not None
+            potentials[state] = values
+
+        def state_potential(profile, actions):
+            return potentials[profile[0]][tuple(actions)]
+
+        return state_potential
+
+    def test_lifted_potential_is_bayesian_potential(self):
+        state_games = [coordination_game(), prisoners_dilemma()]
+        game = bayesian_game_from_state_games(state_games, [0.5, 0.5])
+        lifted = bayesian_potential_from_state_potentials(
+            game, self._state_potential(state_games)
+        )
+        assert is_bayesian_potential(game, lifted)
+
+    def test_potential_minimizer_is_equilibrium(self):
+        state_games = [coordination_game(), prisoners_dilemma()]
+        game = bayesian_game_from_state_games(state_games, [0.25, 0.75])
+        lifted = bayesian_potential_from_state_potentials(
+            game, self._state_potential(state_games)
+        )
+        minimizer, value = minimize_bayesian_potential(game, lifted)
+        assert is_bayesian_equilibrium(game, minimizer)
+        assert value == pytest.approx(lifted(minimizer))
+
+    def test_non_potential_rejected(self, matching_state):
+        # The social cost itself is generally NOT a Bayesian potential.
+        assert not is_bayesian_potential(
+            matching_state, matching_state.social_cost
+        )
+
+    def test_matching_state_has_bayesian_potential_via_states(self):
+        # Each underlying game of the matching-state fixture is a 2x2 game
+        # with an exact potential; Observation 2.1 lifts them.
+        game = matching_state_game()
+        potentials = {}
+        for profile, _ in game.prior.support():
+            underlying = game.underlying_game(profile)
+            values = find_exact_potential(underlying)
+            assert values is not None
+            potentials[profile] = values
+
+        lifted = bayesian_potential_from_state_potentials(
+            game, lambda t, a: potentials[t][tuple(a)]
+        )
+        assert is_bayesian_potential(game, lifted)
+        minimizer, _ = minimize_bayesian_potential(game, lifted)
+        assert is_bayesian_equilibrium(game, minimizer)

@@ -1,0 +1,131 @@
+"""CommonPrior tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommonPrior
+
+
+class TestConstruction:
+    def test_point_mass(self):
+        prior = CommonPrior.point_mass(("a", "b"))
+        assert prior.num_agents == 2
+        assert prior.probability(("a", "b")) == 1.0
+        assert len(prior) == 1
+
+    def test_zero_probability_entries_dropped(self):
+        prior = CommonPrior({("a",): 1.0, ("b",): 0.0})
+        assert len(prior) == 1
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(ValueError):
+            CommonPrior({})
+        with pytest.raises(ValueError):
+            CommonPrior({("a",): 0.0})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CommonPrior({("a",): 0.5, ("a", "b"): 0.5})
+
+    def test_not_normalized_rejected(self):
+        with pytest.raises(ValueError):
+            CommonPrior({("a",): 0.7})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            CommonPrior({("a",): 1.5, ("b",): -0.5})
+
+    def test_from_independent(self):
+        prior = CommonPrior.from_independent(
+            [{"x": 0.5, "y": 0.5}, {"u": 0.25, "v": 0.75}]
+        )
+        assert prior.num_agents == 2
+        assert prior.probability(("x", "v")) == pytest.approx(0.375)
+        assert len(prior) == 4
+
+    def test_from_independent_drops_zero_types(self):
+        prior = CommonPrior.from_independent([{"x": 1.0, "y": 0.0}, {"u": 1.0}])
+        assert len(prior) == 1
+
+    def test_from_independent_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CommonPrior.from_independent([])
+
+    def test_uniform(self):
+        prior = CommonPrior.uniform([("a", 1), ("b", 2)])
+        assert prior.probability(("a", 1)) == 0.5
+
+    def test_uniform_merges_duplicates(self):
+        prior = CommonPrior.uniform([("a",), ("a",), ("b",)])
+        assert prior.probability(("a",)) == pytest.approx(2 / 3)
+
+
+class TestQueries:
+    def test_support_order_and_probs(self):
+        prior = CommonPrior({("a",): 0.25, ("b",): 0.75})
+        assert prior.support() == [(("a",), 0.25), (("b",), 0.75)]
+
+    def test_marginal(self):
+        prior = CommonPrior(
+            {("a", "x"): 0.2, ("a", "y"): 0.3, ("b", "x"): 0.5}
+        )
+        assert prior.marginal(0) == pytest.approx({"a": 0.5, "b": 0.5})
+        assert prior.marginal(1) == pytest.approx({"x": 0.7, "y": 0.3})
+
+    def test_positive_types(self):
+        prior = CommonPrior({("a", "x"): 1.0})
+        assert prior.positive_types(0) == ["a"]
+        assert prior.positive_types(1) == ["x"]
+
+    def test_conditional_normalizes(self):
+        prior = CommonPrior(
+            {("a", "x"): 0.2, ("a", "y"): 0.3, ("b", "x"): 0.5}
+        )
+        conditional = dict(prior.conditional(0, "a"))
+        assert conditional[("a", "x")] == pytest.approx(0.4)
+        assert conditional[("a", "y")] == pytest.approx(0.6)
+
+    def test_conditional_unknown_type(self):
+        prior = CommonPrior({("a",): 1.0})
+        with pytest.raises(ValueError):
+            prior.conditional(0, "zzz")
+
+    def test_agent_bounds_checked(self):
+        prior = CommonPrior({("a",): 1.0})
+        with pytest.raises(IndexError):
+            prior.marginal(1)
+        with pytest.raises(IndexError):
+            prior.conditional(-1, "a")
+
+    def test_expect(self):
+        prior = CommonPrior({(1,): 0.25, (3,): 0.75})
+        assert prior.expect(lambda t: t[0]) == pytest.approx(2.5)
+
+    def test_correlated_prior_conditionals(self):
+        # Perfectly correlated types: conditioning pins the other agent.
+        prior = CommonPrior({("l", "l"): 0.5, ("r", "r"): 0.5})
+        conditional = dict(prior.conditional(0, "l"))
+        assert conditional == {("l", "l"): 1.0}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_marginals_and_conditionals_consistent(weights):
+    total = sum(weights.values())
+    prior = CommonPrior({k: v / total for k, v in weights.items()})
+    # Chain rule: P(t) = P(t_0) * P(t | t_0).
+    for profile, prob in prior.support():
+        marginal = prior.marginal(0)[profile[0]]
+        conditional = dict(prior.conditional(0, profile[0]))[profile]
+        assert marginal * conditional == pytest.approx(prob)
+    # Marginals sum to one.
+    for agent in range(2):
+        assert sum(prior.marginal(agent).values()) == pytest.approx(1.0)

@@ -1,0 +1,133 @@
+"""Correlation-device (public signal) tests."""
+
+import pytest
+
+from repro.core import (
+    full_revelation,
+    deterministic_signal,
+    ignorance_report,
+    no_signal,
+    opt_p,
+    partition_signal,
+    revelation_curve,
+    with_public_signal,
+)
+
+from .conftest import matching_state_game
+
+
+class TestSignalFunctions:
+    def test_no_signal_single_realization(self):
+        signal = no_signal()
+        assert signal(("a", "b")) == {"-": 1.0}
+
+    def test_full_revelation(self):
+        signal = full_revelation()
+        assert signal(("a", "b")) == {("a", "b"): 1.0}
+
+    def test_partition_signal(self):
+        signal = partition_signal([[("a", 0)], [("b", 0)]])
+        assert signal(("a", 0)) == {0: 1.0}
+        assert signal(("b", 0)) == {1: 1.0}
+        assert signal(("c", 0)) == {"other": 1.0}
+
+    def test_partition_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            partition_signal([[("a",)], [("a",)]])
+
+
+class TestTransformation:
+    def test_no_signal_preserves_measures(self, matching_state):
+        base = ignorance_report(matching_state)
+        signalled = with_public_signal(matching_state, no_signal())
+        transformed = ignorance_report(signalled)
+        assert transformed.opt_p == pytest.approx(base.opt_p)
+        assert transformed.best_eq_p == pytest.approx(base.best_eq_p)
+        assert transformed.worst_eq_p == pytest.approx(base.worst_eq_p)
+        assert transformed.opt_c == pytest.approx(base.opt_c)
+
+    def test_full_revelation_collapses_to_complete_info(self, matching_state):
+        signalled = with_public_signal(matching_state, full_revelation())
+        report = ignorance_report(signalled)
+        base = ignorance_report(matching_state)
+        # With the state announced, partial = complete information.
+        assert report.opt_p == pytest.approx(base.opt_c)
+        assert report.best_eq_p == pytest.approx(base.best_eq_c)
+        assert report.worst_eq_p == pytest.approx(base.worst_eq_c)
+
+    def test_complete_info_measures_unchanged(self, matching_state):
+        """The denominators never depend on the signal."""
+        signalled = with_public_signal(matching_state, full_revelation())
+        base = ignorance_report(matching_state)
+        report = ignorance_report(signalled)
+        assert report.opt_c == pytest.approx(base.opt_c)
+        assert report.best_eq_c == pytest.approx(base.best_eq_c)
+        assert report.worst_eq_c == pytest.approx(base.worst_eq_c)
+
+    def test_noisy_signal_interpolates(self, matching_state):
+        """A signal correct w.p. 3/4 lands optP strictly between extremes."""
+
+        def noisy(profile):
+            state = profile[0]
+            return {state: 0.75, 1 - state: 0.25}
+
+        signalled = with_public_signal(matching_state, noisy)
+        value = opt_p(signalled)
+        base = ignorance_report(matching_state)
+        assert base.opt_c < value < base.opt_p
+
+    def test_invalid_signal_distribution_rejected(self, matching_state):
+        with pytest.raises(ValueError):
+            with_public_signal(matching_state, lambda t: {"x": 0.5})
+
+    def test_prior_weights_multiply(self, matching_state):
+        def noisy(profile):
+            return {"hi": 0.25, "lo": 0.75}
+
+        signalled = with_public_signal(matching_state, noisy)
+        # Original profile (0, 0) w.p. 1/2 splits into hi/lo cells.
+        assert signalled.prior.probability(
+            ((0, "hi"), (0, "hi"))
+        ) == pytest.approx(0.125)
+
+    def test_costs_ignore_signal_component(self, matching_state):
+        signalled = with_public_signal(matching_state, no_signal())
+        augmented = tuple((t, "-") for t in (0, 0))
+        assert signalled.cost(0, augmented, (0, 0)) == matching_state.cost(
+            0, (0, 0), (0, 0)
+        )
+
+
+class TestRevelationCurve:
+    def test_monotone_for_benevolent_agents(self, matching_state):
+        signals = [
+            ("none", no_signal()),
+            ("state", deterministic_signal(lambda t: t[0])),
+            ("full", full_revelation()),
+        ]
+        curve = revelation_curve(matching_state, signals, opt_p)
+        values = [value for _, value in curve]
+        # Refinement never hurts benevolent agents.
+        assert values[0] >= values[1] - 1e-9
+        assert values[1] >= values[2] - 1e-9
+
+    def test_labels_preserved(self, matching_state):
+        curve = revelation_curve(
+            matching_state, [("none", no_signal())], opt_p
+        )
+        assert curve[0][0] == "none"
+
+
+class TestRevelationCanHurtSelfishAgents:
+    def test_fig1_revelation_raises_equilibrium_cost(self):
+        """On the Fig. 1 game, announcing the state *hurts*: best-eqP jumps
+        from 1+eps to the complete-information best-eqC = Omega(log k)."""
+        from repro.constructions import build_anshelevich_game
+
+        game = build_anshelevich_game(5)
+        bayesian = game.bayesian_game()
+        base = bayesian.ignorance_report()
+        revealed = with_public_signal(bayesian.game, full_revelation())
+        revealed_report = ignorance_report(revealed)
+        assert revealed_report.best_eq_p == pytest.approx(base.best_eq_c)
+        assert revealed_report.best_eq_p > base.best_eq_p + 0.1

@@ -1,0 +1,119 @@
+"""FRT embedding tests: domination (always) and stretch (statistically)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings import (
+    FiniteMetric,
+    average_stretch,
+    frt_embedding,
+    sample_beta,
+    verify_domination,
+)
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+
+
+class TestBeta:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            beta = sample_beta(rng)
+            assert 1.0 <= beta < 2.0
+
+    def test_density_shape(self):
+        # P(beta <= 2^u) = u; check the median is at sqrt(2).
+        rng = np.random.default_rng(1)
+        draws = np.array([sample_beta(rng) for _ in range(4000)])
+        below = np.mean(draws <= math.sqrt(2))
+        assert abs(below - 0.5) < 0.05
+
+
+class TestStructure:
+    def test_single_point(self):
+        metric = FiniteMetric(["only"], {"only": {"only": 0.0}})
+        hst = frt_embedding(metric, np.random.default_rng(0))
+        assert hst.distance("only", "only") == 0.0
+        assert hst.tree.node_count == 1
+
+    def test_two_points(self):
+        metric = FiniteMetric.from_graph(path_graph(2, cost=3.0))
+        hst = frt_embedding(metric, np.random.default_rng(0))
+        assert hst.distance(0, 1) >= 3.0
+
+    def test_all_points_have_leaves(self):
+        metric = FiniteMetric.from_graph(grid_graph(3, 3))
+        hst = frt_embedding(metric, np.random.default_rng(3))
+        assert set(hst.leaf_of) == set(metric.points)
+
+    def test_is_actually_a_tree(self):
+        metric = FiniteMetric.from_graph(cycle_graph(7))
+        hst = frt_embedding(metric, np.random.default_rng(5))
+        # |E| = |V| - 1 and connected.
+        assert hst.tree.edge_count == hst.tree.node_count - 1
+        from repro.graphs import is_connected
+
+        assert is_connected(hst.tree)
+
+    def test_deterministic_given_seed(self):
+        metric = FiniteMetric.from_graph(grid_graph(2, 4))
+        d1 = frt_embedding(metric, np.random.default_rng(9)).distance((0, 0), (1, 3))
+        d2 = frt_embedding(metric, np.random.default_rng(9)).distance((0, 0), (1, 3))
+        assert d1 == d2
+
+
+class TestDomination:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_grid(self, seed):
+        metric = FiniteMetric.from_graph(grid_graph(3, 3))
+        verify_domination(metric, frt_embedding(metric, np.random.default_rng(seed)))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        metric = FiniteMetric.from_graph(random_connected_graph(11, 9, rng))
+        verify_domination(metric, frt_embedding(metric, rng))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_star(self, seed):
+        metric = FiniteMetric.from_graph(star_graph(6))
+        verify_domination(metric, frt_embedding(metric, np.random.default_rng(seed)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_domination_property(self, n, extra, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_connected_graph(n, extra, rng, cost_low=0.3, cost_high=4.0)
+        metric = FiniteMetric.from_graph(graph)
+        verify_domination(metric, frt_embedding(metric, rng))
+
+
+class TestStretch:
+    def test_stretch_bounded_on_cycle(self):
+        # Empirical sanity: mean stretch stays within a generous constant
+        # times log2(n) for n=12 (the benchmarks study the growth rate).
+        metric = FiniteMetric.from_graph(cycle_graph(12))
+        trees = [
+            frt_embedding(metric, np.random.default_rng(seed)) for seed in range(40)
+        ]
+        stretch = average_stretch(metric, trees)
+        assert stretch >= 1.0
+        assert stretch <= 16 * math.log2(12)
+
+    def test_stretch_at_least_one(self):
+        metric = FiniteMetric.from_graph(grid_graph(2, 3))
+        trees = [frt_embedding(metric, np.random.default_rng(3))]
+        assert average_stretch(metric, trees) >= 1.0

@@ -1,0 +1,68 @@
+"""FiniteMetric tests."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import FiniteMetric
+from repro.graphs import Graph, cycle_graph, grid_graph, path_graph, random_connected_graph
+
+
+class TestFromGraph:
+    def test_path_metric(self):
+        metric = FiniteMetric.from_graph(path_graph(4, cost=2.0))
+        assert metric.distance(0, 3) == 6.0
+        assert metric.distance(2, 2) == 0.0
+        assert metric.size == 4
+
+    def test_cycle_wraps(self):
+        metric = FiniteMetric.from_graph(cycle_graph(6))
+        assert metric.distance(0, 3) == 3.0
+        assert metric.distance(0, 5) == 1.0
+
+    def test_directed_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            FiniteMetric.from_graph(g)
+
+    def test_disconnected_rejected(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        with pytest.raises(ValueError):
+            FiniteMetric.from_graph(g)
+
+    def test_zero_distance_rejected(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.0)
+        with pytest.raises(ValueError):
+            FiniteMetric.from_graph(g)
+
+
+class TestProperties:
+    def test_diameter_and_min_distance(self):
+        metric = FiniteMetric.from_graph(path_graph(5, cost=1.5))
+        assert metric.diameter() == 6.0
+        assert metric.min_distance() == 1.5
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_axioms_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        metric = FiniteMetric.from_graph(random_connected_graph(10, 8, rng))
+        metric.verify_axioms()
+
+    def test_axioms_catch_violations(self):
+        metric = FiniteMetric(
+            ["a", "b", "c"],
+            {
+                "a": {"a": 0.0, "b": 1.0, "c": 10.0},
+                "b": {"a": 1.0, "b": 0.0, "c": 1.0},
+                "c": {"a": 10.0, "b": 1.0, "c": 0.0},
+            },
+        )
+        with pytest.raises(AssertionError):
+            metric.verify_axioms()  # 10 > 1 + 1 triangle violation
+
+    def test_grid_metric(self):
+        metric = FiniteMetric.from_graph(grid_graph(3, 3))
+        assert metric.distance((0, 0), (2, 2)) == 4.0

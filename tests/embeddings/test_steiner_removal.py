@@ -1,0 +1,71 @@
+"""Leader-contraction (Steiner-point removal) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings import (
+    FiniteMetric,
+    contract_to_terminals,
+    frt_embedding,
+    is_tree,
+    verify_contracted_domination,
+)
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_connected_graph
+
+
+def _contracted(graph, seed):
+    metric = FiniteMetric.from_graph(graph)
+    hst = frt_embedding(metric, np.random.default_rng(seed))
+    return metric, hst, contract_to_terminals(hst)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_result_is_tree_on_points(self, seed):
+        metric, _, contracted = _contracted(grid_graph(3, 3), seed)
+        assert is_tree(contracted.tree)
+        assert set(contracted.tree.nodes) == set(metric.points)
+
+    def test_root_is_a_point(self):
+        metric, _, contracted = _contracted(cycle_graph(6), 0)
+        assert contracted.root in metric.points
+
+    def test_two_points(self):
+        metric, _, contracted = _contracted(path_graph(2, cost=2.5), 1)
+        assert contracted.tree.edge_count == 1
+        assert contracted.distance(0, 1) >= 2.5
+
+
+class TestDomination:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_contracted_dominates(self, seed):
+        metric, _, contracted = _contracted(grid_graph(3, 3), seed)
+        verify_contracted_domination(metric, contracted)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_domination_property(self, n, extra, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_connected_graph(n, extra, rng, cost_low=0.4, cost_high=3.0)
+        metric, _, contracted = _contracted(graph, seed)
+        verify_contracted_domination(metric, contracted)
+
+
+class TestDistortion:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_contraction_bounded_blowup(self, seed):
+        """Contracted distances stay within a constant of HST distances."""
+        metric, hst, contracted = _contracted(cycle_graph(8), seed)
+        for i, u in enumerate(metric.points):
+            for v in metric.points[i + 1:]:
+                hst_d = hst.distance(u, v)
+                con_d = contracted.distance(u, v)
+                # Leader hops are HST leaf distances; chains telescope with
+                # at most a small constant blowup.
+                assert con_d <= 8 * hst_d + 1e-9

@@ -1,0 +1,97 @@
+"""Lemma 3.4 tree-strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.constructions import random_bayesian_ncs
+from repro.core import CommonPrior
+from repro.embeddings import TreeStrategy, sample_contracted_tree, tree_strategy_social_cost
+from repro.graphs import Graph, grid_graph, path_graph
+from repro.ncs import BayesianNCSGame
+
+
+class TestTreeStrategy:
+    def test_tree_path_routing_on_path_graph(self):
+        g = path_graph(4)
+        # The host graph is itself a tree; the tree strategy routes along it.
+        strategy = TreeStrategy(g, g.copy())
+        action = strategy.action_for((0, 3))
+        assert g.total_cost(action) == 3.0
+
+    def test_trivial_pair_buys_nothing(self):
+        g = path_graph(3)
+        strategy = TreeStrategy(g, g.copy())
+        assert strategy.action_for((1, 1)) == frozenset()
+
+    def test_directed_host_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            TreeStrategy(g, g)
+
+    def test_missing_nodes_rejected(self):
+        g = path_graph(3)
+        partial_tree = Graph()
+        partial_tree.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            TreeStrategy(g, partial_tree)
+
+    def test_actions_connect_types(self):
+        g = grid_graph(3, 3)
+        rng = np.random.default_rng(0)
+        contracted = sample_contracted_tree(g, rng)
+        strategy = TreeStrategy(g, contracted.tree)
+        for pair in [((0, 0), (2, 2)), ((0, 2), (2, 0)), ((1, 1), (0, 0))]:
+            action = strategy.action_for(pair)
+            assert g.connects(pair[0], pair[1], allowed_edges=set(action))
+
+    def test_strategy_profile_shape(self):
+        g = grid_graph(2, 3)
+        prior = CommonPrior.uniform(
+            [
+                (((0, 0), (1, 2)), ((0, 2), (1, 0))),
+                (((0, 0), (0, 1)), ((0, 2), (1, 2))),
+            ]
+        )
+        game = BayesianNCSGame(
+            g,
+            [
+                [((0, 0), (1, 2)), ((0, 0), (0, 1))],
+                [((0, 2), (1, 0)), ((0, 2), (1, 2))],
+            ],
+            prior,
+        )
+        contracted = sample_contracted_tree(g, np.random.default_rng(1))
+        strategy = TreeStrategy(g, contracted.tree)
+        profile = strategy.strategy_profile(game)
+        assert len(profile) == 2
+        # Finite social cost: every type is connected by its action.
+        assert game.social_cost(profile) < float("inf")
+
+
+class TestLemma34Bound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree_strategy_cost_vs_opt_c(self, seed):
+        """The sampled tree profile costs at most O(log n) * optC.
+
+        We use a generous explicit constant (16 log2 n) — the benchmark
+        studies the actual growth.
+        """
+        import math
+
+        rng = np.random.default_rng(seed)
+        game = random_bayesian_ncs(3, 6, rng)
+        best, mean = tree_strategy_social_cost(game, rng, samples=6)
+        opt_c = game.opt_c()
+        n = game.graph.node_count
+        assert best <= mean + 1e-9
+        assert mean <= 16 * math.log2(max(n, 2)) * opt_c + 1e-9
+
+    def test_tree_strategy_upper_bounds_opt_p(self):
+        """Any deterministic tree profile is a feasible benevolent profile."""
+        rng = np.random.default_rng(11)
+        game = random_bayesian_ncs(2, 5, rng)
+        from repro.ncs import opt_p
+
+        best, _ = tree_strategy_social_cost(game, rng, samples=5)
+        assert opt_p(game) <= best + 1e-9

@@ -1,0 +1,99 @@
+"""Affine plane AG(2, q) tests: the four Lemma 3.2 properties and helpers."""
+
+import pytest
+
+from repro.galois import AffinePlane, affine_plane, verify_affine_plane
+
+ORDERS = [2, 3, 4, 5, 7]
+
+
+class TestCounts:
+    @pytest.mark.parametrize("m", ORDERS)
+    def test_point_and_line_counts(self, m):
+        plane = affine_plane(m)
+        assert plane.point_count == m * m
+        assert plane.line_count == m * m + m
+
+    @pytest.mark.parametrize("m", ORDERS)
+    def test_line_sizes(self, m):
+        plane = affine_plane(m)
+        for line in plane.lines:
+            assert len(line) == m
+
+    @pytest.mark.parametrize("m", ORDERS)
+    def test_point_degrees(self, m):
+        plane = affine_plane(m)
+        for point in range(plane.point_count):
+            assert len(plane.lines_through(point)) == m + 1
+
+
+class TestIncidence:
+    @pytest.mark.parametrize("m", ORDERS)
+    def test_full_verification(self, m):
+        verify_affine_plane(affine_plane(m))
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_line_through_pair(self, m):
+        plane = affine_plane(m)
+        for a in range(plane.point_count):
+            for b in range(a + 1, plane.point_count):
+                line = plane.line_through_pair(a, b)
+                assert a in plane.lines[line]
+                assert b in plane.lines[line]
+
+    def test_line_through_pair_rejects_same_point(self):
+        plane = affine_plane(3)
+        with pytest.raises(ValueError):
+            plane.line_through_pair(1, 1)
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            affine_plane(6)
+
+    def test_verification_catches_corruption(self):
+        plane = affine_plane(2)
+        # Duplicate a line's first point inside another line -> two points
+        # sharing two lines.
+        broken = AffinePlane(
+            order=plane.order,
+            points=plane.points,
+            lines=[plane.lines[0]] + list(plane.lines[:-1]),
+        )
+        with pytest.raises(AssertionError):
+            verify_affine_plane(broken)
+
+
+class TestPrimePowerOrders:
+    """Orders 8 = 2^3 and 9 = 3^2 exercise genuine field extensions."""
+
+    @pytest.mark.parametrize("m", [8, 9])
+    def test_counts(self, m):
+        plane = affine_plane(m)
+        assert plane.point_count == m * m
+        assert plane.line_count == m * m + m
+        for line in plane.lines:
+            assert len(line) == m
+
+    @pytest.mark.parametrize("m", [8, 9])
+    def test_two_points_one_line_sampled(self, m):
+        plane = affine_plane(m)
+        # Sampled pairs (full verification is O(m^4); orders <= 7 cover it).
+        for a in range(0, plane.point_count, 7):
+            for b in range(a + 1, plane.point_count, 11):
+                line = plane.line_through_pair(a, b)
+                assert a in plane.lines[line] and b in plane.lines[line]
+
+
+class TestParallelClasses:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_lines_partition_into_parallel_classes(self, m):
+        # AG(2, q) has q+1 parallel classes of q mutually disjoint lines.
+        plane = affine_plane(m)
+        disjoint_pairs = 0
+        for i in range(plane.line_count):
+            for j in range(i + 1, plane.line_count):
+                if not set(plane.lines[i]) & set(plane.lines[j]):
+                    disjoint_pairs += 1
+        # Each of the (m+1) classes contributes C(m, 2) disjoint pairs.
+        expected = (m + 1) * m * (m - 1) // 2
+        assert disjoint_pairs == expected

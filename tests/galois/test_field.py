@@ -1,0 +1,137 @@
+"""GF(p^n) field-axiom tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois import GF
+
+ORDERS = [2, 3, 4, 5, 7, 8, 9]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_element_count(self, q):
+        fld = GF(q)
+        elements = list(fld.elements())
+        assert len(elements) == q
+        assert len(set(elements)) == q
+
+    def test_rejects_composite_order(self):
+        with pytest.raises(ValueError):
+            GF(6)
+
+    def test_repr(self):
+        assert repr(GF(5)) == "GF(5)"
+        assert repr(GF(9)) == "GF(3^2)"
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_element_index_roundtrip(self, q):
+        fld = GF(q)
+        for code in range(q):
+            assert fld.index_of(fld.element(code)) == code
+
+
+class TestFieldAxioms:
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_additive_group(self, q):
+        fld = GF(q)
+        elements = list(fld.elements())
+        for a in elements:
+            assert a + fld.zero == a
+            assert a + (-a) == fld.zero
+        # Associativity + commutativity spot check over all triples for
+        # small q, pairs otherwise.
+        for a in elements:
+            for b in elements:
+                assert a + b == b + a
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_multiplicative_group(self, q):
+        fld = GF(q)
+        nonzero = [a for a in fld.elements() if not a.is_zero()]
+        for a in nonzero:
+            assert a * fld.one == a
+            assert a * a.inverse() == fld.one
+        for a in nonzero:
+            for b in nonzero:
+                assert a * b == b * a
+                assert not (a * b).is_zero()  # no zero divisors
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_distributivity(self, q):
+        fld = GF(q)
+        elements = list(fld.elements())
+        for a in elements[: min(4, q)]:
+            for b in elements:
+                for c in elements:
+                    assert a * (b + c) == a * b + a * c
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_frobenius_fixed_points(self, q):
+        # x -> x^q is the identity on GF(q).
+        fld = GF(q)
+        for a in fld.elements():
+            assert a**q == a
+
+    @pytest.mark.parametrize("q", [4, 8, 9])
+    def test_multiplicative_order_divides_q_minus_1(self, q):
+        fld = GF(q)
+        for a in fld.elements():
+            if a.is_zero():
+                continue
+            assert a ** (q - 1) == fld.one
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_division(self, q):
+        fld = GF(q)
+        nonzero = [a for a in fld.elements() if not a.is_zero()]
+        for a in list(fld.elements())[: min(5, q)]:
+            for b in nonzero:
+                assert (a / b) * b == a
+
+    def test_zero_division_raises(self):
+        fld = GF(5)
+        with pytest.raises(ZeroDivisionError):
+            fld.one / fld.zero
+        with pytest.raises(ZeroDivisionError):
+            fld.zero.inverse()
+
+    def test_cross_field_operations_rejected(self):
+        a = GF(4).one
+        b = GF(5).one
+        with pytest.raises(TypeError):
+            a + b
+
+    def test_negative_exponent(self):
+        fld = GF(7)
+        a = fld.element(3)
+        assert a**-1 == a.inverse()
+        assert a**-2 == (a * a).inverse()
+
+
+class TestHashability:
+    def test_elements_usable_in_sets(self):
+        fld = GF(9)
+        assert len({a for a in fld.elements()}) == 9
+
+    def test_equal_elements_equal_hash(self):
+        fld = GF(8)
+        a = fld.element(5)
+        b = fld.element(5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(ORDERS),
+    st.integers(min_value=0, max_value=80),
+    st.integers(min_value=0, max_value=80),
+)
+def test_addition_via_integer_codes_is_closed(q, x, y):
+    fld = GF(q)
+    a = fld.element(x)
+    b = fld.element(y)
+    total = a + b
+    assert 0 <= fld.index_of(total) < q

@@ -1,0 +1,215 @@
+"""Polynomial arithmetic over Z_p: unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois import (
+    factorize,
+    find_irreducible,
+    is_irreducible,
+    is_prime,
+    poly_add,
+    poly_degree,
+    poly_divmod,
+    poly_eval,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_pow_mod,
+    poly_sub,
+    poly_trim,
+    prime_power_decomposition,
+)
+
+PRIMES = [2, 3, 5, 7]
+
+polys = st.lists(st.integers(min_value=0, max_value=6), max_size=6).map(tuple)
+
+
+class TestNumberTheory:
+    @pytest.mark.parametrize("n,expected", [
+        (0, False), (1, False), (2, True), (3, True), (4, False),
+        (17, True), (25, False), (97, True), (91, False), (121, False),
+    ])
+    def test_is_prime(self, n, expected):
+        assert is_prime(n) == expected
+
+    def test_factorize(self):
+        assert factorize(1) == []
+        assert factorize(12) == [(2, 2), (3, 1)]
+        assert factorize(97) == [(97, 1)]
+        assert factorize(360) == [(2, 3), (3, 2), (5, 1)]
+
+    def test_factorize_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @pytest.mark.parametrize("q,expected", [
+        (2, (2, 1)), (4, (2, 2)), (8, (2, 3)), (9, (3, 2)), (27, (3, 3)),
+        (25, (5, 2)), (49, (7, 2)),
+    ])
+    def test_prime_power_decomposition(self, q, expected):
+        assert prime_power_decomposition(q) == expected
+
+    @pytest.mark.parametrize("q", [6, 10, 12, 15])
+    def test_prime_power_rejects_composites(self, q):
+        with pytest.raises(ValueError):
+            prime_power_decomposition(q)
+
+
+class TestBasicOps:
+    def test_trim(self):
+        assert poly_trim([1, 2, 0, 0]) == (1, 2)
+        assert poly_trim([0, 0]) == ()
+        assert poly_trim([]) == ()
+
+    def test_degree(self):
+        assert poly_degree(()) == -1
+        assert poly_degree((5,)) == 0
+        assert poly_degree((0, 1)) == 1
+
+    def test_add_mod(self):
+        assert poly_add((1, 2), (2, 1), 3) == ()
+        assert poly_add((1,), (1, 1), 2) == (0, 1)
+
+    def test_sub_self_is_zero(self):
+        assert poly_sub((1, 2, 3), (1, 2, 3), 5) == ()
+
+    def test_mul(self):
+        # (1 + x)(1 + x) = 1 + 2x + x^2 over Z_3.
+        assert poly_mul((1, 1), (1, 1), 3) == (1, 2, 1)
+        # ... and over Z_2 the cross term vanishes.
+        assert poly_mul((1, 1), (1, 1), 2) == (1, 0, 1)
+
+    def test_mul_by_zero(self):
+        assert poly_mul((1, 1), (), 3) == ()
+
+    def test_divmod_exact(self):
+        # x^2 - 1 = (x-1)(x+1) over Z_5.
+        q, r = poly_divmod((4, 0, 1), (4, 1), 5)
+        assert r == ()
+        assert q == (1, 1)
+
+    def test_divmod_remainder(self):
+        q, r = poly_divmod((1, 0, 1), (1, 1), 2)  # x^2+1 = (x+1)^2 over Z_2
+        assert r == ()
+        assert q == (1, 1)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod((1,), (), 3)
+
+    def test_eval(self):
+        # f(x) = 1 + 2x + x^2 at x=3 over Z_5: 1 + 6 + 9 = 16 = 1.
+        assert poly_eval((1, 2, 1), 3, 5) == 1
+        assert poly_eval((), 4, 5) == 0
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(polys, polys, st.sampled_from(PRIMES))
+    def test_mul_commutative(self, a, b, p):
+        a = poly_trim([c % p for c in a])
+        b = poly_trim([c % p for c in b])
+        assert poly_mul(a, b, p) == poly_mul(b, a, p)
+
+    @settings(max_examples=80, deadline=None)
+    @given(polys, polys, polys, st.sampled_from(PRIMES))
+    def test_distributive(self, a, b, c, p):
+        a = poly_trim([x % p for x in a])
+        b = poly_trim([x % p for x in b])
+        c = poly_trim([x % p for x in c])
+        left = poly_mul(a, poly_add(b, c, p), p)
+        right = poly_add(poly_mul(a, b, p), poly_mul(a, c, p), p)
+        assert left == right
+
+    @settings(max_examples=80, deadline=None)
+    @given(polys, polys, st.sampled_from(PRIMES))
+    def test_divmod_reconstructs(self, a, b, p):
+        a = poly_trim([x % p for x in a])
+        b = poly_trim([x % p for x in b])
+        if not b:
+            return
+        q, r = poly_divmod(a, b, p)
+        assert poly_add(poly_mul(q, b, p), r, p) == a
+        assert poly_degree(r) < poly_degree(b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(polys, polys, st.sampled_from(PRIMES))
+    def test_gcd_divides_both(self, a, b, p):
+        a = poly_trim([x % p for x in a])
+        b = poly_trim([x % p for x in b])
+        g = poly_gcd(a, b, p)
+        if g:
+            assert poly_mod(a, g, p) == ()
+            assert poly_mod(b, g, p) == ()
+
+
+class TestIrreducibility:
+    @pytest.mark.parametrize("f,p,expected", [
+        ((1, 1, 1), 2, True),    # x^2+x+1 irreducible over Z_2
+        ((1, 0, 1), 2, False),   # x^2+1 = (x+1)^2 over Z_2
+        ((1, 0, 1), 3, True),    # x^2+1 irreducible over Z_3
+        ((2, 0, 1), 5, False),   # x^2+2 reducible over Z_5? check: sqrt(-2)=sqrt(3); 3 is not a QR mod 5 -> irreducible
+        ((0, 1), 7, True),       # x is degree 1
+        ((1,), 7, False),        # constants are not irreducible
+    ])
+    def test_known_cases(self, f, p, expected):
+        # Recompute the (2,0,1) mod 5 case honestly: x^2 = -2 = 3 (mod 5);
+        # squares mod 5 are {0,1,4}, so x^2+2 IS irreducible.
+        if f == (2, 0, 1) and p == 5:
+            expected = True
+        assert is_irreducible(f, p) == expected
+
+    @pytest.mark.parametrize("p", PRIMES)
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_find_irreducible_properties(self, p, n):
+        f = find_irreducible(p, n)
+        assert poly_degree(f) == n
+        assert f[-1] == 1  # monic
+        assert n == 1 or is_irreducible(f, p)
+
+    def test_find_irreducible_has_no_roots(self):
+        for p in PRIMES:
+            f = find_irreducible(p, 2)
+            for x in range(p):
+                assert poly_eval(f, x, p) != 0
+
+    def test_find_irreducible_deterministic(self):
+        assert find_irreducible(2, 3) == find_irreducible(2, 3)
+
+    def test_degree_two_irreducible_matches_bruteforce(self):
+        # Over Z_3, count irreducible monic quadratics: (p^2-p)/2 = 3.
+        p = 3
+        found = [
+            (c0, c1, 1)
+            for c0 in range(p)
+            for c1 in range(p)
+            if is_irreducible((c0, c1, 1), p)
+        ]
+        brute = [
+            (c0, c1, 1)
+            for c0 in range(p)
+            for c1 in range(p)
+            if all(poly_eval((c0, c1, 1), x, p) != 0 for x in range(p))
+        ]
+        assert found == brute
+        assert len(found) == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            find_irreducible(4, 2)
+        with pytest.raises(ValueError):
+            find_irreducible(3, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(polys, st.integers(min_value=0, max_value=40), st.sampled_from(PRIMES))
+    def test_pow_mod_matches_naive(self, base, exponent, p):
+        base = poly_trim([c % p for c in base])
+        modulus = find_irreducible(p, 2)
+        fast = poly_pow_mod(base, exponent, modulus, p)
+        naive = (1,)
+        for _ in range(exponent):
+            naive = poly_mod(poly_mul(naive, base, p), modulus, p)
+        assert fast == poly_trim(naive)

@@ -1,0 +1,146 @@
+"""Generator tests, including the diamond-graph hierarchy invariants."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    diamond_graph,
+    graph_diameter,
+    grid_graph,
+    is_connected,
+    path_graph,
+    random_connected_graph,
+    random_digraph,
+    shortest_path_cost,
+    star_graph,
+)
+
+
+class TestBasicFamilies:
+    def test_path(self):
+        g = path_graph(5, cost=2.0)
+        assert g.node_count == 5
+        assert g.edge_count == 4
+        assert g.total_cost() == 8.0
+
+    def test_path_rejects_zero(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.edge_count == 5
+        assert all(g.degree(n) == 2 for n in g)
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.edge_count == 15
+        assert graph_diameter(g) == 1.0
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree("c") == 4
+        assert g.node_count == 5
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.node_count == 12
+        assert g.edge_count == 3 * 3 + 2 * 4
+        assert shortest_path_cost(g, (0, 0), (2, 3)) == 5.0
+
+    def test_grid_rejects_empty(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestRandomFamilies:
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            g = random_connected_graph(20, 5, rng)
+            assert is_connected(g)
+            assert g.node_count == 20
+
+    def test_random_connected_cost_bounds(self):
+        rng = np.random.default_rng(1)
+        g = random_connected_graph(10, 10, rng, cost_low=1.0, cost_high=2.0)
+        for edge in g.edges():
+            assert 1.0 <= edge.cost <= 2.0
+
+    def test_random_connected_deterministic_given_seed(self):
+        g1 = random_connected_graph(10, 5, np.random.default_rng(9))
+        g2 = random_connected_graph(10, 5, np.random.default_rng(9))
+        assert [e.endpoints() for e in g1.edges()] == [
+            e.endpoints() for e in g2.edges()
+        ]
+        assert [e.cost for e in g1.edges()] == [e.cost for e in g2.edges()]
+
+    def test_random_digraph(self):
+        rng = np.random.default_rng(2)
+        g = random_digraph(8, 0.5, rng)
+        assert g.directed
+        assert g.node_count == 8
+
+
+class TestDiamondGraph:
+    def test_level_zero_is_an_edge(self):
+        d = diamond_graph(0)
+        assert d.graph.edge_count == 1
+        assert d.root.eid is not None
+        assert shortest_path_cost(d.graph, "s", "t") == 1.0
+
+    @pytest.mark.parametrize("levels", [1, 2, 3, 4])
+    def test_edge_count_is_4_to_level(self, levels):
+        d = diamond_graph(levels)
+        assert d.graph.edge_count == 4**levels
+
+    @pytest.mark.parametrize("levels", [1, 2, 3, 4])
+    def test_source_sink_distance_stays_one(self, levels):
+        d = diamond_graph(levels)
+        assert shortest_path_cost(d.graph, d.source, d.sink) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_node_count(self, levels):
+        # |V_j| = 2 + 2*(4^j - 1)/3 mid vertices.
+        d = diamond_graph(levels)
+        expected = 2 + 2 * (4**levels - 1) // 3
+        assert d.graph.node_count == expected
+
+    def test_cells_at_level(self):
+        d = diamond_graph(2)
+        assert len(d.cells_at_level(0)) == 1
+        assert len(d.cells_at_level(1)) == 4
+        assert len(d.cells_at_level(2)) == 16
+        with pytest.raises(ValueError):
+            d.cells_at_level(3)
+
+    def test_cell_costs_halve(self):
+        d = diamond_graph(3)
+        for level in range(4):
+            for cell in d.cells_at_level(level):
+                assert cell.cost == pytest.approx(0.5**level)
+
+    def test_deepest_cells_are_real_edges(self):
+        d = diamond_graph(2)
+        for cell in d.cells_at_level(2):
+            assert cell.eid is not None
+            edge = d.graph.edge(cell.eid)
+            assert {edge.tail, edge.head} == {cell.u, cell.v}
+
+    def test_mid_vertices_connect_parents(self):
+        d = diamond_graph(1)
+        root = d.root
+        assert root.mids is not None
+        for mid in root.mids:
+            assert shortest_path_cost(d.graph, "s", mid) == pytest.approx(0.5)
+            assert shortest_path_cost(d.graph, mid, "t") == pytest.approx(0.5)
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            diamond_graph(-1)

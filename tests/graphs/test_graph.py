@@ -1,0 +1,198 @@
+"""Unit tests for the multigraph container."""
+
+import pytest
+
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert len(g) == 0
+        assert g.edge_count == 0
+        assert not g.directed
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.node_count == 1
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        eid = g.add_edge("a", "b", 2.5)
+        assert g.has_node("a") and g.has_node("b")
+        assert g.edge(eid).cost == 2.5
+
+    def test_parallel_edges_are_distinct(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.0)
+        e2 = g.add_edge("a", "b", 3.0)
+        assert e1 != e2
+        assert g.edge_count == 2
+        assert {g.edge(e1).cost, g.edge(e2).cost} == {1.0, 3.0}
+
+    def test_negative_cost_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_infinite_cost_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", float("inf"))
+
+    def test_nan_cost_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", float("nan"))
+
+
+class TestEdgeAccess:
+    def test_edge_other_endpoint(self):
+        g = Graph()
+        eid = g.add_edge("a", "b", 1.0)
+        edge = g.edge(eid)
+        assert edge.other("a") == "b"
+        assert edge.other("b") == "a"
+        with pytest.raises(ValueError):
+            edge.other("c")
+
+    def test_self_loop_other(self):
+        g = Graph()
+        eid = g.add_edge("a", "a", 1.0)
+        assert g.edge(eid).other("a") == "a"
+
+    def test_unknown_edge_id(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.edge(42)
+
+    def test_edges_in_insertion_order(self):
+        g = Graph()
+        ids = [g.add_edge(i, i + 1, 1.0) for i in range(4)]
+        assert [e.eid for e in g.edges()] == ids
+
+
+class TestAdjacency:
+    def test_undirected_out_edges_both_sides(self):
+        g = Graph(directed=False)
+        eid = g.add_edge("a", "b", 1.0)
+        assert [e.eid for e in g.out_edges("a")] == [eid]
+        assert [e.eid for e in g.out_edges("b")] == [eid]
+
+    def test_directed_out_edges_one_side(self):
+        g = Graph(directed=True)
+        eid = g.add_edge("a", "b", 1.0)
+        assert [e.eid for e in g.out_edges("a")] == [eid]
+        assert g.out_edges("b") == []
+        assert [e.eid for e in g.in_edges("b")] == [eid]
+
+    def test_neighbors_dedup(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("a", "c", 1.0)
+        assert g.neighbors("a") == ["b", "c"]
+
+    def test_directed_neighbors_respect_orientation(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("c", "a", 1.0)
+        assert g.neighbors("a") == ["b"]
+
+    def test_unknown_node_raises(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.out_edges("missing")
+
+
+class TestTotals:
+    def test_total_cost_all(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        assert g.total_cost() == 3.0
+
+    def test_total_cost_subset_deduplicates(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        assert g.total_cost([e1, e1]) == 1.0
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        clone = g.copy()
+        clone.add_edge("b", "c", 2.0)
+        assert g.edge_count == 1
+        assert clone.edge_count == 2
+
+    def test_reverse_directed(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        rev = g.reverse()
+        assert rev.connects("b", "a")
+        assert not rev.connects("a", "b")
+
+    def test_subgraph_keeps_all_nodes(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        sub = g.subgraph([e1])
+        assert sub.node_count == 3
+        assert sub.edge_count == 1
+
+
+class TestReachability:
+    def test_reachable_undirected(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0)
+        g.add_node("d")
+        assert g.reachable("a") == {"a", "b", "c"}
+
+    def test_reachable_directed_respects_orientation(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        assert g.reachable("b") == {"b"}
+
+    def test_reachable_with_allowed_edges(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0)
+        assert g.reachable("a", allowed_edges={e1}) == {"a", "b"}
+
+    def test_connects_self(self):
+        g = Graph()
+        g.add_node("a")
+        assert g.connects("a", "a")
+        assert g.connects("a", "a", allowed_edges=set())
+
+    def test_connects_through_allowed_subset(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.0)
+        e2 = g.add_edge("b", "c", 1.0)
+        assert g.connects("a", "c", allowed_edges={e1, e2})
+        assert not g.connects("a", "c", allowed_edges={e1})
+
+    def test_connects_unknown_node(self):
+        g = Graph()
+        g.add_node("a")
+        with pytest.raises(KeyError):
+            g.connects("a", "zzz")
+
+
+class TestDunders:
+    def test_contains_iter_len(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        assert "a" in g
+        assert set(iter(g)) == {"a", "b"}
+        assert len(g) == 2
+
+    def test_repr_mentions_kind(self):
+        assert "DiGraph" in repr(Graph(directed=True))
+        assert "Graph" in repr(Graph())

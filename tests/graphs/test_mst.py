@@ -1,0 +1,167 @@
+"""Union-find and MST tests with a networkx oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    UnionFind,
+    cycle_graph,
+    is_spanning_tree,
+    kruskal_mst,
+    path_graph,
+    prim_mst,
+    random_connected_graph,
+)
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(range(4))
+        assert uf.component_count == 4
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(range(4))
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.component_count == 3
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind(range(3))
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+
+    def test_transitive(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_add_and_contains(self):
+        uf = UnionFind()
+        uf.add("x")
+        assert "x" in uf
+        assert "y" not in uf
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=30,
+        )
+    )
+    def test_matches_naive_partition(self, unions):
+        uf = UnionFind(range(10))
+        naive = [{i} for i in range(10)]
+
+        def naive_find(x):
+            for block in naive:
+                if x in block:
+                    return block
+            raise AssertionError
+
+        for a, b in unions:
+            uf.union(a, b)
+            ba, bb = naive_find(a), naive_find(b)
+            if ba is not bb:
+                ba |= bb
+                naive.remove(bb)
+        for a in range(10):
+            for b in range(10):
+                assert uf.connected(a, b) == (naive_find(a) is naive_find(b))
+
+
+class TestMST:
+    def test_path_graph_is_its_own_mst(self):
+        g = path_graph(5)
+        edges, total = kruskal_mst(g)
+        assert total == 4.0
+        assert is_spanning_tree(g, edges)
+
+    def test_cycle_drops_heaviest(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        heavy = g.add_edge(2, 0, 5.0)
+        edges, total = kruskal_mst(g)
+        assert heavy not in edges
+        assert total == 3.0
+
+    def test_parallel_edges_cheapest_kept(self):
+        g = Graph()
+        g.add_edge(0, 1, 5.0)
+        cheap = g.add_edge(0, 1, 1.0)
+        edges, total = kruskal_mst(g)
+        assert edges == [cheap]
+        assert total == 1.0
+
+    def test_self_loops_ignored(self):
+        g = Graph()
+        g.add_edge(0, 0, 0.1)
+        g.add_edge(0, 1, 1.0)
+        edges, total = kruskal_mst(g)
+        assert total == 1.0
+        assert len(edges) == 1
+
+    def test_disconnected_gives_forest(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        edges, total = kruskal_mst(g)
+        assert len(edges) == 2
+        assert total == 2.0
+        assert not is_spanning_tree(g, edges)
+
+    def test_directed_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            kruskal_mst(g)
+        with pytest.raises(ValueError):
+            prim_mst(g)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_kruskal_prim_and_networkx_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(14, 16, rng)
+        _, kruskal_total = kruskal_mst(g)
+        _, prim_total = prim_mst(g)
+        nxg = nx.MultiGraph()
+        nxg.add_nodes_from(g.nodes)
+        for edge in g.edges():
+            nxg.add_edge(edge.tail, edge.head, weight=edge.cost)
+        expected = sum(
+            d["weight"]
+            for *_, d in nx.minimum_spanning_edges(nxg, weight="weight")
+        )
+        assert kruskal_total == pytest.approx(expected)
+        assert prim_total == pytest.approx(expected)
+
+    def test_weight_override(self):
+        g = cycle_graph(4, cost=1.0)
+        # Inverted weights force a different tree.
+        edges, total = kruskal_mst(g, weight=lambda e: float(e.eid))
+        assert sorted(e for e in edges) == [0, 1, 2]
+        assert total == 3.0
+
+
+class TestIsSpanningTree:
+    def test_wrong_edge_count(self):
+        g = path_graph(4)
+        assert not is_spanning_tree(g, [0])
+
+    def test_cycle_rejected(self):
+        g = cycle_graph(3)
+        assert not is_spanning_tree(g, [0, 1, 2])
+
+    def test_valid_tree(self):
+        g = cycle_graph(3)
+        assert is_spanning_tree(g, [0, 1])

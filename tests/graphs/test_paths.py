@@ -1,0 +1,145 @@
+"""Simple-path enumeration tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+import numpy as np
+
+from repro import ExplosionError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    grid_graph,
+    is_path,
+    path_actions,
+    random_connected_graph,
+    simple_paths,
+)
+from repro.graphs.paths import path_cost
+
+
+class TestSimplePaths:
+    def test_same_node_single_empty_path(self):
+        g = Graph()
+        g.add_node("a")
+        assert simple_paths(g, "a", "a") == [()]
+
+    def test_single_edge(self):
+        g = Graph()
+        eid = g.add_edge("a", "b", 1.0)
+        assert simple_paths(g, "a", "b") == [(eid,)]
+
+    def test_no_path(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        assert simple_paths(g, "a", "b") == []
+
+    def test_parallel_edges_distinct_paths(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.0)
+        e2 = g.add_edge("a", "b", 2.0)
+        assert sorted(simple_paths(g, "a", "b")) == sorted([(e1,), (e2,)])
+
+    def test_diamond_two_paths(self):
+        g = Graph()
+        e1 = g.add_edge("s", "u", 1.0)
+        e2 = g.add_edge("u", "t", 1.0)
+        e3 = g.add_edge("s", "v", 1.0)
+        e4 = g.add_edge("v", "t", 1.0)
+        found = set(simple_paths(g, "s", "t"))
+        assert found == {(e1, e2), (e3, e4)}
+
+    def test_directed_respects_orientation(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        assert simple_paths(g, "b", "a") == []
+
+    def test_no_vertex_repeats(self):
+        g = complete_graph(5)
+        for path in simple_paths(g, 0, 4):
+            nodes = [0]
+            for eid in path:
+                nodes.append(g.edge(eid).other(nodes[-1]))
+            assert len(nodes) == len(set(nodes))
+
+    def test_complete_graph_count(self):
+        # K_5: paths from 0 to 4 = sum over subsets of intermediates of
+        # permutations: 1 + 3 + 3*2 + 3*2*1 = 16.
+        g = complete_graph(5)
+        assert len(simple_paths(g, 0, 4)) == 16
+
+    def test_max_edges_cutoff(self):
+        g = complete_graph(5)
+        short = simple_paths(g, 0, 4, max_edges=1)
+        assert short == [(g.edges()[-1].eid,)] or len(short) == 1
+
+    def test_explosion_guard(self):
+        g = complete_graph(9)
+        with pytest.raises(ExplosionError):
+            simple_paths(g, 0, 8, max_paths=10)
+
+    def test_unknown_nodes(self):
+        g = Graph()
+        g.add_node("a")
+        with pytest.raises(KeyError):
+            simple_paths(g, "a", "zzz")
+        with pytest.raises(KeyError):
+            simple_paths(g, "zzz", "a")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_count_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(7, 5, rng)
+        nxg = nx.MultiGraph()
+        nxg.add_nodes_from(g.nodes)
+        for edge in g.edges():
+            nxg.add_edge(edge.tail, edge.head, key=edge.eid)
+        ours = len(simple_paths(g, 0, 6))
+        theirs = sum(1 for _ in nx.all_simple_edge_paths(nxg, 0, 6))
+        assert ours == theirs
+
+
+class TestPathActions:
+    def test_dedupes_edge_sets(self):
+        g = grid_graph(2, 2)
+        actions = path_actions(g, (0, 0), (1, 1))
+        assert len(actions) == len(set(actions))
+        assert all(isinstance(a, frozenset) for a in actions)
+
+    def test_empty_action_for_loopback(self):
+        g = Graph()
+        g.add_node("a")
+        assert path_actions(g, "a", "a") == [frozenset()]
+
+
+class TestIsPathAndCost:
+    def test_is_path_accepts_valid(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.0)
+        e2 = g.add_edge("b", "c", 2.0)
+        assert is_path(g, (e1, e2), "a", "c")
+        assert not is_path(g, (e2, e1), "a", "c")
+
+    def test_is_path_directed(self):
+        g = Graph(directed=True)
+        e1 = g.add_edge("a", "b", 1.0)
+        assert is_path(g, (e1,), "a", "b")
+        assert not is_path(g, (e1,), "b", "a")
+
+    def test_path_cost(self):
+        g = Graph()
+        e1 = g.add_edge("a", "b", 1.5)
+        e2 = g.add_edge("b", "c", 2.5)
+        assert path_cost(g, (e1, e2)) == 4.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=8))
+def test_every_enumerated_path_is_a_path(n, extra):
+    rng = np.random.default_rng(n * 31 + extra)
+    g = random_connected_graph(n, extra, rng)
+    for path in simple_paths(g, 0, n - 1, max_paths=5000):
+        assert is_path(g, path, 0, n - 1)

@@ -1,0 +1,217 @@
+"""Dijkstra / Bellman-Ford tests, including a networkx oracle and hypothesis."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    all_pairs_shortest_paths,
+    bellman_ford,
+    dijkstra,
+    eccentricity,
+    graph_diameter,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    shortest_path_cost,
+    shortest_path_edges,
+)
+
+
+def _to_networkx(graph: Graph):
+    nxg = nx.MultiDiGraph() if graph.directed else nx.MultiGraph()
+    nxg.add_nodes_from(graph.nodes)
+    for edge in graph.edges():
+        nxg.add_edge(edge.tail, edge.head, weight=edge.cost)
+    return nxg
+
+
+class TestDijkstraBasics:
+    def test_trivial_source(self):
+        g = path_graph(3)
+        dist, parent = dijkstra(g, 0)
+        assert dist[0] == 0.0
+        assert parent[0] is None
+
+    def test_path_graph_distances(self):
+        g = path_graph(5, cost=2.0)
+        dist, _ = dijkstra(g, 0)
+        assert dist == {i: 2.0 * i for i in range(5)}
+
+    def test_unreachable_absent(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        dist, _ = dijkstra(g, "a")
+        assert "z" not in dist
+
+    def test_directed_one_way(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        dist, _ = dijkstra(g, "b")
+        assert dist == {"b": 0.0}
+
+    def test_parallel_edges_pick_cheaper(self):
+        g = Graph()
+        g.add_edge("a", "b", 5.0)
+        cheap = g.add_edge("a", "b", 1.0)
+        dist, parent = dijkstra(g, "a")
+        assert dist["b"] == 1.0
+        assert parent["b"] == cheap
+
+    def test_weight_override(self):
+        g = Graph()
+        g.add_edge("a", "b", 5.0)
+        dist, _ = dijkstra(g, "a", weight=lambda e: 0.25)
+        assert dist["b"] == 0.25
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            dijkstra(g, "a", weight=lambda e: -1.0)
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            dijkstra(Graph(), "nope")
+
+    def test_targets_early_exit_correct(self):
+        g = grid_graph(4, 4)
+        full, _ = dijkstra(g, (0, 0))
+        part, _ = dijkstra(g, (0, 0), targets=[(3, 3)])
+        assert part[(3, 3)] == full[(3, 3)]
+
+
+class TestPathRecovery:
+    def test_path_edges_order(self):
+        g = path_graph(4)
+        path = shortest_path_edges(g, 0, 3)
+        assert path is not None
+        nodes = [0]
+        for eid in path:
+            nodes.append(g.edge(eid).other(nodes[-1]))
+        assert nodes == [0, 1, 2, 3]
+
+    def test_same_node_empty_path(self):
+        g = path_graph(2)
+        assert shortest_path_edges(g, 0, 0) == []
+
+    def test_unreachable_none(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        assert shortest_path_edges(g, "a", "b") is None
+        assert shortest_path_cost(g, "a", "b") == math.inf
+
+    def test_cost_matches_edges(self):
+        rng = np.random.default_rng(7)
+        g = random_connected_graph(12, 10, rng)
+        cost = shortest_path_cost(g, 0, 11)
+        path = shortest_path_edges(g, 0, 11)
+        assert path is not None
+        assert g.total_cost(path) == pytest.approx(cost)
+
+
+class TestOracles:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_undirected(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(15, 12, rng)
+        nxg = _to_networkx(g)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0, weight="weight")
+        dist, _ = dijkstra(g, 0)
+        assert set(dist) == set(expected)
+        for node, value in expected.items():
+            assert dist[node] == pytest.approx(value)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bellman_ford(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        g = random_connected_graph(12, 15, rng, directed=seed % 2 == 0)
+        d1, _ = dijkstra(g, 0)
+        d2 = bellman_ford(g, 0)
+        assert set(d1) == set(d2)
+        for node in d1:
+            assert d1[node] == pytest.approx(d2[node])
+
+    def test_bellman_ford_negative_cycle(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", 1.0)
+        with pytest.raises(ValueError):
+            bellman_ford(g, "a", weight=lambda e: -1.0)
+
+
+class TestAllPairs:
+    def test_symmetric_on_undirected(self):
+        rng = np.random.default_rng(3)
+        g = random_connected_graph(10, 8, rng)
+        apsp = all_pairs_shortest_paths(g)
+        for u in g:
+            for v in g:
+                assert apsp[u][v] == pytest.approx(apsp[v][u])
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(4)
+        g = random_connected_graph(10, 8, rng)
+        apsp = all_pairs_shortest_paths(g)
+        nodes = g.nodes
+        for u in nodes:
+            for v in nodes:
+                for w in nodes:
+                    assert apsp[u][v] <= apsp[u][w] + apsp[w][v] + 1e-9
+
+    def test_diameter_and_eccentricity(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4.0
+        assert eccentricity(g, 2) == 2.0
+        assert graph_diameter(g) == 4.0
+
+
+@st.composite
+def random_graph_strategy(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    directed = draw(st.booleans())
+    g = Graph(directed=directed)
+    for i in range(n):
+        g.add_node(i)
+    edge_count = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(edge_count):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        cost = draw(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32)
+        )
+        if a != b:
+            g.add_edge(a, b, cost)
+    return g
+
+
+class TestDijkstraProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph_strategy())
+    def test_agrees_with_bellman_ford(self, g):
+        d1, _ = dijkstra(g, 0)
+        d2 = bellman_ford(g, 0)
+        assert set(d1) == set(d2)
+        for node in d1:
+            assert math.isclose(d1[node], d2[node], rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph_strategy())
+    def test_parent_edges_reconstruct_distances(self, g):
+        dist, parent = dijkstra(g, 0)
+        for node, d in dist.items():
+            if node == 0:
+                continue
+            eid = parent[node]
+            edge = g.edge(eid)
+            prev = edge.tail if g.directed else edge.other(node)
+            assert math.isclose(
+                dist[prev] + edge.cost, d, rel_tol=1e-9, abs_tol=1e-9
+            )

@@ -1,0 +1,301 @@
+"""Steiner tree / forest / connecting-subgraph tests.
+
+The exact solvers are cross-checked against each other (Dreyfus-Wagner vs
+branch-and-bound), against networkx's approximation (as a feasible upper
+bound only), and against hand-computed optima.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import ExplosionError
+from repro.graphs import (
+    Graph,
+    connecting_subgraph_bnb,
+    cycle_graph,
+    directed_steiner_tree_exact,
+    grid_graph,
+    minimum_connection_cost,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+    steiner_forest_exact,
+    steiner_tree_exact,
+    steiner_tree_mst_approx,
+    union_of_shortest_paths,
+)
+
+
+class TestSteinerTreeExact:
+    def test_zero_or_one_terminal(self):
+        g = path_graph(3)
+        assert steiner_tree_exact(g, []) == 0.0
+        assert steiner_tree_exact(g, [1]) == 0.0
+        assert steiner_tree_exact(g, [1, 1, 1]) == 0.0
+
+    def test_two_terminals_is_shortest_path(self):
+        g = grid_graph(3, 3)
+        assert steiner_tree_exact(g, [(0, 0), (2, 2)]) == 4.0
+
+    def test_star_center_helps(self):
+        # Star with unit spokes: connecting 3 leaves uses the center, cost 3;
+        # pairwise shortest paths cost 2 each, so an MST over the metric
+        # closure pays 4.
+        g = star_graph(3)
+        assert steiner_tree_exact(g, [0, 1, 2]) == 3.0
+
+    def test_classic_steiner_point(self):
+        # Triangle of terminals around a cheap hub.
+        g = Graph()
+        for leaf in "abc":
+            g.add_edge("hub", leaf, 1.0)
+        g.add_edge("a", "b", 1.9)
+        g.add_edge("b", "c", 1.9)
+        g.add_edge("a", "c", 1.9)
+        assert steiner_tree_exact(g, ["a", "b", "c"]) == 3.0
+
+    def test_disconnected_terminals(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        assert steiner_tree_exact(g, ["a", "z"]) == math.inf
+
+    def test_directed_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            steiner_tree_exact(g, ["a", "b"])
+
+    def test_terminal_guard(self):
+        g = grid_graph(4, 4)
+        terminals = list(g.nodes)[:13]
+        with pytest.raises(ExplosionError):
+            steiner_tree_exact(g, terminals)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bnb_agrees_with_dreyfus_wagner(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(8, 4, rng)
+        terminals = [0, 3, 7]
+        dw = steiner_tree_exact(g, terminals)
+        pairs = [(terminals[0], t) for t in terminals[1:]]
+        _, bnb = connecting_subgraph_bnb(g, pairs)
+        assert dw == pytest.approx(bnb)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_below_mst_approx_and_networkx(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        g = random_connected_graph(9, 6, rng)
+        terminals = [0, 4, 8]
+        exact = steiner_tree_exact(g, terminals)
+        _, approx = steiner_tree_mst_approx(g, terminals)
+        assert exact <= approx + 1e-9
+        assert approx <= 2 * exact + 1e-9
+        nxg = nx.Graph()
+        for edge in g.edges():
+            if (
+                not nxg.has_edge(edge.tail, edge.head)
+                or nxg[edge.tail][edge.head]["weight"] > edge.cost
+            ):
+                nxg.add_edge(edge.tail, edge.head, weight=edge.cost)
+        nx_tree = nx.algorithms.approximation.steiner_tree(
+            nxg, terminals, weight="weight"
+        )
+        nx_cost = sum(d["weight"] for _, _, d in nx_tree.edges(data=True))
+        assert exact <= nx_cost + 1e-9
+
+
+class TestDirectedSteiner:
+    def test_simple_arborescence(self):
+        g = Graph(directed=True)
+        g.add_edge("r", "a", 1.0)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("r", "b", 3.0)
+        assert directed_steiner_tree_exact(g, "r", ["a", "b"]) == 2.0
+
+    def test_shared_prefix_counted_once(self):
+        g = Graph(directed=True)
+        g.add_edge("r", "m", 10.0)
+        g.add_edge("m", "a", 1.0)
+        g.add_edge("m", "b", 1.0)
+        assert directed_steiner_tree_exact(g, "r", ["a", "b"]) == 12.0
+
+    def test_unreachable_terminal(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "r", 1.0)
+        assert directed_steiner_tree_exact(g, "r", ["a"]) == math.inf
+
+    def test_root_as_terminal_free(self):
+        g = Graph(directed=True)
+        g.add_edge("r", "a", 1.0)
+        assert directed_steiner_tree_exact(g, "r", ["r"]) == 0.0
+
+    def test_undirected_rejected(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            directed_steiner_tree_exact(g, "a", ["b"])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_bnb(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        g = Graph(directed=True)
+        n = 7
+        for i in range(n):
+            g.add_node(i)
+        for a in range(n):
+            for b in range(n):
+                if a != b and rng.random() < 0.4:
+                    g.add_edge(a, b, float(rng.uniform(0.5, 2.0)))
+        terminals = [n - 1, n - 2]
+        dp_cost = directed_steiner_tree_exact(g, 0, terminals)
+        _, bnb_cost = connecting_subgraph_bnb(g, [(0, t) for t in terminals])
+        if math.isinf(dp_cost):
+            assert math.isinf(bnb_cost)
+        else:
+            assert dp_cost == pytest.approx(bnb_cost)
+
+
+class TestSteinerForest:
+    def test_trivial_pairs_free(self):
+        g = path_graph(3)
+        assert steiner_forest_exact(g, [(0, 0), (2, 2)]) == 0.0
+
+    def test_single_pair_is_shortest_path(self):
+        g = grid_graph(3, 3)
+        assert steiner_forest_exact(g, [((0, 0), (0, 2))]) == 2.0
+
+    def test_disjoint_pairs_stay_separate(self):
+        # Two far-apart unit edges and an expensive bridge: optimum keeps
+        # two components.
+        g = Graph()
+        g.add_edge("a1", "a2", 1.0)
+        g.add_edge("b1", "b2", 1.0)
+        g.add_edge("a2", "b1", 100.0)
+        assert steiner_forest_exact(g, [("a1", "a2"), ("b1", "b2")]) == 2.0
+
+    def test_sharing_beats_separate_paths(self):
+        # Two pairs sharing a cheap middle segment.
+        g = Graph()
+        g.add_edge("x1", "m1", 1.0)
+        g.add_edge("x2", "m1", 1.0)
+        g.add_edge("m1", "m2", 1.0)
+        g.add_edge("m2", "y1", 1.0)
+        g.add_edge("m2", "y2", 1.0)
+        cost = steiner_forest_exact(g, [("x1", "y1"), ("x2", "y2")])
+        assert cost == 5.0
+
+    def test_directed_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            steiner_forest_exact(g, [("a", "b")])
+
+    def test_pair_guard(self):
+        g = grid_graph(2, 2)
+        pairs = [((0, 0), (1, 1))] * 10
+        with pytest.raises(ExplosionError):
+            steiner_forest_exact(g, pairs)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_bnb(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        g = random_connected_graph(7, 4, rng)
+        pairs = [(0, 5), (1, 6)]
+        forest = steiner_forest_exact(g, pairs)
+        _, bnb = connecting_subgraph_bnb(g, pairs)
+        assert forest == pytest.approx(bnb)
+
+
+class TestConnectingSubgraphBnB:
+    def test_empty_pairs(self):
+        g = path_graph(2)
+        edges, cost = connecting_subgraph_bnb(g, [])
+        assert edges == frozenset()
+        assert cost == 0.0
+
+    def test_feasible_edge_set_returned(self):
+        g = grid_graph(3, 3)
+        pairs = [((0, 0), (2, 2)), ((0, 2), (2, 0))]
+        edges, cost = connecting_subgraph_bnb(g, pairs)
+        for x, y in pairs:
+            assert g.connects(x, y, allowed_edges=set(edges))
+        assert cost == pytest.approx(g.total_cost(edges))
+
+    def test_beats_shortest_path_union(self):
+        rng = np.random.default_rng(11)
+        g = random_connected_graph(8, 6, rng)
+        pairs = [(0, 7), (1, 6), (2, 5)]
+        _, union_cost = union_of_shortest_paths(g, pairs)
+        _, exact_cost = connecting_subgraph_bnb(g, pairs)
+        assert exact_cost <= union_cost + 1e-9
+
+    def test_infeasible_returns_inf(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        _, cost = connecting_subgraph_bnb(g, [("a", "z")])
+        assert math.isinf(cost)
+
+    def test_edge_guard(self):
+        g = grid_graph(5, 5)
+        with pytest.raises(ExplosionError):
+            connecting_subgraph_bnb(g, [((0, 0), (4, 4))], max_edges=10)
+
+
+class TestMinimumConnectionCost:
+    def test_dispatch_undirected(self):
+        g = grid_graph(3, 3)
+        cost = minimum_connection_cost(g, [((0, 0), (2, 2))])
+        assert cost == 4.0
+
+    def test_dispatch_directed_common_source(self):
+        g = Graph(directed=True)
+        g.add_edge("r", "a", 1.0)
+        g.add_edge("a", "b", 1.0)
+        cost = minimum_connection_cost(g, [("r", "a"), ("r", "b")])
+        assert cost == 2.0
+
+    def test_dispatch_directed_multi_source(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "m", 1.0)
+        g.add_edge("b", "m", 1.0)
+        g.add_edge("m", "t", 1.0)
+        cost = minimum_connection_cost(g, [("a", "t"), ("b", "t")])
+        assert cost == 3.0
+
+    def test_common_source_mismatch_raises(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("c", "b", 1.0)
+        with pytest.raises(ValueError):
+            minimum_connection_cost(g, [("a", "b"), ("c", "b")], common_source="a")
+
+    def test_all_trivial(self):
+        g = path_graph(2)
+        assert minimum_connection_cost(g, [(0, 0), (1, 1)]) == 0.0
+
+
+class TestUnionOfShortestPaths:
+    def test_reports_inf_when_disconnected(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        edges, cost = union_of_shortest_paths(g, [("a", "b")])
+        assert math.isinf(cost)
+        assert edges == frozenset()
+
+    def test_shared_edges_counted_once(self):
+        g = path_graph(4)
+        edges, cost = union_of_shortest_paths(g, [(0, 3), (1, 2)])
+        assert cost == 3.0
+        assert len(edges) == 3
+
+    def test_mst_approx_on_cycle(self):
+        g = cycle_graph(6)
+        edges, cost = steiner_tree_mst_approx(g, [0, 2, 4])
+        assert cost == 4.0
+        assert len(edges) == 4

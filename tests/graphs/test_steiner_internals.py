@@ -1,0 +1,81 @@
+"""Internals of the Steiner solvers: partitions, guards, dispatch."""
+
+import math
+
+import pytest
+
+from repro import ExplosionError
+from repro.graphs import Graph, path_graph
+from repro.graphs.steiner import (
+    MAX_DW_TERMINALS,
+    _set_partitions,
+    directed_steiner_tree_exact,
+    steiner_forest_exact,
+    steiner_tree_exact,
+)
+
+BELL = {0: 1, 1: 1, 2: 2, 3: 5, 4: 15, 5: 52, 6: 203}
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n", range(7))
+    def test_counts_are_bell_numbers(self, n):
+        partitions = list(_set_partitions(list(range(n))))
+        assert len(partitions) == BELL[n]
+
+    def test_partitions_cover_and_disjoint(self):
+        items = [0, 1, 2, 3]
+        for partition in _set_partitions(items):
+            flattened = [x for block in partition for x in block]
+            assert sorted(flattened) == items
+
+    def test_partitions_distinct(self):
+        items = [0, 1, 2, 3]
+        seen = set()
+        for partition in _set_partitions(items):
+            key = frozenset(frozenset(block) for block in partition)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestGuards:
+    def test_directed_dw_terminal_guard(self):
+        g = Graph(directed=True)
+        for i in range(MAX_DW_TERMINALS + 3):
+            g.add_edge("root", ("t", i), 1.0)
+        terminals = [("t", i) for i in range(MAX_DW_TERMINALS + 2)]
+        with pytest.raises(ExplosionError):
+            directed_steiner_tree_exact(g, "root", terminals)
+
+    def test_undirected_dw_duplicates_dont_count(self):
+        g = path_graph(3)
+        # Duplicated terminals collapse before the guard.
+        assert steiner_tree_exact(g, [0, 2] * 20) == 2.0
+
+
+class TestForestPartitionOptimality:
+    def test_bridge_price_decides_merging(self):
+        """The partition optimum flips as the bridge gets cheap."""
+
+        def forest_cost(bridge_cost):
+            g = Graph()
+            g.add_edge("a1", "a2", 1.0)
+            g.add_edge("b1", "b2", 1.0)
+            g.add_edge("a2", "b1", bridge_cost)
+            # Third pair forces consideration of cross-component trees.
+            return steiner_forest_exact(g, [("a1", "a2"), ("b1", "b2")])
+
+        # The bridge is never useful for these pairs; cost stays 2.
+        assert forest_cost(0.1) == pytest.approx(2.0)
+        assert forest_cost(100.0) == pytest.approx(2.0)
+
+    def test_shared_segment_merges_pairs(self):
+        g = Graph()
+        g.add_edge("x1", "m", 1.0)
+        g.add_edge("x2", "m", 1.0)
+        g.add_edge("m", "n", 0.5)
+        g.add_edge("n", "y1", 1.0)
+        g.add_edge("n", "y2", 1.0)
+        # Separate trees: (x1-m-n-y1) + (x2-..-y2) share everything anyway.
+        cost = steiner_forest_exact(g, [("x1", "y1"), ("x2", "y2")])
+        assert cost == pytest.approx(4.5)

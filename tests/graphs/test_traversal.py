@@ -1,0 +1,121 @@
+"""Traversal / connectivity tests."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    bfs_order,
+    connected_components,
+    cycle_graph,
+    dfs_order,
+    grid_graph,
+    is_connected,
+    nodes_touched_by,
+    path_graph,
+    spans_terminals,
+    topological_order,
+)
+
+
+class TestOrders:
+    def test_bfs_layers(self):
+        g = path_graph(4)
+        assert bfs_order(g, 0) == [0, 1, 2, 3]
+
+    def test_bfs_from_middle(self):
+        g = path_graph(5)
+        order = bfs_order(g, 2)
+        assert order[0] == 2
+        assert set(order) == {0, 1, 2, 3, 4}
+        # Both distance-1 nodes precede distance-2 nodes.
+        assert {order[1], order[2]} == {1, 3}
+
+    def test_dfs_preorder(self):
+        g = path_graph(4)
+        assert dfs_order(g, 0) == [0, 1, 2, 3]
+
+    def test_orders_cover_component_only(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        assert set(bfs_order(g, "a")) == {"a", "b"}
+        assert set(dfs_order(g, "a")) == {"a", "b"}
+
+    def test_unknown_source(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            bfs_order(g, "x")
+        with pytest.raises(KeyError):
+            dfs_order(g, "x")
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = cycle_graph(5)
+        assert len(connected_components(g)) == 1
+        assert is_connected(g)
+
+    def test_multiple_components(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("c", "d", 1.0)
+        g.add_node("e")
+        comps = connected_components(g)
+        assert len(comps) == 3
+        assert not is_connected(g)
+
+    def test_directed_weak_components(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("c", "b", 1.0)
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert comps[0] == {"a", "b", "c"}
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+
+class TestSpansTerminals:
+    def test_spanning_subset(self):
+        g = grid_graph(2, 3)
+        all_edges = set(g.edge_ids())
+        assert spans_terminals(g, all_edges, [(0, 0), (1, 2)])
+
+    def test_non_spanning_subset(self):
+        g = path_graph(3)
+        first_edge = {g.edges()[0].eid}
+        assert not spans_terminals(g, first_edge, [0, 2])
+
+    def test_single_terminal_trivially_spanned(self):
+        g = path_graph(3)
+        assert spans_terminals(g, set(), [1])
+        assert spans_terminals(g, set(), [])
+
+    def test_nodes_touched(self):
+        g = path_graph(3)
+        eids = [g.edges()[0].eid]
+        assert nodes_touched_by(g, eids) == {0, 1}
+
+
+class TestTopologicalOrder:
+    def test_dag_order(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0)
+        g.add_edge("a", "c", 1.0)
+        order = topological_order(g)
+        assert order is not None
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_returns_none(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", 1.0)
+        assert topological_order(g) is None
+
+    def test_undirected_rejected(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            topological_order(g)

@@ -1,0 +1,180 @@
+"""Integration tests spanning multiple subsystems.
+
+Each test exercises an end-to-end slice of the reproduction: NCS games
+through the core measures, Rosenthal potentials through the generic
+potential reconstruction, tree embeddings through the routing strategies,
+and the Section 4 pipeline on NCS-derived structures.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import harmonic
+from repro.constructions import (
+    build_anshelevich_game,
+    build_bliss_triangle,
+    random_bayesian_ncs,
+)
+from repro.core import find_exact_potential
+from repro.core.strategy import enumerate_strategy_profiles
+from repro.embeddings import TreeStrategy, sample_contracted_tree
+from repro.graphs import Graph
+from repro.minimax import GamePhi, public_randomness_certificate, random_priors
+from repro.ncs import (
+    BayesianNCSGame,
+    bayesian_rosenthal_potential,
+    enumerate_path_profiles,
+    rosenthal_potential,
+)
+
+
+class TestRosenthalMeetsGenericPotentials:
+    """The NCS Rosenthal potential agrees with the reconstruction that the
+    generic machinery performs from cost differences alone."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_reconstructed_matches_rosenthal_up_to_constant(self, seed):
+        rng = np.random.default_rng(seed)
+        game = random_bayesian_ncs(2, 4, rng, extra_edges=2)
+        profile = game.prior.support()[0][0]
+        underlying = game.game.underlying_game(profile)
+        reconstructed = find_exact_potential(underlying)
+        assert reconstructed is not None
+        # Compare differences: q(a) - q(b) must match Rosenthal's.
+        actions = list(reconstructed.keys())
+        base = actions[0]
+        for other in actions[1:]:
+            reconstructed_delta = reconstructed[other] - reconstructed[base]
+            rosenthal_delta = rosenthal_potential(
+                game.graph, other
+            ) - rosenthal_potential(game.graph, base)
+            assert reconstructed_delta == pytest.approx(
+                rosenthal_delta, abs=1e-7
+            )
+
+
+class TestDynamicsDecreasePotential:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_br_steps_strictly_decrease_bayesian_potential(self, seed):
+        rng = np.random.default_rng(40 + seed)
+        game = random_bayesian_ncs(3, 5, rng, extra_edges=2)
+        strategies = game.greedy_profile()
+        previous = bayesian_rosenthal_potential(game, strategies)
+        for _ in range(50):
+            improved = False
+            for agent in range(game.num_agents):
+                for ti in game.prior.positive_types(agent):
+                    current = game.game.interim_cost(agent, ti, strategies)
+                    action, best = game.interim_best_response(agent, ti, strategies)
+                    if best < current - 1e-9:
+                        position = game.game.type_position(agent, ti)
+                        mutated = list(strategies[agent])
+                        mutated[position] = action
+                        updated = list(strategies)
+                        updated[agent] = tuple(mutated)
+                        strategies = tuple(updated)
+                        value = bayesian_rosenthal_potential(game, strategies)
+                        assert value < previous - 1e-12
+                        previous = value
+                        improved = True
+            if not improved:
+                break
+        assert game.is_bayesian_equilibrium(strategies)
+
+
+class TestSocialCostInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_social_cost_equals_bought_cost_when_feasible(self, seed):
+        """K_t(a) = total cost of bought edges whenever all connected."""
+        rng = np.random.default_rng(seed)
+        game = random_bayesian_ncs(2, 4, rng, extra_edges=2)
+        profile = game.prior.support()[0][0]
+        ncs = game.underlying_ncs(profile)
+        for actions in enumerate_path_profiles(ncs, max_profiles=500):
+            cost = ncs.social_cost(actions)
+            bought = ncs.graph.total_cost(
+                eid for action in actions for eid in action
+            )
+            assert cost == pytest.approx(bought)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_ex_ante_costs_sum_to_social_cost(self, seed):
+        rng = np.random.default_rng(seed)
+        game = random_bayesian_ncs(2, 4, rng, extra_edges=2)
+        strategies = game.greedy_profile()
+        total = sum(
+            game.game.ex_ante_cost(agent, strategies)
+            for agent in range(game.num_agents)
+        )
+        assert total == pytest.approx(game.social_cost(strategies))
+
+
+class TestTreeStrategyOnConstructions:
+    def test_tree_strategy_feasible_on_bliss_triangle(self):
+        gadget = build_bliss_triangle()
+        game = gadget.bayesian_game()
+        contracted = sample_contracted_tree(game.graph, np.random.default_rng(0))
+        strategy = TreeStrategy(game.graph, contracted.tree)
+        profile = strategy.strategy_profile(game)
+        cost = game.social_cost(profile)
+        assert cost < math.inf
+        # Lemma 3.4's bound with a generous constant on 3 vertices.
+        assert cost <= 16 * math.log2(4) * game.opt_c()
+
+
+class TestSection4OnNCSGames:
+    def test_certificate_from_ncs_structure(self):
+        """Build phi from a small NCS game with positive costs end-to-end."""
+        g = Graph(directed=False)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 2.0)
+        from repro.core import CommonPrior
+
+        prior = CommonPrior.uniform(
+            [((("a", "b")), (("a", "b"))), ((("a", "b")), (("b", "a")))]
+        )
+        game = BayesianNCSGame(
+            g,
+            [[("a", "b")], [("a", "b"), ("b", "a")]],
+            prior,
+        )
+        phi = GamePhi.from_bayesian_game(game.game)
+        certificate = public_randomness_certificate(phi)
+        certificate.verify_pointwise()
+        certificate.verify_lemma_4_1(
+            random_priors(phi.num_type_profiles, 15, np.random.default_rng(0))
+        )
+        assert certificate.r >= 1.0 - 1e-9
+
+    def test_fig1_certificate_respects_known_measures(self):
+        """On the Fig. 1 game, R(phi) <= H(k-1)-ish worst-case ratio and
+        the optimal q concentrates on hub-style profiles."""
+        game = build_anshelevich_game(3)
+        bayesian = game.bayesian_game()
+        phi = GamePhi.from_bayesian_game(bayesian.game)
+        certificate = public_randomness_certificate(phi)
+        certificate.verify_pointwise()
+        # The worst-prior ratio of the best mixture is at most the pure
+        # hub profile's worst-type ratio.
+        ratios = phi.costs / phi.v[None, :]
+        hub_like = ratios.max(axis=1).min()
+        assert certificate.r <= hub_like + 1e-9
+
+
+class TestExplosionGuardsFire:
+    def test_dense_graph_equilibria_guarded(self):
+        from repro import ExplosionError
+        from repro.graphs import complete_graph
+        from repro.core import CommonPrior
+
+        g = complete_graph(7)
+        prior = CommonPrior.point_mass(((0, 6), (1, 5), (2, 4)))
+        game = BayesianNCSGame(g, [[(0, 6)], [(1, 5)], [(2, 4)]], prior)
+        with pytest.raises(ExplosionError):
+            list(enumerate_strategy_profiles(game.game, max_profiles=100))

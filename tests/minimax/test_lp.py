@@ -1,0 +1,87 @@
+"""From-scratch simplex tests, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.minimax import SimplexError, simplex_solve
+
+
+class TestBasics:
+    def test_simple_maximization(self):
+        # max 3x + 2y : x + y <= 4, x <= 2  ->  x=2, y=2, obj=10.
+        solution = simplex_solve(
+            np.array([3.0, 2.0]),
+            np.array([[1.0, 1.0], [1.0, 0.0]]),
+            np.array([4.0, 2.0]),
+        )
+        assert solution.objective == pytest.approx(10.0)
+        assert solution.x == pytest.approx([2.0, 2.0])
+
+    def test_binding_duals(self):
+        solution = simplex_solve(
+            np.array([3.0, 2.0]),
+            np.array([[1.0, 1.0], [1.0, 0.0]]),
+            np.array([4.0, 2.0]),
+        )
+        # Duals: y1 = 2, y2 = 1 (checked by hand: c = A^T y at optimum).
+        assert solution.duals == pytest.approx([2.0, 1.0])
+
+    def test_zero_objective(self):
+        solution = simplex_solve(
+            np.zeros(2), np.array([[1.0, 1.0]]), np.array([1.0])
+        )
+        assert solution.objective == 0.0
+
+    def test_unbounded_detected(self):
+        with pytest.raises(SimplexError):
+            simplex_solve(
+                np.array([1.0]), np.array([[-1.0]]), np.array([1.0])
+            )
+
+    def test_negative_b_rejected(self):
+        with pytest.raises(SimplexError):
+            simplex_solve(np.array([1.0]), np.array([[1.0]]), np.array([-1.0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(SimplexError):
+            simplex_solve(np.array([1.0, 2.0]), np.array([[1.0]]), np.array([1.0]))
+        with pytest.raises(SimplexError):
+            simplex_solve(np.array([1.0]), np.array([[1.0]]), np.array([1.0, 2.0]))
+
+    def test_degenerate_constraints_no_cycle(self):
+        # Redundant constraints exercising Bland's rule.
+        solution = simplex_solve(
+            np.array([1.0, 1.0]),
+            np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]),
+            np.array([1.0, 1.0, 2.0]),
+        )
+        assert solution.objective == pytest.approx(1.0)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = int(rng.integers(2, 6)), int(rng.integers(2, 6))
+        A = rng.uniform(0.1, 2.0, size=(m, n))
+        b = rng.uniform(0.5, 3.0, size=m)
+        c = rng.uniform(0.1, 1.5, size=n)
+        ours = simplex_solve(c, A, b)
+        ref = linprog(-c, A_ub=A, b_ub=b, bounds=[(0, None)] * n, method="highs")
+        assert ref.success
+        assert ours.objective == pytest.approx(-ref.fun, rel=1e-7)
+        # Feasibility of our primal.
+        assert (A @ ours.x <= b + 1e-8).all()
+        assert (ours.x >= -1e-12).all()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_duals_match_scipy(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        A = rng.uniform(0.1, 2.0, size=(3, 3))
+        b = rng.uniform(0.5, 3.0, size=3)
+        c = rng.uniform(0.1, 1.5, size=3)
+        ours = simplex_solve(c, A, b)
+        ref = linprog(-c, A_ub=A, b_ub=b, bounds=[(0, None)] * 3, method="highs")
+        scipy_duals = -ref.ineqlin.marginals
+        assert ours.duals == pytest.approx(scipy_duals, abs=1e-7)

@@ -1,0 +1,89 @@
+"""Lemma 4.1 certificate tests: q works for every prior."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesianGame, CommonPrior
+from repro.minimax import (
+    GamePhi,
+    public_randomness_certificate,
+    random_priors,
+    verify_proposition_4_2,
+)
+
+
+def _random_phi(seed, m=5, n=4):
+    rng = np.random.default_rng(seed)
+    return GamePhi.from_matrices(rng.uniform(0.4, 3.0, size=(m, n)))
+
+
+class TestCertificate:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pointwise_guarantee(self, seed):
+        cert = public_randomness_certificate(_random_phi(seed))
+        cert.verify_pointwise()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma_4_1_over_random_priors(self, seed):
+        phi = _random_phi(seed)
+        cert = public_randomness_certificate(phi)
+        rng = np.random.default_rng(1000 + seed)
+        cert.verify_lemma_4_1(random_priors(phi.num_type_profiles, 25, rng))
+
+    def test_point_mass_priors_are_the_binding_cases(self):
+        phi = _random_phi(42)
+        cert = public_randomness_certificate(phi)
+        guarantees = cert.pointwise_guarantees()
+        # The maximum over point masses equals the worst prior ratio for
+        # the expectation-of-ratios form: it should equal R exactly.
+        assert float(guarantees.max()) == pytest.approx(cert.r, abs=1e-7)
+
+    def test_q_is_distribution(self):
+        cert = public_randomness_certificate(_random_phi(3))
+        assert cert.q.sum() == pytest.approx(1.0)
+        assert (cert.q >= -1e-12).all()
+        support = cert.support()
+        assert support
+        assert sum(p for _, p in support) == pytest.approx(1.0, abs=1e-9)
+
+    def test_prior_validation(self):
+        cert = public_randomness_certificate(_random_phi(5))
+        with pytest.raises(ValueError):
+            cert.lemma_4_1_ratio([0.5, 0.5])  # wrong length
+        bad = np.zeros(cert.phi.num_type_profiles)
+        bad[0] = 2.0
+        with pytest.raises(ValueError):
+            cert.lemma_4_1_ratio(bad)
+
+    def test_certificate_beats_every_fixed_strategy_on_worst_prior(self):
+        """Randomization is necessary: q's guarantee can beat all rows."""
+        # The 2x2 symmetric instance: any FIXED row has worst-prior ratio
+        # 4; the mixture achieves 2.5.
+        phi = GamePhi.from_matrices(
+            np.array([[1.0, 4.0], [4.0, 1.0]]), np.array([1.0, 1.0])
+        )
+        cert = public_randomness_certificate(phi)
+        assert cert.r == pytest.approx(2.5)
+        fixed_worst = (phi.costs / phi.v[None, :]).max(axis=1).min()
+        assert cert.r < fixed_worst - 1.0  # 2.5 vs 4.0
+
+
+class TestWithBayesianGames:
+    def _game(self):
+        prior = CommonPrior.uniform([("L", 0), ("R", 0)])
+        # Informed agent 0 (type L/R), uninformed agent 1; positive costs.
+        def cost(i, t, a):
+            match = (a[0] == a[1]) and (a[0] == (0 if t[0] == "L" else 1))
+            return 1.0 if match else 2.0
+
+        return BayesianGame([[0, 1], [0, 1]], [["L", "R"], [0]], prior, cost)
+
+    def test_full_pipeline_on_game(self):
+        phi = GamePhi.from_bayesian_game(self._game())
+        star, tilde = verify_proposition_4_2(phi)
+        cert = public_randomness_certificate(phi)
+        cert.verify_pointwise()
+        rng = np.random.default_rng(0)
+        cert.verify_lemma_4_1(random_priors(phi.num_type_profiles, 20, rng))
+        assert star == pytest.approx(tilde, abs=1e-5)
+        assert 1.0 - 1e-9 <= cert.r <= 2.0 + 1e-9

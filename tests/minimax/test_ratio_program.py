@@ -1,0 +1,136 @@
+"""R(phi), R~(phi), and Proposition 4.2 tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExplosionError
+from repro.core import BayesianGame, CommonPrior
+from repro.minimax import (
+    GamePhi,
+    bisection_value,
+    proposition_4_2_gap,
+    r_star,
+    r_tilde,
+)
+
+
+class TestValidation:
+    def test_nonpositive_costs_rejected(self):
+        with pytest.raises(ValueError):
+            r_tilde(np.array([[1.0, -1.0]]), np.array([1.0, 1.0]))
+
+    def test_v_must_lower_bound(self):
+        with pytest.raises(ValueError):
+            r_tilde(np.array([[1.0, 2.0]]), np.array([1.5, 2.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r_tilde(np.array([[1.0, 2.0]]), np.array([1.0]))
+
+
+class TestKnownInstances:
+    def test_single_strategy(self):
+        # One row: R = max_t K/v pointwise... by either definition.
+        K = np.array([[2.0, 3.0]])
+        v = np.array([1.0, 1.0])
+        tilde, _ = r_tilde(K, v)
+        # The adversary puts all mass on t=1: ratio 3.
+        assert tilde == pytest.approx(3.0)
+        assert r_star(K, v) == pytest.approx(3.0, abs=1e-6)
+
+    def test_perfect_strategies(self):
+        # Each column has a row matching v: the diagonal game still forces
+        # a tradeoff; for the 2x2 case below R~ solves a small zero-sum.
+        K = np.array([[1.0, 4.0], [4.0, 1.0]])
+        v = np.array([1.0, 1.0])
+        tilde, solution = r_tilde(K, v)
+        # Symmetric: q = (1/2, 1/2); adversary indifferent; value = 2.5.
+        assert tilde == pytest.approx(2.5)
+        assert solution.row_strategy == pytest.approx([0.5, 0.5])
+
+    def test_r_at_least_one(self):
+        rng = np.random.default_rng(3)
+        K = rng.uniform(0.5, 2.0, size=(4, 3))
+        phi = GamePhi.from_matrices(K)
+        tilde, _ = r_tilde(phi.costs, phi.v)
+        # Point-mass priors force ratio >= 1 on every attained column.
+        assert tilde >= 1.0 - 1e-9
+
+    def test_bisection_value_signs(self):
+        K = np.array([[1.0, 4.0], [4.0, 1.0]])
+        v = np.array([1.0, 1.0])
+        assert bisection_value(K, v, 1.0) > 0  # r below R
+        assert bisection_value(K, v, 4.0) < 0  # r above R
+        assert bisection_value(K, v, 2.5) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProposition42:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gap_vanishes_random(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = int(rng.integers(2, 7)), int(rng.integers(2, 6))
+        K = rng.uniform(0.3, 3.0, size=(m, n))
+        assert proposition_4_2_gap(K, K.min(axis=0)) <= 1e-5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_gap_vanishes_property(self, seed):
+        rng = np.random.default_rng(seed)
+        K = rng.uniform(0.2, 4.0, size=(3, 3))
+        assert proposition_4_2_gap(K, K.min(axis=0)) <= 1e-5
+
+    def test_gap_with_slack_v(self):
+        # v strictly below the columnwise minimum is allowed (it is a lower
+        # bound, not necessarily attained); Prop 4.2 still holds.
+        rng = np.random.default_rng(11)
+        K = rng.uniform(1.0, 2.0, size=(4, 4))
+        v = K.min(axis=0) * 0.8
+        assert proposition_4_2_gap(K, v) <= 1e-5
+
+
+class TestGamePhi:
+    def _tiny_game(self):
+        # 2 agents; agent 0 has 2 types; positive costs everywhere.
+        prior = CommonPrior.uniform([("a", 0), ("b", 0)])
+        game = BayesianGame(
+            [[0, 1], [0, 1]],
+            [["a", "b"], [0]],
+            prior,
+            lambda i, t, a: 1.0 + a[0] + 2 * a[1] + (0.5 if t[0] == "b" else 0.0),
+        )
+        return game
+
+    def test_shapes_and_labels(self):
+        phi = GamePhi.from_bayesian_game(self._tiny_game())
+        # Strategies: agent0 has 2^2, agent1 has 2 -> 8 profiles; 2 types.
+        assert phi.costs.shape == (8, 2)
+        assert phi.num_strategies == 8
+        assert phi.num_type_profiles == 2
+        assert len(phi.strategy_labels) == 8
+        assert len(phi.type_labels) == 2
+
+    def test_v_is_columnwise_min(self):
+        phi = GamePhi.from_bayesian_game(self._tiny_game())
+        assert phi.v == pytest.approx(phi.costs.min(axis=0))
+
+    def test_guards(self):
+        game = self._tiny_game()
+        with pytest.raises(ExplosionError):
+            GamePhi.from_bayesian_game(game, max_strategy_profiles=2)
+        with pytest.raises(ExplosionError):
+            GamePhi.from_bayesian_game(game, max_type_profiles=1)
+
+    def test_nonpositive_game_rejected(self):
+        prior = CommonPrior.point_mass((0,))
+        game = BayesianGame(
+            [[0, 1]], [[0]], prior, lambda i, t, a: float(a[0])
+        )
+        with pytest.raises(ValueError):
+            GamePhi.from_bayesian_game(game)
+
+    def test_from_matrices_defaults(self):
+        K = np.array([[1.0, 2.0], [2.0, 1.0]])
+        phi = GamePhi.from_matrices(K)
+        assert phi.v == pytest.approx([1.0, 1.0])

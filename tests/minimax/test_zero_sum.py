@@ -1,0 +1,135 @@
+"""Zero-sum solver tests: textbook games, backend agreement, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minimax import (
+    fictitious_play,
+    multiplicative_weights,
+    solve_zero_sum,
+    solve_zero_sum_lp,
+    solve_zero_sum_simplex,
+)
+
+MATCHING_PENNIES = np.array([[0.0, 1.0], [1.0, 0.0]])
+ROCK_PAPER_SCISSORS = np.array(
+    [
+        [0.0, 1.0, -1.0],
+        [-1.0, 0.0, 1.0],
+        [1.0, -1.0, 0.0],
+    ]
+)
+SADDLE = np.array([[3.0, 5.0], [4.0, 1.0]])  # no pure saddle; value 17/5
+
+
+class TestTextbookGames:
+    def test_matching_pennies(self):
+        solution = solve_zero_sum_lp(MATCHING_PENNIES)
+        assert solution.value == pytest.approx(0.5)
+        assert solution.row_strategy == pytest.approx([0.5, 0.5])
+        assert solution.col_strategy == pytest.approx([0.5, 0.5])
+
+    def test_rock_paper_scissors(self):
+        solution = solve_zero_sum_lp(ROCK_PAPER_SCISSORS)
+        assert solution.value == pytest.approx(0.0, abs=1e-9)
+        assert solution.row_strategy == pytest.approx([1 / 3] * 3)
+
+    def test_mixed_saddle(self):
+        # x = (3/5, 2/5), y = (4/5, 1/5), value = 17/5.
+        solution = solve_zero_sum_lp(SADDLE)
+        assert solution.value == pytest.approx(17 / 5)
+        assert solution.row_strategy == pytest.approx([3 / 5, 2 / 5])
+
+    def test_dominant_row(self):
+        M = np.array([[1.0, 1.0], [2.0, 3.0]])
+        solution = solve_zero_sum_lp(M)
+        assert solution.value == pytest.approx(1.0)
+        assert solution.row_strategy == pytest.approx([1.0, 0.0])
+
+    def test_pure_saddle_point(self):
+        # Saddle at (row 0, col 1): min of column 1 is 3, max of row 0 is 3.
+        M = np.array([[2.0, 3.0], [1.0, 4.0]])
+        solution = solve_zero_sum_lp(M)
+        assert solution.value == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            solve_zero_sum(np.zeros((0, 2)))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            solve_zero_sum(np.array([[np.inf, 1.0], [0.0, 1.0]]))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve_zero_sum(MATCHING_PENNIES, method="quantum")
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_simplex_matches_lp(self, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.uniform(-2.0, 2.0, size=(int(rng.integers(2, 6)), int(rng.integers(2, 6))))
+        lp = solve_zero_sum_lp(M)
+        own = solve_zero_sum_simplex(M)
+        assert own.value == pytest.approx(lp.value, abs=1e-7)
+        assert own.exploitability(M) <= 1e-7
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fictitious_play_approximates(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        M = rng.uniform(-1.0, 1.0, size=(3, 3))
+        exact = solve_zero_sum_lp(M)
+        approx = fictitious_play(M, iterations=30_000)
+        assert approx.value == pytest.approx(exact.value, abs=0.02)
+        assert approx.exploitability(M) <= 0.1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mwu_approximates(self, seed):
+        rng = np.random.default_rng(90 + seed)
+        M = rng.uniform(-1.0, 1.0, size=(4, 3))
+        exact = solve_zero_sum_lp(M)
+        approx = multiplicative_weights(M, iterations=8_000)
+        assert approx.value == pytest.approx(exact.value, abs=0.05)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_duality_and_feasibility(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.uniform(-3.0, 3.0, size=(m, n))
+        solution = solve_zero_sum_lp(M)
+        x, y = solution.row_strategy, solution.col_strategy
+        assert x.sum() == pytest.approx(1.0)
+        assert y.sum() == pytest.approx(1.0)
+        assert (x >= -1e-12).all() and (y >= -1e-12).all()
+        # Guarantees: the row player caps her loss at the value; the column
+        # player secures at least the value.
+        assert np.max(x @ M) <= solution.value + 1e-7
+        assert np.min(M @ y) >= solution.value - 1e-7
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_value_shift_equivariance(self, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.uniform(-1.0, 1.0, size=(3, 4))
+        base = solve_zero_sum_lp(M).value
+        shifted = solve_zero_sum_lp(M + 2.5).value
+        assert shifted == pytest.approx(base + 2.5, abs=1e-7)
+
+    def test_transpose_antisymmetry(self):
+        rng = np.random.default_rng(7)
+        M = rng.uniform(-1.0, 1.0, size=(3, 3))
+        value = solve_zero_sum_lp(M).value
+        # Swapping roles: row player of -M^T is the old column player.
+        value_t = solve_zero_sum_lp(-M.T).value
+        assert value_t == pytest.approx(-value, abs=1e-7)

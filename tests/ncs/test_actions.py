@@ -1,0 +1,66 @@
+"""ActionCatalog and load-counting tests."""
+
+import pytest
+
+from repro.graphs import Graph, grid_graph
+from repro.ncs import ActionCatalog, bought_edges, edge_loads
+
+from .conftest import parallel_edges_graph
+
+
+class TestActionCatalog:
+    def test_trivial_pair_empty_action(self):
+        g, _, _ = parallel_edges_graph()
+        catalog = ActionCatalog(g)
+        assert catalog.actions_for(("s", "s")) == [frozenset()]
+
+    def test_parallel_edges_two_actions(self):
+        g, cheap, expensive = parallel_edges_graph()
+        catalog = ActionCatalog(g)
+        actions = catalog.actions_for(("s", "t"))
+        assert sorted(actions, key=sorted) == [
+            frozenset({cheap}),
+            frozenset({expensive}),
+        ]
+
+    def test_cache_returns_copies(self):
+        g, _, _ = parallel_edges_graph()
+        catalog = ActionCatalog(g)
+        first = catalog.actions_for(("s", "t"))
+        first.append("junk")
+        assert "junk" not in catalog.actions_for(("s", "t"))
+
+    def test_disconnected_pair_rejected(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        catalog = ActionCatalog(g)
+        with pytest.raises(ValueError):
+            catalog.actions_for(("a", "b"))
+
+    def test_union_space_dedupes(self):
+        g = grid_graph(2, 2)
+        catalog = ActionCatalog(g)
+        union = catalog.union_space([((0, 0), (1, 1)), ((0, 0), (1, 1))])
+        assert len(union) == len(set(union)) == 2
+
+    def test_union_space_spans_multiple_pairs(self):
+        g, cheap, expensive = parallel_edges_graph()
+        catalog = ActionCatalog(g)
+        union = catalog.union_space([("s", "t"), ("s", "s")])
+        assert frozenset() in union
+        assert len(union) == 3
+
+
+class TestLoads:
+    def test_edge_loads(self):
+        profile = (frozenset({1, 2}), frozenset({2}), frozenset())
+        assert edge_loads(profile) == {1: 1, 2: 2}
+
+    def test_bought_edges(self):
+        profile = (frozenset({1}), frozenset({2, 3}))
+        assert bought_edges(profile) == frozenset({1, 2, 3})
+
+    def test_empty_profile(self):
+        assert edge_loads(()) == {}
+        assert bought_edges((frozenset(),)) == frozenset()

@@ -1,0 +1,170 @@
+"""BayesianNCSGame tests: interim machinery, equilibria, reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constructions import random_bayesian_ncs
+from repro.core import CommonPrior, ignorance_report
+from repro.core.equilibrium import is_bayesian_equilibrium as core_is_beq
+from repro.graphs import Graph
+from repro.ncs import BayesianNCSGame, uniform_bayesian_ncs
+
+from .conftest import parallel_edges_graph
+
+
+class TestConstruction:
+    def test_basic_shape(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        assert game.num_agents == 2
+        assert game.types(0) == [("s", "t")]
+        assert game.types(1) == [("s", "t"), ("s", "s")]
+
+    def test_infeasible_type_rejected(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        prior = CommonPrior.point_mass((("a", "b"),))
+        with pytest.raises(ValueError):
+            BayesianNCSGame(g, [[("a", "b")]], prior)
+
+    def test_uniform_builder(self):
+        g, _, _ = parallel_edges_graph()
+        game = uniform_bayesian_ncs(
+            g,
+            [
+                [("s", "t"), ("s", "t")],
+                [("s", "t"), ("s", "s")],
+            ],
+        )
+        assert game.num_agents == 2
+        assert game.prior.probability((("s", "t"), ("s", "s"))) == 0.5
+
+    def test_uniform_builder_validation(self):
+        g, _, _ = parallel_edges_graph()
+        with pytest.raises(ValueError):
+            uniform_bayesian_ncs(g, [])
+        with pytest.raises(ValueError):
+            uniform_bayesian_ncs(g, [[("s", "t")], [("s", "t"), ("s", "s")]])
+
+
+class TestCosts:
+    def test_interim_cost_expected_share(self, maybe_active_partner):
+        game, cheap, expensive = maybe_active_partner
+        # Both types of agent 1 and agent 0 buy the cheap edge when active.
+        strategies = ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))
+        interim = game.game.interim_cost(0, ("s", "t"), strategies)
+        assert interim == pytest.approx(0.75)
+
+    def test_social_cost(self, maybe_active_partner):
+        game, cheap, _ = maybe_active_partner
+        strategies = ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))
+        assert game.social_cost(strategies) == pytest.approx(1.0)
+
+    def test_infeasible_action_inf(self, maybe_active_partner):
+        game, cheap, _ = maybe_active_partner
+        strategies = ((frozenset(),), (frozenset({cheap}), frozenset()))
+        assert math.isinf(game.game.ex_ante_cost(0, strategies))
+
+
+class TestInterimBestResponse:
+    def test_weights_match_definition(self, maybe_active_partner):
+        game, cheap, expensive = maybe_active_partner
+        strategies = ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))
+        weights = game.interim_edge_weights(0, ("s", "t"), strategies)
+        # cheap: half the time shared (pay 1/2), half alone (pay 1).
+        assert weights[cheap] == pytest.approx(0.75)
+        assert weights[expensive] == pytest.approx(4.0)
+
+    def test_best_response_action(self, maybe_active_partner):
+        game, cheap, _ = maybe_active_partner
+        strategies = ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))
+        action, cost = game.interim_best_response(0, ("s", "t"), strategies)
+        assert action == frozenset({cheap})
+        assert cost == pytest.approx(0.75)
+
+    def test_trivial_type_best_response(self, maybe_active_partner):
+        game, cheap, _ = maybe_active_partner
+        strategies = ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))
+        action, cost = game.interim_best_response(1, ("s", "s"), strategies)
+        assert action == frozenset()
+        assert cost == 0.0
+
+    def test_matches_enumeration(self, maybe_active_partner):
+        """Dijkstra best responses agree with explicit enumeration."""
+        game, cheap, expensive = maybe_active_partner
+        strategies = ((frozenset({expensive}),), (frozenset({cheap}), frozenset()))
+        _, dijkstra_cost = game.interim_best_response(0, ("s", "t"), strategies)
+        enumerated = min(
+            game.game.interim_cost_of_action(0, ("s", "t"), action, strategies)
+            for action in game.game.feasible_actions(0, ("s", "t"))
+        )
+        assert dijkstra_cost == pytest.approx(enumerated)
+
+
+class TestEquilibrium:
+    def test_equilibrium_check(self, maybe_active_partner):
+        game, cheap, expensive = maybe_active_partner
+        good = ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))
+        bad = ((frozenset({expensive}),), (frozenset({cheap}), frozenset()))
+        assert game.is_bayesian_equilibrium(good)
+        assert not game.is_bayesian_equilibrium(bad)
+
+    def test_agrees_with_core_check(self, maybe_active_partner):
+        game, cheap, expensive = maybe_active_partner
+        for s0 in game.game.feasible_actions(0, ("s", "t")):
+            strategies = ((s0,), (frozenset({cheap}), frozenset()))
+            assert game.is_bayesian_equilibrium(strategies) == core_is_beq(
+                game.game, strategies
+            )
+
+    def test_dynamics_converge(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        result = game.best_response_dynamics()
+        assert game.is_bayesian_equilibrium(result)
+
+    def test_dynamics_on_random_games(self):
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            game = random_bayesian_ncs(3, 6, rng)
+            result = game.best_response_dynamics()
+            assert game.is_bayesian_equilibrium(result)
+
+
+class TestStateOptimum:
+    def test_matches_generic_enumeration(self):
+        """Steiner-based optC equals enumeration over path profiles."""
+        for seed in range(5):
+            rng = np.random.default_rng(100 + seed)
+            game = random_bayesian_ncs(2, 5, rng)
+            specialized = game.ignorance_report()
+            generic = ignorance_report(game.game)
+            assert specialized.opt_c == pytest.approx(generic.opt_c)
+            assert specialized.opt_p == pytest.approx(generic.opt_p)
+            assert specialized.best_eq_p == pytest.approx(generic.best_eq_p)
+
+    def test_cache_hit(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        t = (("s", "t"), ("s", "t"))
+        assert game.state_optimum(t) == game.state_optimum(t) == 1.0
+
+    def test_opt_c(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        assert game.opt_c() == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_report_on_fixture(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        report = game.ignorance_report()
+        report.verify_observation_2_2()
+        # Unique Bayesian equilibrium: everybody on the cheap edge.
+        assert report.opt_p == pytest.approx(1.0)
+        assert report.best_eq_p == pytest.approx(1.0)
+        assert report.opt_c == pytest.approx(1.0)
+
+    def test_greedy_profile(self, maybe_active_partner):
+        game, cheap, _ = maybe_active_partner
+        greedy = game.greedy_profile()
+        assert greedy == ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))

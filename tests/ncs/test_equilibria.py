@@ -1,0 +1,119 @@
+"""NCS equilibrium sets, PoA/PoS, and the paper's universal bounds."""
+
+import numpy as np
+import pytest
+
+from repro import ExplosionError
+from repro._util import harmonic
+from repro.constructions import random_bayesian_ncs
+from repro.graphs import Graph
+from repro.ncs import (
+    NCSGame,
+    enumerate_path_profiles,
+    nash_equilibria,
+    nash_extreme_costs,
+    price_of_anarchy,
+    price_of_stability,
+    verify_poa_pos_bounds,
+)
+
+from .conftest import parallel_edges_graph
+
+
+class TestEnumeration:
+    def test_profile_count(self, parallel_game):
+        game, _, _ = parallel_game
+        assert len(enumerate_path_profiles(game)) == 4
+
+    def test_explosion_guard(self, parallel_game):
+        game, _, _ = parallel_game
+        with pytest.raises(ExplosionError):
+            enumerate_path_profiles(game, max_profiles=2)
+
+    def test_unique_equilibrium(self, parallel_game):
+        game, cheap, _ = parallel_game
+        equilibria = nash_equilibria(game)
+        assert equilibria == [(frozenset({cheap}), frozenset({cheap}))]
+
+    def test_extreme_costs(self, parallel_game):
+        game, _, _ = parallel_game
+        assert nash_extreme_costs(game) == (pytest.approx(1.0), pytest.approx(1.0))
+
+
+class TestAnshelevichGadget:
+    """The classic PoS gadget: k direct edges vs a shared path."""
+
+    def _game(self, k, eps=0.1):
+        # Directed, as in the paper's Fig 1: otherwise agents could reach
+        # their destination through other agents' direct edges and the free
+        # hub edges.
+        g = Graph(directed=True)
+        # Common source x, shared hub z (free z->y_i edges), destinations y_i.
+        g.add_node("x")
+        g.add_node("z")
+        shared = g.add_edge("x", "z", 1.0 + eps)
+        directs = {}
+        for i in range(1, k + 1):
+            g.add_node(("y", i))
+            directs[i] = g.add_edge("x", ("y", i), 1.0 / i)
+            g.add_edge("z", ("y", i), 0.0)
+        return NCSGame(g, [("x", ("y", i)) for i in range(1, k + 1)]), shared, directs
+
+    def test_all_direct_is_equilibrium(self):
+        game, shared, directs = self._game(3)
+        profile = tuple(frozenset({directs[i]}) for i in range(1, 4))
+        assert game.is_nash_equilibrium(profile)
+        assert game.social_cost(profile) == pytest.approx(harmonic(3))
+
+    def test_optimum_is_shared_path(self):
+        game, shared, directs = self._game(3)
+        assert game.optimum_cost() == pytest.approx(1.1)
+
+    def test_pos_grows_like_harmonic(self):
+        # In this gadget the all-direct profile is the unique equilibrium,
+        # so PoS = H(k)/(1+eps).
+        for k in (2, 3, 4):
+            game, _, _ = self._game(k)
+            pos = price_of_stability(game)
+            assert pos == pytest.approx(harmonic(k) / 1.1)
+            assert pos <= harmonic(k) + 1e-9
+
+
+class TestUniversalBounds:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_poa_pos_bounds_on_random_games(self, seed):
+        rng = np.random.default_rng(seed)
+        bayesian = random_bayesian_ncs(3, 5, rng)
+        t = bayesian.prior.support()[0][0]
+        verify_poa_pos_bounds(bayesian.underlying_ncs(t))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma_3_1_worst_eq_p_at_most_k_opt_c(self, seed):
+        """Lemma 3.1: worst-eqP <= k * optC on arbitrary Bayesian NCS games."""
+        rng = np.random.default_rng(50 + seed)
+        game = random_bayesian_ncs(3, 5, rng, directed=seed % 2 == 0)
+        report = game.ignorance_report()
+        assert report.worst_eq_p <= 3 * report.opt_c + 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma_3_8_best_eq_p_at_most_harmonic_opt_p(self, seed):
+        """Lemma 3.8: best-eqP <= H(k) * optP on arbitrary Bayesian NCS games."""
+        rng = np.random.default_rng(200 + seed)
+        game = random_bayesian_ncs(3, 5, rng)
+        report = game.ignorance_report()
+        assert report.best_eq_p <= harmonic(3) * report.opt_p + 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_observation_2_2_on_random_games(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        game = random_bayesian_ncs(2, 6, rng, scenarios=3)
+        game.ignorance_report().verify_observation_2_2()
+
+
+class TestPoAEdgeCases:
+    def test_zero_optimum(self):
+        g = Graph()
+        e = g.add_edge("s", "t", 0.0)
+        game = NCSGame(g, [("s", "t")])
+        assert price_of_anarchy(game) == 1.0
+        assert price_of_stability(game) == 1.0

@@ -1,0 +1,160 @@
+"""Complete-information NCSGame tests (payments, BRs, equilibria)."""
+
+import math
+
+import pytest
+
+from repro.graphs import Graph, path_graph
+from repro.ncs import NCSGame
+
+from .conftest import parallel_edges_graph, triangle_graph
+
+
+class TestValidation:
+    def test_unknown_nodes_rejected(self):
+        g = path_graph(2)
+        with pytest.raises(ValueError):
+            NCSGame(g, [(0, 99)])
+
+
+class TestPaymentsAndCosts:
+    def test_fair_sharing(self, parallel_game):
+        game, cheap, expensive = parallel_game
+        both_cheap = (frozenset({cheap}), frozenset({cheap}))
+        assert game.payment(0, both_cheap) == pytest.approx(0.5)
+        assert game.cost(0, both_cheap) == pytest.approx(0.5)
+        assert game.social_cost(both_cheap) == pytest.approx(1.0)
+
+    def test_split_profile(self, parallel_game):
+        game, cheap, expensive = parallel_game
+        split = (frozenset({cheap}), frozenset({expensive}))
+        assert game.cost(0, split) == pytest.approx(1.0)
+        assert game.cost(1, split) == pytest.approx(4.0)
+        assert game.social_cost(split) == pytest.approx(5.0)
+
+    def test_infeasible_action_costs_inf(self, parallel_game):
+        game, cheap, _ = parallel_game
+        profile = (frozenset(), frozenset({cheap}))
+        assert math.isinf(game.cost(0, profile))
+        assert math.isinf(game.social_cost(profile))
+
+    def test_trivial_agent_pays_zero(self):
+        g, cheap, _ = parallel_edges_graph()
+        game = NCSGame(g, [("s", "s"), ("s", "t")])
+        profile = (frozenset(), frozenset({cheap}))
+        assert game.cost(0, profile) == 0.0
+        assert game.social_cost(profile) == pytest.approx(1.0)
+
+    def test_three_way_share(self):
+        g = Graph()
+        e = g.add_edge("s", "t", 3.0)
+        game = NCSGame(g, [("s", "t")] * 3)
+        profile = tuple(frozenset({e}) for _ in range(3))
+        for agent in range(3):
+            assert game.cost(agent, profile) == pytest.approx(1.0)
+
+    def test_payment_includes_unused_edges(self, parallel_game):
+        game, cheap, expensive = parallel_game
+        hoarder = (frozenset({cheap, expensive}), frozenset({cheap}))
+        # The hoarding agent pays half of cheap plus all of expensive.
+        assert game.cost(0, hoarder) == pytest.approx(0.5 + 4.0)
+
+
+class TestBestResponse:
+    def test_join_the_crowd(self, parallel_game):
+        game, cheap, expensive = parallel_game
+        profile = (frozenset({expensive}), frozenset({cheap}))
+        action, cost = game.best_response(0, profile)
+        assert action == frozenset({cheap})
+        assert cost == pytest.approx(0.5)
+
+    def test_trivial_pair(self):
+        g, cheap, _ = parallel_edges_graph()
+        game = NCSGame(g, [("s", "s")])
+        action, cost = game.best_response(0, (frozenset(),))
+        assert action == frozenset()
+        assert cost == 0.0
+
+    def test_anticipated_share_weights(self):
+        # Path s-m-t (1.2 each hop) vs direct edge (2.0).  Alone the direct
+        # edge wins; with a partner on the path, sharing wins.
+        g = Graph()
+        e1 = g.add_edge("s", "m", 1.2)
+        e2 = g.add_edge("m", "t", 1.2)
+        direct = g.add_edge("s", "t", 2.0)
+        game = NCSGame(g, [("s", "t"), ("s", "t")])
+        alone = (frozenset(), frozenset())
+        action, cost = game.best_response(0, alone)
+        assert action == frozenset({direct})
+        assert cost == pytest.approx(2.0)
+        partner_on_path = (frozenset(), frozenset({e1, e2}))
+        action, cost = game.best_response(0, partner_on_path)
+        assert action == frozenset({e1, e2})
+        assert cost == pytest.approx(1.2)
+
+    def test_disconnected_best_response(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "c", 1.0)
+        game = NCSGame(g, [("a", "b")])
+        action, cost = game.best_response(0, (frozenset(),))
+        assert math.isinf(cost)
+
+
+class TestEquilibrium:
+    def test_unique_ne_on_parallel_edges(self, parallel_game):
+        game, cheap, expensive = parallel_game
+        both_cheap = (frozenset({cheap}), frozenset({cheap}))
+        both_exp = (frozenset({expensive}), frozenset({expensive}))
+        split = (frozenset({cheap}), frozenset({expensive}))
+        assert game.is_nash_equilibrium(both_cheap)
+        assert not game.is_nash_equilibrium(both_exp)
+        assert not game.is_nash_equilibrium(split)
+
+    def test_gworst_underlying_equilibrium(self):
+        # Lemma 3.6's underlying game when agent k+1 travels (u, v): all of
+        # agents 1..k on the two-hop path is a NE when eps > 1/k.
+        k = 4
+        eps = 1.3 / k  # in (1/k, 3/(2k))
+        g, uv, vw, uw = triangle_graph(k, eps)
+        pairs = [("u", "w")] * k + [("u", "v")]
+        game = NCSGame(g, pairs)
+        two_hop = frozenset({uv, vw})
+        profile = tuple([two_hop] * k + [frozenset({uv})])
+        assert game.is_nash_equilibrium(profile)
+        assert game.social_cost(profile) == pytest.approx(k + 2.0)
+
+    def test_dynamics_reach_equilibrium(self, parallel_game):
+        game, cheap, expensive = parallel_game
+        start = (frozenset({expensive}), frozenset({expensive}))
+        result = game.best_response_dynamics(initial=start)
+        assert game.is_nash_equilibrium(result)
+
+    def test_dynamics_default_seed(self, parallel_game):
+        game, _, _ = parallel_game
+        result = game.best_response_dynamics()
+        assert game.is_nash_equilibrium(result)
+
+
+class TestOptAndDistances:
+    def test_optimum_cost(self, parallel_game):
+        game, _, _ = parallel_game
+        assert game.optimum_cost() == pytest.approx(1.0)
+
+    def test_distance(self, parallel_game):
+        game, _, _ = parallel_game
+        assert game.distance(0) == pytest.approx(1.0)
+
+    def test_shortest_path_action(self, parallel_game):
+        game, cheap, _ = parallel_game
+        assert game.shortest_path_action(0) == frozenset({cheap})
+
+    def test_optimum_shares_structure(self):
+        # Both agents share the middle segment: optimum is the full path.
+        g = Graph()
+        g.add_edge("x1", "m", 1.0)
+        g.add_edge("x2", "m", 1.0)
+        g.add_edge("m", "y", 1.0)
+        game = NCSGame(g, [("x1", "y"), ("x2", "y")])
+        assert game.optimum_cost() == pytest.approx(3.0)

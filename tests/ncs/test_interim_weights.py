@@ -1,0 +1,115 @@
+"""Deep checks of the interim machinery: brute-force cross-validation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constructions import random_bayesian_ncs
+from repro.graphs import Graph
+from repro.ncs import BayesianNCSGame, edge_loads
+from repro.core import CommonPrior
+
+
+def brute_force_interim_weight(game, agent, ti, strategies, eid):
+    """E[c(e) / (1 + N_e) | t_i] straight from the definition."""
+    total = 0.0
+    for profile, prob in game.prior.conditional(agent, ti):
+        others = tuple(
+            game.game.action_of(strategies[j], j, profile[j])
+            for j in range(game.num_agents)
+            if j != agent
+        )
+        load = sum(1 for action in others if eid in action)
+        total += prob * game.graph.edge(eid).cost / (1 + load)
+    return total
+
+
+class TestInterimWeightsAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        game = random_bayesian_ncs(3, 5, rng, extra_edges=3)
+        strategies = game.greedy_profile()
+        for agent in range(game.num_agents):
+            for ti in game.prior.positive_types(agent):
+                weights = game.interim_edge_weights(agent, ti, strategies)
+                for eid in game.graph.edge_ids():
+                    assert weights[eid] == pytest.approx(
+                        brute_force_interim_weight(
+                            game, agent, ti, strategies, eid
+                        )
+                    )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_interim_cost_is_sum_of_weights(self, seed):
+        """A path action's interim cost = sum of its edges' weights."""
+        rng = np.random.default_rng(50 + seed)
+        game = random_bayesian_ncs(2, 5, rng, extra_edges=3)
+        strategies = game.greedy_profile()
+        for agent in range(game.num_agents):
+            for ti in game.prior.positive_types(agent):
+                weights = game.interim_edge_weights(agent, ti, strategies)
+                for action in game.game.feasible_actions(agent, ti):
+                    expected = sum(weights[eid] for eid in action)
+                    actual = game.game.interim_cost_of_action(
+                        agent, ti, action, strategies
+                    )
+                    assert actual == pytest.approx(expected)
+
+
+class TestZeroCostEdges:
+    """Zero-cost edges create payoff ties; tolerance must not oscillate."""
+
+    def _game(self):
+        g = Graph(directed=False)
+        paid = g.add_edge("s", "m", 1.0)
+        free1 = g.add_edge("m", "t", 0.0)
+        free2 = g.add_edge("m", "t", 0.0)
+        prior = CommonPrior.point_mass(((("s", "t")), (("s", "t"))))
+        game = BayesianNCSGame(
+            g, [[("s", "t")], [("s", "t")]], prior, name="zero-cost"
+        )
+        return game, paid, free1, free2
+
+    def test_equilibrium_with_free_edge_choice(self):
+        game, paid, free1, free2 = self._game()
+        # Agents on different free copies: still an equilibrium (all free).
+        profile = (
+            (frozenset({paid, free1}),),
+            (frozenset({paid, free2}),),
+        )
+        assert game.is_bayesian_equilibrium(profile)
+        assert game.social_cost(profile) == pytest.approx(1.0)
+
+    def test_dynamics_terminate_despite_ties(self):
+        game, *_ = self._game()
+        result = game.best_response_dynamics(max_rounds=100)
+        assert game.is_bayesian_equilibrium(result)
+
+    def test_report_handles_zero_costs(self):
+        game, *_ = self._game()
+        report = game.ignorance_report()
+        report.verify_observation_2_2()
+        assert report.opt_p == pytest.approx(1.0)
+        assert report.opt_c == pytest.approx(1.0)
+
+
+class TestEdgeLoadsProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=6), max_size=4),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_loads_count_membership(self, actions):
+        loads = edge_loads(tuple(actions))
+        for eid, load in loads.items():
+            assert load == sum(1 for action in actions if eid in action)
+            assert load >= 1
+        all_eids = set().union(*actions) if actions else set()
+        assert set(loads) == all_eids

@@ -1,0 +1,55 @@
+"""optP computation and benevolent descent tests."""
+
+import numpy as np
+import pytest
+
+from repro.constructions import random_bayesian_ncs, random_independent_bayesian_ncs
+from repro.ncs import benevolent_descent, opt_p, optimal_strategy_profile
+
+
+class TestExactOptP:
+    def test_on_fixture(self, maybe_active_partner):
+        game, cheap, _ = maybe_active_partner
+        assert opt_p(game) == pytest.approx(1.0)
+        profile, cost = optimal_strategy_profile(game)
+        assert cost == pytest.approx(1.0)
+        assert game.social_cost(profile) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_opt_p_lower_bounds_equilibria(self, seed):
+        rng = np.random.default_rng(seed)
+        game = random_bayesian_ncs(2, 5, rng)
+        report = game.ignorance_report()
+        assert report.opt_p <= report.best_eq_p + 1e-9
+
+
+class TestBenevolentDescent:
+    def test_reaches_exact_optimum_on_small_games(self):
+        # Descent is a local method; on these tiny instances we just check
+        # it never beats the exact optimum and always returns a consistent
+        # cost.
+        for seed in range(5):
+            rng = np.random.default_rng(400 + seed)
+            game = random_bayesian_ncs(2, 5, rng)
+            profile, cost = benevolent_descent(game)
+            assert cost == pytest.approx(game.social_cost(profile))
+            assert cost >= opt_p(game) - 1e-9
+
+    def test_descent_improves_on_greedy(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        greedy_cost = game.social_cost(game.greedy_profile())
+        _, descended = benevolent_descent(game)
+        assert descended <= greedy_cost + 1e-9
+
+    def test_respects_initial(self, maybe_active_partner):
+        game, cheap, _ = maybe_active_partner
+        initial = ((frozenset({cheap}),), (frozenset({cheap}), frozenset()))
+        profile, cost = benevolent_descent(game, initial=initial)
+        assert cost == pytest.approx(1.0)
+
+    def test_independent_prior_games(self):
+        for seed in range(3):
+            rng = np.random.default_rng(500 + seed)
+            game = random_independent_bayesian_ncs(2, 5, rng)
+            profile, cost = benevolent_descent(game)
+            assert cost >= game.opt_c() - 1e-9

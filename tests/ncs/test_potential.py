@@ -1,0 +1,108 @@
+"""Rosenthal potential tests (per-state and Bayesian, Observation 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro._util import harmonic
+from repro.constructions import random_bayesian_ncs
+from repro.core.potential import is_bayesian_potential
+from repro.graphs import Graph
+from repro.ncs import (
+    NCSGame,
+    bayesian_rosenthal_potential,
+    bought_cost,
+    enumerate_path_profiles,
+    potential_sandwich_holds,
+    rosenthal_potential,
+)
+
+from .conftest import parallel_edges_graph
+
+
+class TestStatePotential:
+    def test_harmonic_shares(self):
+        g = Graph()
+        e = g.add_edge("s", "t", 6.0)
+        profile = tuple(frozenset({e}) for _ in range(3))
+        assert rosenthal_potential(g, profile) == pytest.approx(6.0 * harmonic(3))
+
+    def test_empty_profile_zero(self):
+        g, _, _ = parallel_edges_graph()
+        assert rosenthal_potential(g, (frozenset(), frozenset())) == 0.0
+
+    def test_exact_potential_property(self):
+        """Unilateral deviations change q by exactly the deviator's cost change."""
+        g, cheap, expensive = parallel_edges_graph()
+        game = NCSGame(g, [("s", "t"), ("s", "t")])
+        profiles = enumerate_path_profiles(game)
+        for profile in profiles:
+            base_q = rosenthal_potential(g, profile)
+            for agent in range(2):
+                base_cost = game.cost(agent, profile)
+                for deviation in (frozenset({cheap}), frozenset({expensive})):
+                    if deviation == profile[agent]:
+                        continue
+                    mutated = list(profile)
+                    mutated[agent] = deviation
+                    mutated = tuple(mutated)
+                    dq = rosenthal_potential(g, mutated) - base_q
+                    dc = game.cost(agent, mutated) - base_cost
+                    assert dq == pytest.approx(dc)
+
+    def test_exact_potential_on_random_games(self):
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            game = random_bayesian_ncs(2, 5, rng)
+            t = game.prior.support()[0][0]
+            ncs = game.underlying_ncs(t)
+            profiles = enumerate_path_profiles(ncs)
+            for profile in profiles[:40]:
+                base_q = rosenthal_potential(ncs.graph, profile)
+                base_cost = ncs.cost(0, profile)
+                for alternative in {p[0] for p in profiles[:40]}:
+                    if alternative == profile[0]:
+                        continue
+                    mutated = (alternative,) + profile[1:]
+                    dq = rosenthal_potential(ncs.graph, mutated) - base_q
+                    dc = ncs.cost(0, mutated) - base_cost
+                    assert dq == pytest.approx(dc, abs=1e-9)
+
+
+class TestSandwich:
+    def test_bought_cost(self):
+        g, cheap, expensive = parallel_edges_graph()
+        profile = (frozenset({cheap}), frozenset({cheap, expensive}))
+        assert bought_cost(g, profile) == pytest.approx(5.0)
+
+    def test_sandwich_holds_everywhere(self):
+        g, cheap, expensive = parallel_edges_graph()
+        game = NCSGame(g, [("s", "t"), ("s", "t")])
+        for profile in enumerate_path_profiles(game):
+            assert potential_sandwich_holds(g, profile, 2)
+
+
+class TestBayesianPotential:
+    def test_lifted_rosenthal_is_bayesian_potential(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        assert is_bayesian_potential(
+            game.game, lambda s: bayesian_rosenthal_potential(game, s)
+        )
+
+    def test_lifted_on_random_games(self):
+        for seed in range(3):
+            rng = np.random.default_rng(10 + seed)
+            game = random_bayesian_ncs(2, 4, rng)
+            assert is_bayesian_potential(
+                game.game,
+                lambda s, game=game: bayesian_rosenthal_potential(game, s),
+            )
+
+    def test_potential_minimizer_is_equilibrium(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        from repro.core import enumerate_strategy_profiles
+
+        best = min(
+            enumerate_strategy_profiles(game.game),
+            key=lambda s: bayesian_rosenthal_potential(game, s),
+        )
+        assert game.is_bayesian_equilibrium(best)

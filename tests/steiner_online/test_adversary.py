@@ -1,0 +1,84 @@
+"""Imase-Waxman diamond adversary tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import diamond_graph, steiner_tree_exact
+from repro.steiner_online import (
+    expected_competitive_ratio,
+    greedy_cost_on_adversary,
+    sample_adversary,
+)
+
+
+class TestSampling:
+    def test_opt_cost_is_one(self):
+        d = diamond_graph(3)
+        for seed in range(6):
+            sequence = sample_adversary(d, np.random.default_rng(seed))
+            assert sequence.opt_cost == pytest.approx(1.0)
+
+    def test_request_counts_per_level(self):
+        d = diamond_graph(3)
+        sequence = sample_adversary(d, np.random.default_rng(0))
+        sizes = [len(level) for level in sequence.requests_by_level]
+        # sink, then 1, 2, 4 midpoints.
+        assert sizes == [1, 1, 2, 4]
+
+    def test_opt_edges_form_st_path(self):
+        d = diamond_graph(2)
+        sequence = sample_adversary(d, np.random.default_rng(1))
+        assert d.graph.connects(
+            d.source, d.sink, allowed_edges=set(sequence.opt_edges)
+        )
+        # 2^levels deepest edges on the chosen path.
+        assert len(sequence.opt_edges) == 4
+
+    def test_requests_lie_on_opt_path(self):
+        d = diamond_graph(3)
+        sequence = sample_adversary(d, np.random.default_rng(2))
+        allowed = set(sequence.opt_edges)
+        for request in sequence.requests:
+            assert d.graph.connects(d.source, request, allowed_edges=allowed)
+
+    def test_opt_upper_bounds_exact_steiner(self):
+        d = diamond_graph(2)
+        sequence = sample_adversary(d, np.random.default_rng(3))
+        exact = steiner_tree_exact(
+            d.graph, [d.source, *sequence.requests[:4]]
+        )
+        assert exact <= sequence.opt_cost + 1e-9
+
+    def test_level_zero_graph(self):
+        d = diamond_graph(0)
+        sequence = sample_adversary(d, np.random.default_rng(0))
+        assert sequence.requests == [d.sink]
+        assert sequence.opt_cost == pytest.approx(1.0)
+
+
+class TestLowerBound:
+    def test_greedy_pays_at_least_opt(self):
+        d = diamond_graph(2)
+        for seed in range(5):
+            sequence = sample_adversary(d, np.random.default_rng(seed))
+            cost = greedy_cost_on_adversary(d, sequence)
+            assert cost >= sequence.opt_cost - 1e-9
+
+    def test_ratio_grows_with_levels(self):
+        """The Omega(log n) engine: expected ratio increases in depth."""
+        rng = np.random.default_rng(42)
+        ratios = []
+        for levels in (1, 3, 5):
+            d = diamond_graph(levels)
+            _, _, ratio = expected_competitive_ratio(d, rng, samples=12)
+            ratios.append(ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+        # By level 5 the gap is comfortably above any constant near 1.
+        assert ratios[2] > 2.0
+
+    def test_expected_opt_is_one(self):
+        d = diamond_graph(2)
+        _, expected_opt, _ = expected_competitive_ratio(
+            d, np.random.default_rng(0), samples=8
+        )
+        assert expected_opt == pytest.approx(1.0)

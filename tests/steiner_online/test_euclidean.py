@@ -1,0 +1,107 @@
+"""Euclidean online Steiner tests (the Alon-Azar remark substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.steiner_online import (
+    EuclideanGreedyOnlineSteiner,
+    dyadic_adversary_ratio,
+    dyadic_segment_sequence,
+    euclidean_mst_cost,
+    greedy_euclidean_cost,
+    uniform_competitive_ratio,
+    uniform_points,
+)
+
+
+class TestGreedy:
+    def test_single_terminal(self):
+        algorithm = EuclideanGreedyOnlineSteiner((0.0, 0.0))
+        assert algorithm.serve((3.0, 4.0)) == pytest.approx(5.0)
+        assert algorithm.total_cost == pytest.approx(5.0)
+
+    def test_connects_to_nearest_vertex(self):
+        algorithm = EuclideanGreedyOnlineSteiner((0.0, 0.0))
+        algorithm.serve((1.0, 0.0))
+        # (0.9, 0) is nearer to (1,0) than to the root.
+        assert algorithm.serve((0.9, 0.0)) == pytest.approx(0.1)
+
+    def test_sequence_helper(self):
+        cost = greedy_euclidean_cost((0.0, 0.0), [(1.0, 0.0), (2.0, 0.0)])
+        assert cost == pytest.approx(2.0)
+
+    def test_duplicate_point_free(self):
+        algorithm = EuclideanGreedyOnlineSteiner((0.0, 0.0))
+        algorithm.serve((1.0, 0.0))
+        assert algorithm.serve((1.0, 0.0)) == pytest.approx(0.0)
+
+
+class TestMST:
+    def test_degenerate(self):
+        assert euclidean_mst_cost([]) == 0.0
+        assert euclidean_mst_cost([(0.0, 0.0)]) == 0.0
+
+    def test_collinear(self):
+        assert euclidean_mst_cost(
+            [(0.0, 0.0), (1.0, 0.0), (3.0, 0.0)]
+        ) == pytest.approx(3.0)
+
+    def test_square(self):
+        corners = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        assert euclidean_mst_cost(corners) == pytest.approx(3.0)
+
+    def test_greedy_at_least_mst(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            points = uniform_points(12, rng)
+            greedy = greedy_euclidean_cost(points[0], points[1:])
+            assert greedy >= euclidean_mst_cost(points) - 1e-9
+
+
+class TestDyadicAdversary:
+    def test_sequence_structure(self):
+        root, requests = dyadic_segment_sequence(2)
+        assert root == (0.0, 0.0)
+        assert requests[0] == (1.0, 0.0)
+        assert (0.5, 0.0) in requests
+        assert (0.25, 0.0) in requests and (0.75, 0.0) in requests
+        # 1 + 1 + 2 points for levels <= 2.
+        assert len(requests) == 4
+
+    def test_point_count(self):
+        _, requests = dyadic_segment_sequence(5)
+        assert len(requests) == 2**5  # 1 + sum 2^(j-1)
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            dyadic_segment_sequence(-1)
+
+    def test_opt_is_the_segment(self):
+        _, opt, _ = dyadic_adversary_ratio(4)
+        assert opt == pytest.approx(1.0)
+
+    def test_greedy_pays_half_per_level(self):
+        greedy, _, _ = dyadic_adversary_ratio(5)
+        # 1 (first request) + 1/2 per refinement level, exactly.
+        assert greedy == pytest.approx(1.0 + 5 * 0.5)
+
+    def test_ratio_grows_logarithmically(self):
+        ratios = [dyadic_adversary_ratio(levels)[2] for levels in (2, 4, 6, 8)]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        increments = [b - a for a, b in zip(ratios, ratios[1:])]
+        # Linear in levels = logarithmic in the point count.
+        assert all(abs(i - 1.0) < 0.05 for i in increments)
+
+
+class TestUniformBaseline:
+    def test_random_instances_are_benign(self):
+        """Without adversarial structure the greedy ratio stays small."""
+        rng = np.random.default_rng(1)
+        ratios = [uniform_competitive_ratio(40, rng) for _ in range(5)]
+        assert all(r < 3.0 for r in ratios)
+
+    def test_ratio_at_least_one(self):
+        rng = np.random.default_rng(2)
+        assert uniform_competitive_ratio(20, rng) >= 1.0 - 1e-9

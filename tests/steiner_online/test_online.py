@@ -1,0 +1,115 @@
+"""Greedy online Steiner tree tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    steiner_tree_exact,
+)
+from repro.steiner_online import (
+    GreedyOnlineSteiner,
+    competitive_ratio,
+    greedy_online_cost,
+)
+
+
+class TestServe:
+    def test_single_terminal(self):
+        g = path_graph(3)
+        algorithm = GreedyOnlineSteiner(g, 0)
+        assert algorithm.serve(2) == 2.0
+        assert algorithm.total_cost == 2.0
+        assert algorithm.connected == {0, 1, 2}
+
+    def test_already_connected_free(self):
+        g = path_graph(3)
+        algorithm = GreedyOnlineSteiner(g, 0)
+        algorithm.serve(2)
+        assert algorithm.serve(1) == 0.0
+        assert algorithm.step_costs == [2.0, 0.0]
+
+    def test_reuses_bought_edges(self):
+        g = cycle_graph(6)
+        algorithm = GreedyOnlineSteiner(g, 0)
+        first = algorithm.serve(2)   # buys 0-1-2
+        second = algorithm.serve(3)  # extends: 2-3 (or 0-5-4-3 costs 3)
+        assert first == 2.0
+        assert second == 1.0
+
+    def test_root_request_free(self):
+        g = path_graph(2)
+        algorithm = GreedyOnlineSteiner(g, 0)
+        assert algorithm.serve(0) == 0.0
+
+    def test_unreachable_terminal(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        algorithm = GreedyOnlineSteiner(g, "a")
+        with pytest.raises(ValueError):
+            algorithm.serve("z")
+
+    def test_unknown_nodes(self):
+        g = path_graph(2)
+        with pytest.raises(KeyError):
+            GreedyOnlineSteiner(g, 99)
+        algorithm = GreedyOnlineSteiner(g, 0)
+        with pytest.raises(KeyError):
+            algorithm.serve(99)
+
+    def test_directed_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            GreedyOnlineSteiner(g, "a")
+
+
+class TestTotals:
+    def test_sequence_helper(self):
+        g = grid_graph(3, 3)
+        total = greedy_online_cost(g, (0, 0), [(2, 2), (0, 2), (2, 0)])
+        assert total >= steiner_tree_exact(
+            g, [(0, 0), (2, 2), (0, 2), (2, 0)]
+        ) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_feasible_and_above_opt(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(12, 10, rng)
+        terminals = [3, 7, 11]
+        algorithm = GreedyOnlineSteiner(g, 0)
+        algorithm.serve_sequence(terminals)
+        # Feasibility: all terminals connected to the root via bought edges.
+        for t in terminals:
+            assert g.connects(0, t, allowed_edges=algorithm.bought)
+        # Optimality sandwich: OPT <= greedy <= sum of distances.
+        opt = steiner_tree_exact(g, [0, *terminals])
+        assert opt - 1e-9 <= algorithm.total_cost
+
+    def test_greedy_within_log_factor_on_random_instances(self):
+        # Classic guarantee: greedy is O(log m)-competitive for m requests.
+        for seed in range(4):
+            rng = np.random.default_rng(50 + seed)
+            g = random_connected_graph(12, 12, rng)
+            terminals = [4, 8, 11]
+            ratio = competitive_ratio(g, 0, terminals)
+            assert ratio <= 2 * math.ceil(math.log2(len(terminals) + 1)) + 1e-9
+
+
+class TestCompetitiveRatio:
+    def test_explicit_opt(self):
+        g = path_graph(4)
+        ratio = competitive_ratio(g, 0, [3], opt_cost=3.0)
+        assert ratio == pytest.approx(1.0)
+
+    def test_zero_opt_convention(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.0)
+        assert competitive_ratio(g, "a", ["b"], opt_cost=0.0) == 1.0
