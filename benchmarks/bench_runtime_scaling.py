@@ -1,0 +1,64 @@
+"""Micro-benchmark: serial vs process-pool sweep execution.
+
+Runs a fixed Table-1-style grid through the runtime engine at
+``jobs=1`` and ``jobs=2`` (no cache, so both runs do the full work),
+asserts the cell rows are identical, and records the wall-clock numbers
+through the artifact store (``results/bench-runtime-scaling/``).
+
+Parallel dispatch pays off once per-unit work exceeds the ``spawn``
+worker start-up cost (each worker imports numpy + repro); on small grids
+or single-core machines serial wins, and this benchmark records whichever
+is true for the current host rather than asserting a speedup.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.analysis.experiments import sweep_t1_directed_opt_universal
+from repro.runtime.artifacts import ArtifactStore, cell_to_dict
+from repro.runtime.executor import run_sweep
+
+#: A fixed grid heavy enough to time meaningfully: k up to 4 drives the
+#: exact-equilibrium enumeration, the dominant per-unit cost.
+SCALING_SWEEP = sweep_t1_directed_opt_universal(ks=(2, 3, 4), seeds=(0, 1, 2, 3))
+
+PARALLEL_JOBS = 2
+
+
+def _timed_run(jobs):
+    start = time.perf_counter()
+    run, stats = run_sweep(SCALING_SWEEP, jobs=jobs, cache=None)
+    return run, stats, time.perf_counter() - start
+
+
+def test_runtime_scaling(record):
+    serial_run, serial_stats, serial_seconds = _timed_run(jobs=1)
+    parallel_run, parallel_stats, parallel_seconds = _timed_run(jobs=PARALLEL_JOBS)
+
+    # Parity first: parallel execution must not change a single row.
+    serial_rows = [cell_to_dict(cell) for cell in serial_run.cells]
+    parallel_rows = [cell_to_dict(cell) for cell in parallel_run.cells]
+    assert serial_rows == parallel_rows
+    assert serial_stats.executed == parallel_stats.executed
+
+    record(serial_run.cells)
+    assert all(cell.passed for cell in serial_run.cells)
+
+    store = ArtifactStore(root=pathlib.Path(__file__).parent.parent / "results")
+    artifacts = store.write(
+        "bench-runtime-scaling",
+        serial_run.cells,
+        meta={
+            "grid_units": serial_stats.unique_units,
+            "cpu_count": os.cpu_count(),
+            "serial_seconds": round(serial_seconds, 3),
+            "parallel_jobs": PARALLEL_JOBS,
+            "parallel_seconds": round(parallel_seconds, 3),
+            "speedup": round(serial_seconds / parallel_seconds, 3),
+            "rows_identical": True,
+        },
+    )
+    meta = json.loads(artifacts.meta_path.read_text())
+    assert meta["rows_identical"] is True

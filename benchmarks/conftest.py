@@ -2,9 +2,10 @@
 
 Every benchmark records the :class:`repro.analysis.table1.CellResult` rows
 it regenerated; at the end of the session the reproduced paper table is
-printed (and appended to ``benchmarks/_results.md``) so that
-``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
-paper-vs-measured evidence alongside the timings.
+printed and written through the runtime artifact store
+(``results/benchmarks/{cells.json,cells.csv,summary.md}``), so that
+``pytest benchmarks/ --benchmark-only`` captures the paper-vs-measured
+evidence alongside the timings in both human- and machine-readable form.
 """
 
 import pathlib
@@ -12,6 +13,7 @@ import pathlib
 import pytest
 
 from repro.analysis import render_markdown, render_series_block
+from repro.runtime.artifacts import ArtifactStore
 
 _CELLS = []
 
@@ -37,11 +39,6 @@ def pytest_terminal_summary(terminalreporter):
         + "\n"
     )
     terminalreporter.write(text)
-    results_path = pathlib.Path(__file__).parent / "_results.md"
-    results_path.write_text(
-        "# Reproduced results (auto-generated by the benchmark run)\n\n"
-        + render_markdown(_CELLS)
-        + "\n\n```\n"
-        + render_series_block(_CELLS)
-        + "\n```\n"
-    )
+    store = ArtifactStore(root=pathlib.Path(__file__).parent.parent / "results")
+    artifacts = store.write("benchmarks", _CELLS)
+    terminalreporter.write(f"\nartifacts: {artifacts.directory}\n")

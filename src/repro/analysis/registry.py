@@ -1,21 +1,29 @@
-"""A tiny experiment registry.
+"""The experiment registry: spec-backed ids plus legacy callables.
 
-Benchmarks register cell-producing callables under their experiment ids
-(T1-D-opt-E, FIG1, SEC4, ...); ``run_all`` executes them and collects
-:class:`~repro.analysis.table1.CellResult` rows for EXPERIMENTS.md.  The
-registry keeps the benchmark files self-contained while letting scripts
-regenerate the full table in one call.
+Every experiment id (T1-D-opt-E, FIG1, SEC4, ...) is backed by a
+:class:`~repro.runtime.spec.SweepSpec` declared in
+:mod:`repro.analysis.experiments`; ``sweep_specs()`` exposes them (plus
+any specs registered at runtime) to the ``python -m repro`` CLI and the
+parallel engine.
+
+The original callable-based API is kept as a thin compatibility layer:
+``register``/``registered_ids`` manage ad-hoc cell-producing callables
+(used by tests and one-off scripts), and ``run``/``run_all`` execute
+either kind — callables directly, spec-backed ids through the engine.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .table1 import CellResult
 
 ExperimentFn = Callable[[], List[CellResult]]
 
 _REGISTRY: Dict[str, ExperimentFn] = {}
+
+#: Sweep specs registered at runtime (on top of the built-in suite).
+_SWEEPS: Dict[str, "SweepSpec"] = {}
 
 
 def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
@@ -30,28 +38,90 @@ def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
     return wrap
 
 
+def register_sweep(sweep: "SweepSpec") -> "SweepSpec":
+    """Register (or replace) a runtime sweep spec under its sweep id."""
+    _SWEEPS[sweep.sweep_id] = sweep
+    return sweep
+
+
 def registered_ids() -> List[str]:
+    """Ids of ad-hoc registered callables (legacy API; sorted)."""
     return sorted(_REGISTRY)
 
 
-def run(experiment_id: str) -> List[CellResult]:
-    try:
-        fn = _REGISTRY[experiment_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; "
-            f"known: {registered_ids()}"
-        ) from None
-    return fn()
+def sweep_specs() -> Dict[str, "SweepSpec"]:
+    """Every spec-backed experiment id, in reporting order.
+
+    The built-in suite from :mod:`repro.analysis.experiments` (imported
+    lazily to avoid a cycle) plus runtime registrations, which shadow
+    built-ins of the same id.
+    """
+    from . import experiments
+
+    merged: Dict[str, "SweepSpec"] = dict(experiments.SWEEPS)
+    merged.update(_SWEEPS)
+    return merged
 
 
-def run_all(ids: Iterable[str] = None) -> List[CellResult]:
+def sweep_ids() -> List[str]:
+    return list(sweep_specs())
+
+
+def resolve_sweeps(tokens: Iterable[str]) -> List["SweepSpec"]:
+    """Match each token against sweep ids, exactly or as a prefix.
+
+    ``T1`` selects every Table-1 sweep; ``FIG1`` selects just Fig. 1.
+    Matching is case-insensitive; order follows the registry (reporting
+    order), with duplicates dropped.  Unknown tokens raise ``KeyError``.
+    """
+    specs = sweep_specs()
+    by_upper = {sweep_id.upper(): sweep_id for sweep_id in specs}
+    selected: Dict[str, "SweepSpec"] = {}
+    for token in tokens:
+        upper = token.upper()
+        matches = (
+            [by_upper[upper]]
+            if upper in by_upper
+            else [
+                sweep_id
+                for sweep_id in specs
+                if sweep_id.upper().startswith(upper)
+            ]
+        )
+        if not matches:
+            raise KeyError(
+                f"unknown experiment {token!r}; known: {sweep_ids()}"
+            )
+        for sweep_id in matches:
+            selected.setdefault(sweep_id, specs[sweep_id])
+    return list(selected.values())
+
+
+def run(experiment_id: str, jobs: int = 1) -> List[CellResult]:
+    """Run one experiment id: a registered callable or a sweep spec."""
+    fn = _REGISTRY.get(experiment_id)
+    if fn is not None:
+        return fn()
+    specs = sweep_specs()
+    if experiment_id in specs:
+        from ..runtime.executor import sweep_cells
+
+        return sweep_cells(specs[experiment_id], jobs=jobs)
+    raise KeyError(
+        f"unknown experiment {experiment_id!r}; "
+        f"known: {sorted(set(registered_ids()) | set(specs))}"
+    )
+
+
+def run_all(ids: Optional[Iterable[str]] = None, jobs: int = 1) -> List[CellResult]:
+    """Run several ids (default: every ad-hoc registered callable)."""
     results: List[CellResult] = []
     for experiment_id in ids if ids is not None else registered_ids():
-        results.extend(run(experiment_id))
+        results.extend(run(experiment_id, jobs=jobs))
     return results
 
 
 def clear() -> None:
-    """Testing hook: forget all registrations."""
+    """Testing hook: forget all ad-hoc registrations."""
     _REGISTRY.clear()
+    _SWEEPS.clear()

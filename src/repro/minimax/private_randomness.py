@@ -171,7 +171,10 @@ def r_private_upper(
     sweep solves every agent's marginal LP to optimality, so the
     objective is non-increasing and converges to a blockwise optimum.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        # Fixed-seed fallback (never the shared global RNG) so results are
+        # reproducible even when dispatched to worker processes.
+        rng = np.random.default_rng(0)
     axes = factor_strategy_labels(phi)
     tensor = _ratio_tensor(phi, axes)
     k = len(axes)

@@ -1,0 +1,55 @@
+"""Parallel experiment runtime: specs, execution, caching, artifacts.
+
+The subsystem behind ``python -m repro``:
+
+``repro.runtime.spec``
+    Declarative, hashable :class:`ScenarioSpec`/:class:`SweepSpec`
+    descriptions of experiment cells, expanded into independent
+    :class:`UnitTask` grid points.
+``repro.runtime.executor``
+    The engine: cache-aware, deduplicating, ``spawn``-safe process-pool
+    execution with deterministic result ordering, plus sweep reduction
+    into :class:`~repro.analysis.table1.CellResult` rows.
+``repro.runtime.cache``
+    Content-addressed on-disk result cache under ``.repro_cache/``.
+``repro.runtime.artifacts``
+    JSON + CSV + Markdown artifact bundles under ``results/``.
+``repro.runtime.cli``
+    The ``python -m repro {list,run,sweep,report,cache}`` entry point.
+"""
+
+from .artifacts import ArtifactStore, RunArtifacts, cell_to_dict, load_cells_json
+from .cache import CacheStats, ResultCache, default_cache_root
+from .executor import (
+    RunStats,
+    ScenarioRun,
+    SweepRun,
+    UnitResult,
+    run_sweep,
+    run_sweeps,
+    run_units,
+    sweep_cells,
+)
+from .spec import ScenarioSpec, SweepSpec, UnitTask, resolve_ref
+
+__all__ = [
+    "ArtifactStore",
+    "RunArtifacts",
+    "cell_to_dict",
+    "load_cells_json",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_root",
+    "RunStats",
+    "ScenarioRun",
+    "SweepRun",
+    "UnitResult",
+    "run_sweep",
+    "run_sweeps",
+    "run_units",
+    "sweep_cells",
+    "ScenarioSpec",
+    "SweepSpec",
+    "UnitTask",
+    "resolve_ref",
+]

@@ -1,0 +1,160 @@
+"""Run artifacts: JSON + CSV + Markdown summaries of reproduced cells.
+
+Every CLI run (and the benchmark session hook) writes its
+:class:`~repro.analysis.table1.CellResult` rows through an
+:class:`ArtifactStore` rooted at ``results/`` — machine-readable
+(``cells.json``, ``cells.csv``) and human-readable (``summary.md``)
+views of the same rows, plus a ``meta.json`` with engine statistics.
+Each named run overwrites its own directory, so ``results/<name>/``
+always holds the latest evidence for that workload.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.table1 import CellResult, render_markdown, render_series_block
+
+#: Default artifact directory (relative to the current working directory).
+DEFAULT_RESULTS_DIRNAME = "results"
+
+_CSV_COLUMNS = (
+    "experiment_id",
+    "graph_class",
+    "ratio",
+    "bound_kind",
+    "paper_claim",
+    "expected_shape",
+    "measured_shape",
+    "fit",
+    "passed",
+    "series",
+    "notes",
+)
+
+
+def cell_to_dict(cell: CellResult) -> Dict[str, Any]:
+    """A JSON-ready view of one cell row."""
+    return {
+        "experiment_id": cell.experiment_id,
+        "graph_class": cell.graph_class,
+        "ratio": cell.ratio,
+        "bound_kind": cell.bound_kind,
+        "paper_claim": cell.paper_claim,
+        "expected_shape": cell.expected_shape,
+        "measured_shape": cell.measured_shape,
+        "fit": cell.fit.describe() if cell.fit else None,
+        "bound_check": cell.bound_check,
+        "passed": cell.passed,
+        "series": [[point.parameter, point.value] for point in cell.series],
+        "notes": cell.notes,
+    }
+
+
+@dataclass
+class RunArtifacts:
+    """Paths written for one named run."""
+
+    directory: Path
+    json_path: Path
+    csv_path: Path
+    markdown_path: Path
+    meta_path: Path
+
+
+@dataclass
+class ArtifactStore:
+    """Writes per-run artifact bundles under ``root/<name>/``."""
+
+    root: Path = field(default_factory=lambda: Path(DEFAULT_RESULTS_DIRNAME))
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def run_dir(self, name: str) -> Path:
+        return self.root / name
+
+    def write(
+        self,
+        name: str,
+        cells: Sequence[CellResult],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> RunArtifacts:
+        directory = self.run_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        rows = [cell_to_dict(cell) for cell in cells]
+        json_path = directory / "cells.json"
+        json_path.write_text(
+            json.dumps(rows, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+        csv_path = directory / "cells.csv"
+        with csv_path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_CSV_COLUMNS)
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(
+                    {
+                        **{k: row[k] for k in _CSV_COLUMNS if k not in ("series",)},
+                        "series": "; ".join(
+                            f"{x:g}:{y:.6g}" for x, y in row["series"]
+                        ),
+                    }
+                )
+
+        markdown_path = directory / "summary.md"
+        failed = [cell.experiment_id for cell in cells if not cell.passed]
+        header = [
+            f"# Reproduced results: {name}",
+            "",
+            f"- generated: {time.strftime('%Y-%m-%d %H:%M:%S')}",
+            f"- cells: {len(cells)} ({len(failed)} failing claim check)",
+        ]
+        if meta:
+            for key in sorted(meta):
+                header.append(f"- {key}: {meta[key]}")
+        if failed:
+            header.append(f"- FAILED: {', '.join(failed)}")
+        markdown_path.write_text(
+            "\n".join(header)
+            + "\n\n"
+            + render_markdown(cells)
+            + "\n\n```\n"
+            + render_series_block(cells)
+            + "\n```\n",
+            encoding="utf-8",
+        )
+
+        meta_path = directory / "meta.json"
+        meta_path.write_text(
+            json.dumps(
+                {
+                    "name": name,
+                    "cell_count": len(cells),
+                    "failed": failed,
+                    **(meta or {}),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return RunArtifacts(
+            directory=directory,
+            json_path=json_path,
+            csv_path=csv_path,
+            markdown_path=markdown_path,
+            meta_path=meta_path,
+        )
+
+
+def load_cells_json(path: Path) -> List[Dict[str, Any]]:
+    """Read back a ``cells.json`` artifact (used by benches and tests)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,148 @@
+"""Content-addressed on-disk cache for unit-task results.
+
+Entries live under ``.repro_cache/<first-two-hex>/<key>.json`` keyed by
+:meth:`repro.runtime.spec.UnitTask.key` — a SHA-256 over the task
+reference, its parameters, and the package version, so a code release
+invalidates every entry without any manual bookkeeping.  Values must be
+JSON-serializable (unit tasks return plain floats/dicts/lists).
+
+Writes are atomic (tempfile + rename) so concurrent runs — including the
+process-pool workers of two simultaneous sweeps — never observe a
+half-written entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+#: Default cache directory (relative to the current working directory),
+#: overridable via the ``REPRO_CACHE_DIR`` environment variable.
+DEFAULT_CACHE_DIRNAME = ".repro_cache"
+
+_MISS = object()
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIRNAME))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class ResultCache:
+    """A directory of ``<key>.json`` entries with hit/miss accounting."""
+
+    root: Path = field(default_factory=default_cache_root)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            value = entry["value"]
+        except (OSError, ValueError, KeyError):
+            # Missing, unreadable, or corrupt entries are all plain misses;
+            # the unit task simply recomputes and overwrites.
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "value": value}
+        if meta:
+            entry["meta"] = meta
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key[:8]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return self.root.glob("??/*.json")
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def total_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self._entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        # Prune now-empty shard directories (best effort).
+        if self.root.is_dir():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,305 @@
+"""The unified ``python -m repro`` command line.
+
+Subcommands::
+
+    python -m repro list                  # every experiment id + grid size
+    python -m repro run FIG1 SEC4         # run experiments (cached)
+    python -m repro sweep T1 --jobs 4     # prefix selection + grid overrides
+    python -m repro report                # the full suite, like the old
+                                          #   python -m repro.analysis.report
+    python -m repro cache stats|clear     # inspect / empty .repro_cache
+
+``run`` and ``sweep`` share the engine: ids match exactly or by prefix,
+unit tasks are served from the content-addressed cache (``--no-cache``
+disables it, ``--clear-cache`` empties it first) and executed on a
+``spawn`` process pool (``--jobs``).  Every run writes JSON + CSV +
+Markdown artifacts under ``results/`` (``--no-artifacts`` to skip).
+
+Exit codes: 0 all claims pass, 1 a cell failed its claim, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis import registry
+from ..analysis.table1 import render_markdown, render_series_block
+from .artifacts import DEFAULT_RESULTS_DIRNAME, ArtifactStore
+from .cache import ResultCache, default_cache_root
+from .executor import run_sweeps
+from .spec import Scalar
+
+
+def _parse_scalar(text: str) -> Scalar:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_set_option(option: str) -> Dict[str, List[Scalar]]:
+    """Parse one ``--set dim=v1,v2,...`` (or ``dim=lo..hi``) override."""
+    key, sep, raw = option.partition("=")
+    key = key.strip()
+    if not sep or not key or not raw.strip():
+        raise argparse.ArgumentTypeError(
+            f"bad --set {option!r}; expected dim=v1,v2,... or dim=lo..hi"
+        )
+    raw = raw.strip()
+    if ".." in raw and "," not in raw:
+        lo_text, _, hi_text = raw.partition("..")
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad --set range {raw!r}; expected integers like 0..7"
+            ) from None
+        if hi < lo:
+            raise argparse.ArgumentTypeError(f"empty --set range {raw!r}")
+        return {key: list(range(lo, hi + 1))}
+    return {key: [_parse_scalar(part) for part in raw.split(",") if part != ""]}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures via the "
+        "parallel experiment runtime.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list experiment ids, grid sizes, and descriptions"
+    )
+    list_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also show each scenario's task and grid",
+    )
+
+    for name, help_text in (
+        ("run", "run experiments by id or prefix"),
+        ("sweep", "run experiments with optional grid overrides"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "ids", nargs="+", metavar="ID",
+            help="experiment id or prefix (e.g. T1, FIG1, SEC4)",
+        )
+        sub.add_argument(
+            "-j", "--jobs", type=int, default=1,
+            help="worker processes (default 1 = serial)",
+        )
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="skip the on-disk result cache entirely",
+        )
+        sub.add_argument(
+            "--clear-cache", action="store_true",
+            help="empty the cache before running",
+        )
+        sub.add_argument(
+            "--cache-dir", type=Path, default=None,
+            help="cache directory (default .repro_cache or $REPRO_CACHE_DIR)",
+        )
+        sub.add_argument(
+            "--results-dir", type=Path, default=Path(DEFAULT_RESULTS_DIRNAME),
+            help="artifact directory (default results/)",
+        )
+        sub.add_argument(
+            "--no-artifacts", action="store_true",
+            help="do not write JSON/CSV/Markdown artifacts",
+        )
+        sub.add_argument(
+            "--series", action="store_true",
+            help="print every cell's measured series",
+        )
+        if name == "sweep":
+            sub.add_argument(
+                "--set", action="append", default=[], metavar="DIM=VALUES",
+                dest="overrides", type=parse_set_option,
+                help="override a grid dimension on matching scenarios, e.g. "
+                "--set k=2,3,4 or --set seed=0..7 (repeatable)",
+            )
+
+    report_parser = subparsers.add_parser(
+        "report", help="run the full default suite and print the table"
+    )
+    report_parser.add_argument("-j", "--jobs", type=int, default=1)
+    report_parser.add_argument("--no-cache", action="store_true")
+    report_parser.add_argument("--clear-cache", action="store_true")
+    report_parser.add_argument("--cache-dir", type=Path, default=None)
+    report_parser.add_argument(
+        "--results-dir", type=Path, default=Path(DEFAULT_RESULTS_DIRNAME)
+    )
+    report_parser.add_argument("--no-artifacts", action="store_true")
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or empty the result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "clear"), nargs="?", default="stats"
+    )
+    cache_parser.add_argument("--cache-dir", type=Path, default=None)
+    return parser
+
+
+def _cache_from_args(args: argparse.Namespace) -> Optional[ResultCache]:
+    root = args.cache_dir if args.cache_dir is not None else default_cache_root()
+    cache = ResultCache(root=root)
+    if getattr(args, "clear_cache", False):
+        removed = cache.clear()
+        print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    if getattr(args, "no_cache", False):
+        return None
+    return cache
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = registry.sweep_specs()
+    width = max(len(sweep_id) for sweep_id in specs)
+    print(f"{'experiment':<{width}}  units  description")
+    for sweep_id, sweep in specs.items():
+        print(f"{sweep_id:<{width}}  {sweep.size:>5}  {sweep.description}")
+        if args.verbose:
+            for scenario in sweep.scenarios:
+                grid = ", ".join(
+                    f"{key}={list(values)}" for key, values in scenario.grid
+                )
+                print(
+                    f"{'':<{width}}     - {scenario.scenario_id}: "
+                    f"{scenario.task.rsplit(':', 1)[-1]}"
+                    + (f" [{grid}]" if grid else "")
+                )
+    return 0
+
+
+def _run_and_report(
+    args: argparse.Namespace,
+    sweeps,
+    artifact_name: str,
+    show_series: bool,
+) -> int:
+    overrides: Dict[str, List[Scalar]] = {}
+    for entry in getattr(args, "overrides", []) or []:
+        overrides.update(entry)
+    if overrides:
+        declared = {
+            key
+            for sweep in sweeps
+            for scenario in sweep.scenarios
+            for key, _ in scenario.grid
+        }
+        for key in sorted(set(overrides) - declared):
+            print(
+                f"warning: --set {key}=... matches no grid dimension of the "
+                f"selected experiments (dimensions: {sorted(declared)})",
+                file=sys.stderr,
+            )
+        sweeps = [sweep.with_grid(**overrides) for sweep in sweeps]
+
+    cache = _cache_from_args(args)
+    sweep_runs, stats = run_sweeps(sweeps, jobs=args.jobs, cache=cache)
+    cells = [cell for run in sweep_runs for cell in run.cells]
+
+    print(render_markdown(cells))
+    print()
+    if show_series:
+        print(render_series_block(cells))
+        print()
+    print(stats.describe())
+
+    if not args.no_artifacts:
+        store = ArtifactStore(root=args.results_dir)
+        artifacts = store.write(
+            artifact_name,
+            cells,
+            meta={
+                "sweeps": [run.sweep.sweep_id for run in sweep_runs],
+                "spec_hashes": {
+                    run.sweep.sweep_id: run.sweep.spec_hash()
+                    for run in sweep_runs
+                },
+                "stats": {
+                    "total_units": stats.total_units,
+                    "unique_units": stats.unique_units,
+                    "executed": stats.executed,
+                    "cache_hits": stats.cache_hits,
+                    "jobs": stats.jobs,
+                    "wall_seconds": round(stats.wall_seconds, 3),
+                },
+            },
+        )
+        print(f"artifacts: {artifacts.directory}")
+
+    failed = [cell.experiment_id for cell in cells if not cell.passed]
+    if failed:
+        print(f"\nFAILED claims: {failed}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(cells)} cells PASS")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        sweeps = registry.resolve_sweeps(args.ids)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    name = "-".join(args.ids) if len(args.ids) <= 3 else f"{args.ids[0]}-etc"
+    return _run_and_report(args, sweeps, name, args.series)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    sweeps = list(registry.sweep_specs().values())
+    args.overrides = []
+    return _run_and_report(args, sweeps, "report", show_series=True)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    root = args.cache_dir if args.cache_dir is not None else default_cache_root()
+    cache = ResultCache(root=root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    count = cache.entry_count()
+    size = cache.total_bytes()
+    print(f"cache: {cache.root}")
+    print(f"entries: {count}")
+    print(f"bytes: {size}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command in ("run", "sweep"):
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any CLI.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,244 @@
+"""Parallel unit-task execution and sweep orchestration.
+
+``run_units`` is the engine core: it deduplicates the unit-task list,
+serves what it can from the :class:`~repro.runtime.cache.ResultCache`,
+dispatches the remainder to a ``spawn``-based process pool (stdlib
+``concurrent.futures``; serial fallback for ``jobs <= 1``), writes fresh
+values back to the cache, and reassembles results in the *original
+submission order* — so ``jobs=1`` and ``jobs=N`` produce identical rows.
+
+``run_sweeps`` layers the declarative side on top: it expands every
+:class:`~repro.runtime.spec.SweepSpec` into unit tasks, runs them through
+one shared pool (deduplication spans sweeps, so e.g. the three Table-1
+universal cells share their random-game reports), and hands each
+scenario's ordered values to its reducer to produce ``CellResult`` rows.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.table1 import CellResult
+from .cache import ResultCache
+from .spec import ScenarioSpec, SweepSpec, UnitTask, resolve_ref
+
+#: Start method for worker processes.  ``spawn`` is the portable, safe
+#: choice: workers re-import task modules instead of inheriting arbitrary
+#: parent state, which is exactly what keeps unit tasks reproducible.
+MP_START_METHOD = "spawn"
+
+
+@dataclass
+class UnitResult:
+    """One executed (or cache-served) unit task."""
+
+    task: str
+    params: Dict[str, Any]
+    value: Any
+    cached: bool = False
+    seconds: float = 0.0
+
+
+@dataclass
+class RunStats:
+    """Aggregate accounting for one engine invocation."""
+
+    total_units: int = 0
+    unique_units: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def deduplicated(self) -> int:
+        return self.total_units - self.unique_units
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.unique_units if self.unique_units else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.total_units} unit task(s) "
+            f"({self.unique_units} unique, {self.executed} executed, "
+            f"{self.cache_hits} cache hit(s), "
+            f"hit rate {100.0 * self.cache_hit_rate:.0f}%) "
+            f"jobs={self.jobs} wall={self.wall_seconds:.2f}s"
+        )
+
+
+def _execute_unit(unit: UnitTask) -> Tuple[Any, float]:
+    """Top-level worker entry point (picklable under ``spawn``)."""
+    start = time.perf_counter()
+    value = unit.run()
+    return value, time.perf_counter() - start
+
+
+def _chunksize(pending: int, jobs: int) -> int:
+    # ~4 chunks per worker balances dispatch overhead against stragglers.
+    return max(1, pending // (jobs * 4))
+
+
+def run_units(
+    units: Sequence[UnitTask],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[List[UnitResult], RunStats]:
+    """Execute unit tasks; results come back in submission order."""
+    start = time.perf_counter()
+    jobs = max(1, int(jobs))
+    stats = RunStats(total_units=len(units), jobs=jobs)
+
+    # Deduplicate while preserving first-seen order.
+    unique: List[UnitTask] = []
+    position: Dict[UnitTask, int] = {}
+    for unit in units:
+        if unit not in position:
+            position[unit] = len(unique)
+            unique.append(unit)
+    stats.unique_units = len(unique)
+
+    values: List[Any] = [None] * len(unique)
+    cached_flags = [False] * len(unique)
+    seconds = [0.0] * len(unique)
+    pending_indices: List[int] = []
+    if cache is not None:
+        for index, unit in enumerate(unique):
+            hit, value = cache.get(unit.key())
+            if hit:
+                values[index] = value
+                cached_flags[index] = True
+            else:
+                pending_indices.append(index)
+        stats.cache_hits = len(unique) - len(pending_indices)
+    else:
+        pending_indices = list(range(len(unique)))
+
+    pending = [unique[index] for index in pending_indices]
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            outcomes = [_execute_unit(unit) for unit in pending]
+        else:
+            context = multiprocessing.get_context(MP_START_METHOD)
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                # ``map`` preserves input order, so result assembly is
+                # deterministic regardless of completion order.
+                outcomes = list(
+                    pool.map(
+                        _execute_unit,
+                        pending,
+                        chunksize=_chunksize(len(pending), workers),
+                    )
+                )
+        for index, (value, elapsed) in zip(pending_indices, outcomes):
+            values[index] = value
+            seconds[index] = elapsed
+            if cache is not None:
+                cache.put(
+                    unique[index].key(),
+                    value,
+                    meta={
+                        "task": unique[index].task,
+                        "params": list(unique[index].params),
+                    },
+                )
+        stats.executed = len(pending)
+
+    results = [
+        UnitResult(
+            task=unit.task,
+            params=unit.kwargs,
+            value=values[position[unit]],
+            cached=cached_flags[position[unit]],
+            seconds=seconds[position[unit]],
+        )
+        for unit in units
+    ]
+    stats.wall_seconds = time.perf_counter() - start
+    return results, stats
+
+
+# ----------------------------------------------------------------------
+# declarative layer: scenarios and sweeps
+# ----------------------------------------------------------------------
+
+@dataclass
+class ScenarioRun:
+    """One reduced scenario: its spec, unit results, and cell rows."""
+
+    spec: ScenarioSpec
+    results: List[UnitResult]
+    cells: List[CellResult]
+
+
+@dataclass
+class SweepRun:
+    """All scenario runs of one sweep."""
+
+    sweep: SweepSpec
+    scenario_runs: List[ScenarioRun] = field(default_factory=list)
+
+    @property
+    def cells(self) -> List[CellResult]:
+        cells: List[CellResult] = []
+        for run in self.scenario_runs:
+            cells.extend(run.cells)
+        return cells
+
+
+def run_sweeps(
+    sweeps: Sequence[SweepSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[List[SweepRun], RunStats]:
+    """Expand, execute (one shared pool), and reduce a batch of sweeps."""
+    slices: List[Tuple[SweepSpec, List[Tuple[ScenarioSpec, int, int]]]] = []
+    units: List[UnitTask] = []
+    for sweep in sweeps:
+        scenario_slices = []
+        for scenario in sweep.scenarios:
+            expanded = scenario.expand()
+            scenario_slices.append(
+                (scenario, len(units), len(units) + len(expanded))
+            )
+            units.extend(expanded)
+        slices.append((sweep, scenario_slices))
+
+    results, stats = run_units(units, jobs=jobs, cache=cache)
+
+    sweep_runs: List[SweepRun] = []
+    for sweep, scenario_slices in slices:
+        sweep_run = SweepRun(sweep=sweep)
+        for scenario, start, stop in scenario_slices:
+            scenario_results = results[start:stop]
+            reducer = resolve_ref(scenario.reducer)
+            cells = reducer(scenario, scenario_results)
+            sweep_run.scenario_runs.append(
+                ScenarioRun(spec=scenario, results=scenario_results, cells=cells)
+            )
+        sweep_runs.append(sweep_run)
+    return sweep_runs, stats
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[SweepRun, RunStats]:
+    """Convenience wrapper for a single sweep."""
+    runs, stats = run_sweeps([sweep], jobs=jobs, cache=cache)
+    return runs[0], stats
+
+
+def sweep_cells(sweep: SweepSpec, jobs: int = 1) -> List[CellResult]:
+    """Uncached, in-order cell rows for one sweep (library entry point)."""
+    run, _ = run_sweep(sweep, jobs=jobs, cache=None)
+    return run.cells

@@ -1,0 +1,70 @@
+"""Small canonical games with hand-computed solutions.
+
+Plain importable helpers (not a conftest): the ``tests/`` tree is not a
+package, so test modules import these via pytest's rootdir sys.path
+insertion (``from canonical_games import ...``).  The pytest fixtures
+wrapping them live in ``conftest.py`` next door.
+"""
+
+import numpy as np
+
+from repro.core import (
+    BayesianGame,
+    CommonPrior,
+    MatrixGame,
+    bayesian_game_from_state_games,
+    complete_information_game,
+)
+
+
+def prisoners_dilemma() -> MatrixGame:
+    """Cost-form PD: C=0, D=1.  Unique NE (D, D) costing 4; optimum 2."""
+    c1 = np.array([[1.0, 3.0], [0.0, 2.0]])
+    c2 = c1.T
+    return MatrixGame([c1, c2])
+
+
+def coordination_game() -> MatrixGame:
+    """Match -> 1 each, mismatch -> 3 each.  Two pure NE."""
+    c1 = np.array([[1.0, 3.0], [3.0, 1.0]])
+    return MatrixGame([c1, c1.copy()])
+
+
+def matching_pennies() -> MatrixGame:
+    """Zero-sum; no pure NE, no exact potential."""
+    c1 = np.array([[0.0, 1.0], [1.0, 0.0]])
+    c2 = 1.0 - c1
+    return MatrixGame([c1, c2])
+
+
+def matching_state_game() -> BayesianGame:
+    """The worked two-state example used across the core tests.
+
+    Two agents pick from {0, 1}; the state s is 0 or 1 w.p. 1/2; agent 0
+    observes s, agent 1 does not.  Each agent pays 1 when *both* actions
+    equal the state and 2 otherwise.  Hand-computed measures:
+
+    optP = best-eqP = worst-eqP = 3; optC = best-eqC = 2; worst-eqC = 4.
+    """
+    action_spaces = [[0, 1], [0, 1]]
+    type_spaces = [[0, 1], [0]]
+    prior = CommonPrior({(0, 0): 0.5, (1, 0): 0.5})
+
+    def cost(_agent, profile, actions):
+        state = profile[0]
+        return 1.0 if actions[0] == state and actions[1] == state else 2.0
+
+    return BayesianGame(
+        action_spaces, type_spaces, prior, cost, name="matching-state"
+    )
+
+
+def informed_coordination_game() -> BayesianGame:
+    """Agent 0 learns which coordinate is good; agent 1 must commit."""
+    good0 = MatrixGame(
+        [np.array([[0.0, 2.0], [2.0, 2.0]]), np.array([[0.0, 2.0], [2.0, 2.0]])]
+    )
+    good1 = MatrixGame(
+        [np.array([[2.0, 2.0], [2.0, 0.0]]), np.array([[2.0, 2.0], [2.0, 0.0]])]
+    )
+    return bayesian_game_from_state_games([good0, good1], [0.5, 0.5])

@@ -14,7 +14,7 @@ from repro.core import (
     nash_extreme_costs,
 )
 
-from .conftest import (
+from canonical_games import (
     coordination_game,
     matching_pennies,
     matching_state_game,

@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro import ExplosionError
 
-from .conftest import matching_state_game
+from canonical_games import matching_state_game
 
 
 class TestValidation:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import MatrixGame, bayesian_game_from_state_games
 
-from .conftest import coordination_game, prisoners_dilemma
+from canonical_games import coordination_game, prisoners_dilemma
 
 
 class TestConstruction:

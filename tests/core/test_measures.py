@@ -13,7 +13,7 @@ from repro.core import (
     state_optimum,
 )
 
-from .conftest import matching_state_game, prisoners_dilemma
+from canonical_games import matching_state_game, prisoners_dilemma
 
 
 class TestQuantitiesOnMatchingState:

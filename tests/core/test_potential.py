@@ -14,7 +14,7 @@ from repro.core import (
     minimize_bayesian_potential,
 )
 
-from .conftest import (
+from canonical_games import (
     coordination_game,
     matching_pennies,
     matching_state_game,

@@ -13,7 +13,7 @@ from repro.core import (
     with_public_signal,
 )
 
-from .conftest import matching_state_game
+from canonical_games import matching_state_game
 
 
 class TestSignalFunctions:

@@ -1,56 +1,15 @@
-"""Shared NCS fixtures with hand-computed solutions."""
+"""Fixtures wrapping the NCS game builders in ``ncs_games.py``."""
 
 import pytest
 
-from repro.core import CommonPrior
-from repro.graphs import Graph
-from repro.ncs import BayesianNCSGame, NCSGame
-
-
-def parallel_edges_graph():
-    """Two parallel s-t edges: cheap (1.0) and expensive (4.0)."""
-    g = Graph(directed=False)
-    cheap = g.add_edge("s", "t", 1.0)
-    expensive = g.add_edge("s", "t", 4.0)
-    return g, cheap, expensive
+from ncs_games import maybe_active_partner_game, parallel_edges_game
 
 
 @pytest.fixture
 def parallel_game():
-    """Two agents, both (s, t).  Unique NE: both on the cheap edge."""
-    g, cheap, expensive = parallel_edges_graph()
-    return NCSGame(g, [("s", "t"), ("s", "t")]), cheap, expensive
-
-
-def triangle_graph(k: int, epsilon: float):
-    """The Fig 2 `G_worst` triangle: (u,v) costs k+1, (v,w) costs 1,
-    (u,w) costs 1+epsilon."""
-    g = Graph(directed=False)
-    uv = g.add_edge("u", "v", k + 1.0)
-    vw = g.add_edge("v", "w", 1.0)
-    uw = g.add_edge("u", "w", 1.0 + epsilon)
-    return g, uv, vw, uw
+    return parallel_edges_game()
 
 
 @pytest.fixture
 def maybe_active_partner():
-    """Two agents on parallel edges; agent 1 is active only half the time.
-
-    Agent 0 always travels (s, t); agent 1 travels (s, t) w.p. 1/2 and is
-    trivial (s, s) otherwise.  With both on the cheap unit edge, agent 0's
-    interim cost is 1/2 * 1 + 1/2 * 1/2 = 0.75.
-    """
-    g, cheap, expensive = parallel_edges_graph()
-    prior = CommonPrior(
-        {
-            (("s", "t"), ("s", "t")): 0.5,
-            (("s", "t"), ("s", "s")): 0.5,
-        }
-    )
-    game = BayesianNCSGame(
-        g,
-        [[("s", "t")], [("s", "t"), ("s", "s")]],
-        prior,
-        name="maybe-active",
-    )
-    return game, cheap, expensive
+    return maybe_active_partner_game()

@@ -5,7 +5,7 @@ import pytest
 from repro.graphs import Graph, grid_graph
 from repro.ncs import ActionCatalog, bought_edges, edge_loads
 
-from .conftest import parallel_edges_graph
+from ncs_games import parallel_edges_graph
 
 
 class TestActionCatalog:

@@ -11,7 +11,7 @@ from repro.core.equilibrium import is_bayesian_equilibrium as core_is_beq
 from repro.graphs import Graph
 from repro.ncs import BayesianNCSGame, uniform_bayesian_ncs
 
-from .conftest import parallel_edges_graph
+from ncs_games import parallel_edges_graph
 
 
 class TestConstruction:

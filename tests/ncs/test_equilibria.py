@@ -17,7 +17,7 @@ from repro.ncs import (
     verify_poa_pos_bounds,
 )
 
-from .conftest import parallel_edges_graph
+from ncs_games import parallel_edges_graph
 
 
 class TestEnumeration:

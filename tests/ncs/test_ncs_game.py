@@ -7,7 +7,7 @@ import pytest
 from repro.graphs import Graph, path_graph
 from repro.ncs import NCSGame
 
-from .conftest import parallel_edges_graph, triangle_graph
+from ncs_games import parallel_edges_graph, triangle_graph
 
 
 class TestValidation:

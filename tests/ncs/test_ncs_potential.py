@@ -16,7 +16,7 @@ from repro.ncs import (
     rosenthal_potential,
 )
 
-from .conftest import parallel_edges_graph
+from ncs_games import parallel_edges_graph
 
 
 class TestStatePotential:

@@ -7,7 +7,7 @@ import pytest
 from repro.graphs import Graph
 from repro.ncs import NCSGame, WeightedNCSGame
 
-from .conftest import parallel_edges_graph
+from ncs_games import parallel_edges_graph
 
 
 class TestValidation:

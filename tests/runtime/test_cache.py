@@ -1,0 +1,69 @@
+"""Result-cache behavior: hits, misses, stats, robustness, clearing."""
+
+from repro.runtime.cache import ResultCache
+
+
+class TestGetPut:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = "ab" + "0" * 62
+        hit, value = cache.get(key)
+        assert (hit, value) == (False, None)
+        cache.put(key, {"ratio": 1.5})
+        hit, value = cache.get(key)
+        assert hit
+        assert value == {"ratio": 1.5}
+
+    def test_float_values_roundtrip_exactly(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = "cd" + "0" * 62
+        value = [0.1 + 0.2, 1.0 / 3.0, 1e-300]
+        cache.put(key, value)
+        _, loaded = cache.get(key)
+        assert loaded == value  # bit-exact: json round-trips binary64
+
+    def test_entries_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = "ef" + "1" * 62
+        cache.put(key, 1)
+        assert (tmp_path / "cache" / "ef" / f"{key}.json").is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = "aa" + "2" * 62
+        cache.put(key, 1)
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        hit, _ = cache.get(key)
+        assert not hit
+
+
+class TestStats:
+    def test_counters(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = "ab" + "3" * 62
+        cache.get(key)
+        cache.put(key, 7)
+        cache.get(key)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestMaintenance:
+    def test_entry_count_and_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        keys = [prefix + "4" * 62 for prefix in ("aa", "ab", "ac")]
+        for index, key in enumerate(keys):
+            cache.put(key, index)
+        assert cache.entry_count() == 3
+        assert cache.total_bytes() > 0
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+        for key in keys:
+            assert not cache.get(key)[0]
+
+    def test_clear_empty_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "missing")
+        assert cache.clear() == 0
+        assert cache.entry_count() == 0

@@ -1,0 +1,127 @@
+"""CLI smoke tests: list/run/sweep/cache, exit codes, artifacts."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.cli import main, parse_set_option
+
+
+@pytest.fixture
+def sandbox(tmp_path, monkeypatch):
+    """Run the CLI from an empty cwd so default dirs stay isolated."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestParseSetOption:
+    def test_comma_list(self):
+        assert parse_set_option("k=2,3,4") == {"k": [2, 3, 4]}
+
+    def test_range(self):
+        assert parse_set_option("seed=0..3") == {"seed": [0, 1, 2, 3]}
+
+    def test_mixed_types(self):
+        assert parse_set_option("regime=high,low") == {"regime": ["high", "low"]}
+        assert parse_set_option("flag=true") == {"flag": [True]}
+
+    def test_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_set_option("novalue")
+
+
+class TestList:
+    def test_lists_all_experiment_ids(self, sandbox, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for sweep_id in ("T1-D-opt-U", "FIG1", "FIG2", "SEC4", "AUX-3.5"):
+            assert sweep_id in out
+
+    def test_verbose_shows_scenarios(self, sandbox, capsys):
+        assert main(["list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "unit_ncs_report" in out
+        assert "T1-D-beq-E-upper" in out
+
+
+class TestRun:
+    def test_unknown_id_exits_2(self, sandbox, capsys):
+        assert main(["run", "NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_writes_artifacts_and_caches(self, sandbox, capsys):
+        args = ["sweep", "FIG1", "--jobs", "1", "--set", "k=4,8,16,32"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "| FIG1 |" in out
+        assert "PASS" in out
+
+        run_dir = sandbox / "results" / "FIG1"
+        cells = json.loads((run_dir / "cells.json").read_text())
+        assert [cell["experiment_id"] for cell in cells] == ["FIG1"]
+        assert cells[0]["passed"] is True
+        assert (run_dir / "cells.csv").is_file()
+        assert (run_dir / "summary.md").is_file()
+        meta = json.loads((run_dir / "meta.json").read_text())
+        assert meta["stats"]["executed"] > 0
+
+        # Second run: served (almost) entirely from the cache.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "hit rate 100%" in out
+
+    def test_no_cache_leaves_no_cache_dir(self, sandbox, capsys):
+        args = [
+            "sweep", "AUX-3.5", "--jobs", "1", "--no-cache",
+            "--set", "level=1,2",
+        ]
+        assert main(args) == 0
+        assert not (sandbox / ".repro_cache").exists()
+
+    def test_clear_cache_flag(self, sandbox, capsys):
+        args = ["sweep", "AUX-3.5", "--jobs", "1", "--set", "level=1,2"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["sweep", "AUX-3.5", "--jobs", "1", "--set", "level=1,2",
+                     "--clear-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert "hit rate 0%" in out
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, sandbox, capsys):
+        assert main(["sweep", "AUX-3.5", "--jobs", "1", "--set", "level=1,2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert main(["cache", "clear"]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+
+class TestEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        """The real ``python -m repro`` entry point is wired up."""
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            cwd=tmp_path,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "FIG1" in proc.stdout

@@ -1,0 +1,84 @@
+"""Engine tests: ordering, dedup, cache integration, and pool parity."""
+
+from repro.analysis.experiments import (
+    sweep_aux_online_steiner,
+    sweep_t1_directed_opt_universal,
+)
+from repro.runtime.artifacts import cell_to_dict
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import run_sweep, run_sweeps, run_units
+from repro.runtime.spec import UnitTask
+
+BLISS_TASK = "repro.analysis.experiments:unit_anshelevich_bliss_ratio"
+
+
+def bliss_unit(k):
+    return UnitTask(task=BLISS_TASK, params=(("k", k),))
+
+
+class TestRunUnits:
+    def test_results_preserve_submission_order(self):
+        units = [bliss_unit(k) for k in (16, 4, 8)]
+        results, stats = run_units(units, jobs=1)
+        assert [r.params["k"] for r in results] == [16, 4, 8]
+        assert stats.total_units == 3
+        assert stats.executed == 3
+
+    def test_duplicates_computed_once(self):
+        units = [bliss_unit(4), bliss_unit(8), bliss_unit(4), bliss_unit(4)]
+        results, stats = run_units(units, jobs=1)
+        assert stats.total_units == 4
+        assert stats.unique_units == 2
+        assert stats.deduplicated == 2
+        assert results[0].value == results[2].value == results[3].value
+
+    def test_cache_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        units = [bliss_unit(k) for k in (4, 8)]
+        first, stats_first = run_units(units, jobs=1, cache=cache)
+        assert stats_first.executed == 2
+        assert stats_first.cache_hits == 0
+        second, stats_second = run_units(units, jobs=1, cache=cache)
+        assert stats_second.executed == 0
+        assert stats_second.cache_hits == 2
+        assert stats_second.cache_hit_rate == 1.0
+        assert all(r.cached for r in second)
+        assert [r.value for r in first] == [r.value for r in second]
+
+
+class TestSweepExecution:
+    def test_cells_match_wrapper_api(self):
+        sweep = sweep_aux_online_steiner(levels=(1, 2, 3), samples=6)
+        run, stats = run_sweep(sweep, jobs=1)
+        assert stats.total_units == 3
+        assert len(run.cells) == 1
+        values = [point.value for point in run.cells[0].series]
+        assert values == sorted(values)
+
+    def test_cross_sweep_deduplication(self):
+        # The same sweep twice: the second copy is served by dedup.
+        sweep = sweep_aux_online_steiner(levels=(1, 2), samples=4)
+        _, stats = run_sweeps([sweep, sweep], jobs=1)
+        assert stats.total_units == 4
+        assert stats.unique_units == 2
+
+
+class TestPoolParity:
+    def test_serial_and_parallel_rows_identical(self, tmp_path):
+        """jobs=1 and jobs=2 produce identical CellResult rows."""
+        sweep = sweep_t1_directed_opt_universal(ks=(2, 3), seeds=(0, 1))
+        serial_run, serial_stats = run_sweep(sweep, jobs=1)
+        parallel_run, parallel_stats = run_sweep(sweep, jobs=2)
+        assert serial_stats.executed == parallel_stats.executed == 4
+        serial_rows = [cell_to_dict(cell) for cell in serial_run.cells]
+        parallel_rows = [cell_to_dict(cell) for cell in parallel_run.cells]
+        assert serial_rows == parallel_rows
+
+    def test_parallel_populates_cache_for_serial(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        sweep = sweep_aux_online_steiner(levels=(1, 2), samples=4)
+        _, warm = run_sweep(sweep, jobs=2, cache=cache)
+        assert warm.executed == 2
+        _, cold = run_sweep(sweep, jobs=1, cache=cache)
+        assert cold.cache_hits == 2
+        assert cold.executed == 0
