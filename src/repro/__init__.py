@@ -46,7 +46,7 @@ from .core import (
 from .graphs import Graph
 from .ncs import BayesianNCSGame, NCSGame
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExplosionError",

@@ -26,16 +26,22 @@ Conventions
 * Unit tasks seed their own ``numpy.random.Generator`` from their grid
   parameters, so values are identical no matter which worker process —
   or how many of them — computes them.
+* Enumeration-heavy unit tasks run on the tensorized evaluation engine
+  (:mod:`repro.core.tensor`) by default; ``unit_ncs_report`` exposes an
+  ``engine`` parameter so benches and parity checks can pin the
+  reference path through the same runtime.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._util import harmonic
+from ..core.tensor import engine_override as tensor_engine_override
 from ..constructions.affine_game import build_affine_plane_game
 from ..constructions.anshelevich import build_anshelevich_game
 from ..constructions.bliss_triangle import build_bliss_triangle
@@ -77,6 +83,7 @@ def unit_ncs_report(
     directed: bool,
     num_nodes: int = 5,
     extra_edges: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, float]:
     """All six ignorance measures of one random Bayesian NCS game.
 
@@ -84,6 +91,16 @@ def unit_ncs_report(
     keep the simple-path action spaces — and hence exact equilibrium
     enumeration — small.  Returning the full report (rather than one
     ratio) lets the opt/best-eq/worst-eq cells share cached values.
+
+    ``engine`` explicitly selects the evaluation engine (``auto``/
+    ``tensor``/``reference``); ``None`` (the default, and what every
+    stock spec uses) inherits the ambient engine, so a caller's pin —
+    e.g. ``REPRO_ENGINE=reference``, which the executor folds into the
+    cache key — is honored rather than re-overridden.  The tensor and
+    reference paths agree to tolerance (see
+    ``benchmarks/bench_engine.py``); as distinct spec params they are
+    cached under distinct keys.  The override is thread-local, so
+    concurrent thread-backend tasks cannot perturb each other.
     """
     if extra_edges is None:
         extra_edges = num_nodes if directed else 2
@@ -91,7 +108,9 @@ def unit_ncs_report(
     game = random_bayesian_ncs(
         k, num_nodes, rng, directed=directed, extra_edges=extra_edges
     )
-    return game.ignorance_report().as_dict()
+    context = tensor_engine_override(engine) if engine else nullcontext()
+    with context:
+        return game.ignorance_report().as_dict()
 
 
 def unit_affine_ratio(m: int, mc_samples: int = 0) -> Dict[str, float]:

@@ -4,6 +4,11 @@ All equilibrium notions here are *pure*, following the paper: the model
 restricts attention to Bayesian games that admit pure Bayesian equilibria
 and whose underlying games admit pure Nash equilibria (guaranteed for
 potential games, hence for all NCS games).
+
+Enumeration entry points dispatch to the tensorized engine
+(:mod:`repro.core.tensor`) whenever the game lowers to dense index form;
+the per-profile Python path below remains the reference semantics (and
+the parity oracle — see ``tests/core/test_tensor_parity.py``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from itertools import product
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from .._util import ExplosionError, lt, product_size
+from . import tensor
 from .game import (
     Action,
     ActionProfile,
@@ -26,8 +32,9 @@ from .strategy import (
     replace_strategy_action,
 )
 
-#: Guard on the number of action profiles enumerated in an underlying game.
-DEFAULT_MAX_ACTION_PROFILES = 2_000_000
+#: Guard on the number of action profiles enumerated in an underlying game
+#: (defined next to the lowering guards; value unchanged).
+DEFAULT_MAX_ACTION_PROFILES = tensor.DEFAULT_MAX_ACTION_PROFILES
 
 
 # ----------------------------------------------------------------------
@@ -83,6 +90,9 @@ def enumerate_nash_equilibria(
     max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
 ) -> List[ActionProfile]:
     """All pure Nash equilibria (over feasible action profiles)."""
+    lowered = tensor.maybe_state_tensor(game, max_profiles)
+    if lowered is not None:
+        return lowered.nash_equilibria()
     return [
         actions
         for actions in enumerate_action_profiles(game, max_profiles)
@@ -99,6 +109,14 @@ def nash_extreme_costs(
     Raises ``RuntimeError`` when the underlying game has no pure Nash
     equilibrium (outside the paper's model).
     """
+    lowered = tensor.maybe_state_tensor(game, max_profiles)
+    if lowered is not None:
+        extremes = lowered.nash_extreme_costs()
+        if extremes is None:
+            raise RuntimeError(
+                f"underlying game {game!r} has no pure Nash equilibrium"
+            )
+        return extremes
     best = float("inf")
     worst = float("-inf")
     found = False
@@ -187,6 +205,9 @@ def enumerate_bayesian_equilibria(
     max_profiles: int = DEFAULT_MAX_PROFILES,
 ) -> List[StrategyProfile]:
     """All pure Bayesian equilibria (over the restricted strategy space)."""
+    lowered = tensor.maybe_lower(game)
+    if lowered is not None:
+        return lowered.enumerate_bayesian_equilibria(max_profiles)
     return [
         strategies
         for strategies in enumerate_strategy_profiles(game, max_profiles)
@@ -199,6 +220,9 @@ def bayesian_equilibrium_extreme_costs(
     max_profiles: int = DEFAULT_MAX_PROFILES,
 ) -> Tuple[float, float]:
     """``(best-eqP, worst-eqP)``: extreme social costs over Bayesian equilibria."""
+    lowered = tensor.maybe_lower(game)
+    if lowered is not None:
+        return lowered.bayesian_equilibrium_extreme_costs(max_profiles)
     best = float("inf")
     worst = float("-inf")
     found = False

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from .._util import leq
+from . import tensor
 from .equilibrium import (
     DEFAULT_MAX_ACTION_PROFILES,
     bayesian_equilibrium_extreme_costs,
@@ -43,6 +44,9 @@ StateOptSolver = Callable[[TypeProfile], float]
 
 def opt_p(game: BayesianGame, max_profiles: int = DEFAULT_MAX_PROFILES) -> float:
     """``optP``: the cheapest strategy profile's social cost."""
+    lowered = tensor.maybe_lower(game)
+    if lowered is not None:
+        return lowered.opt_p(max_profiles)
     return min(
         game.social_cost(strategies)
         for strategies in enumerate_strategy_profiles(game, max_profiles)
@@ -56,6 +60,9 @@ def state_optimum(
 ) -> float:
     """``min_a K_t(a)`` for one type profile, by enumeration."""
     underlying = game.underlying_game(profile)
+    lowered = tensor.maybe_state_tensor(underlying, max_profiles)
+    if lowered is not None:
+        return lowered.optimum()
     return min(
         underlying.social_cost(actions)
         for actions in enumerate_action_profiles(underlying, max_profiles)
@@ -81,6 +88,9 @@ def eq_c(
     max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
 ) -> Tuple[float, float]:
     """``(best-eqC, worst-eqC)``: expected extreme Nash costs."""
+    lowered = tensor.maybe_lower(game, max_profiles)
+    if lowered is not None:
+        return lowered.eq_c()
     best_total = 0.0
     worst_total = 0.0
     for profile, prob in game.prior.support():
@@ -185,8 +195,31 @@ def ignorance_report(
     """Compute all six quantities exactly (guarded enumeration).
 
     ``state_opt_solver`` optionally replaces the per-state optimum
-    enumeration (see :func:`opt_c`).
+    enumeration (see :func:`opt_c`).  On lowerable games a *single*
+    blocked tensor sweep yields ``optP`` and both equilibrium extremes
+    (the reference path enumerates the profile space three times).
     """
+    lowered = tensor.maybe_lower(game, max_action_profiles)
+    if lowered is not None:
+        sweep = lowered.sweep_profiles(max_strategy_profiles)
+        if not sweep.eq_found:
+            raise RuntimeError(f"{game!r} has no pure Bayesian equilibrium")
+        if state_opt_solver is not None:
+            opt_c_value = game.prior.expect(state_opt_solver)
+        else:
+            opt_c_value = lowered.opt_c()
+        best_c, worst_c = lowered.eq_c()
+        report = IgnoranceReport(
+            opt_p=sweep.opt_p,
+            best_eq_p=sweep.best_eq,
+            worst_eq_p=sweep.worst_eq,
+            opt_c=opt_c_value,
+            best_eq_c=best_c,
+            worst_eq_c=worst_c,
+            name=game.name,
+        )
+        report.verify_observation_2_2()
+        return report
     best_p, worst_p = bayesian_equilibrium_extreme_costs(game, max_strategy_profiles)
     best_c, worst_c = eq_c(game, max_action_profiles)
     report = IgnoranceReport(

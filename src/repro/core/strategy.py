@@ -20,18 +20,31 @@ from .game import Action, BayesianGame, Strategy, StrategyProfile
 DEFAULT_MAX_PROFILES = 2_000_000
 
 
+def per_type_choices(game: BayesianGame, agent: int) -> List[List[Action]]:
+    """The actions enumerated for ``agent`` at each type position.
+
+    Positive-probability types keep their full feasible list;
+    zero-probability types are pinned to the first feasible action (see
+    module docstring).  This is the single source of the truncation
+    rule, shared by the enumeration below and the tensor engine's
+    mixed-radix strategy encoding (:mod:`repro.core.tensor`).
+    """
+    positive = set(game.prior.positive_types(agent))
+    choices: List[List[Action]] = []
+    for ti in game.types(agent):
+        feasible = game.feasible_actions(agent, ti)
+        choices.append(feasible if ti in positive else feasible[:1])
+    return choices
+
+
 def strategy_space_size(game: BayesianGame, agent: int) -> float:
     """Number of distinct strategies enumerated for ``agent``.
 
     Only positive-probability types contribute branching.
     """
-    positive = set(game.prior.positive_types(agent))
-    sizes = [
-        len(game.feasible_actions(agent, ti))
-        for ti in game.types(agent)
-        if ti in positive
-    ]
-    return product_size(sizes)
+    return product_size(
+        len(choices) for choices in per_type_choices(game, agent)
+    )
 
 
 def profile_space_size(game: BayesianGame) -> float:
@@ -43,15 +56,7 @@ def profile_space_size(game: BayesianGame) -> float:
 
 def enumerate_strategies(game: BayesianGame, agent: int) -> Iterator[Strategy]:
     """All tuple-encoded strategies of ``agent`` (see module docstring)."""
-    positive = set(game.prior.positive_types(agent))
-    per_type_choices: List[List[Action]] = []
-    for ti in game.types(agent):
-        feasible = game.feasible_actions(agent, ti)
-        if ti in positive:
-            per_type_choices.append(feasible)
-        else:
-            per_type_choices.append(feasible[:1])
-    for combo in product(*per_type_choices):
+    for combo in product(*per_type_choices(game, agent)):
         yield tuple(combo)
 
 

@@ -1,0 +1,620 @@
+"""Tensorized evaluation engine: index-encoded NumPy lowering of games.
+
+The generic solvers in :mod:`repro.core.equilibrium` and
+:mod:`repro.core.measures` are exact but enumerate tuple-encoded profiles
+one at a time through Python callbacks.  This module *lowers* a
+:class:`~repro.core.game.BayesianGame` into dense index-encoded NumPy
+form once, then reimplements the hot paths as batched array kernels:
+
+* Every support state ``t`` becomes a :class:`StateTensor`: one cost
+  matrix of shape ``(k, N_t)`` where axis positions index the *feasible*
+  actions of each agent's state type in feasible-list order.  Flattened
+  C-order enumeration of a state tensor therefore coincides exactly with
+  the reference ``itertools.product`` order, and no infeasible cell is
+  ever tabulated (equivalent to masking infeasible actions to ``+inf``,
+  but without storing or evaluating them — exactness is preserved
+  because infeasible actions never appear in any optimum, best response,
+  or equilibrium).
+* A pure strategy of agent ``i`` is a mixed-radix integer whose digit at
+  type position ``p`` is an index into that type's feasible-action list;
+  zero-probability types contribute radix 1 (the reference enumeration
+  fixes them to the first feasible action).  Because a state's axis-``i``
+  action list *is* the feasible list of ``t_i``, a strategy digit is
+  directly the state-tensor position — no per-state translation tables.
+* Strategy-profile sweeps (``optP``, Bayesian-equilibrium enumeration and
+  extreme costs) run over *blocks* of consecutive profile indices:
+  social costs ``K(s)`` come from gathers into per-state social-cost
+  vectors, and the interim equilibrium conditions from batched
+  deviation-matrix minima.  No temporary allocation exceeds
+  :data:`BLOCK_CELLS` cells, and the reference explosion guards
+  (``max_profiles`` / ``max_action_profiles``) apply unchanged.
+
+Floating-point accumulation mirrors the reference fold order (states in
+prior-support order, conditional states in support order), so interim
+costs — and hence equilibrium *sets* — are bit-identical to the
+reference path, which remains available as the parity oracle.
+
+Engine selection: the ``REPRO_ENGINE`` environment variable or
+:func:`set_engine` chooses ``"auto"`` (lower when possible, the default),
+``"tensor"`` (alias of ``auto``), or ``"reference"`` (never lower).
+:func:`set_engine` changes the process-wide default;
+:func:`engine_override` is a *thread-local* scope on top of it, so
+concurrently running thread-backend unit tasks can pin different
+engines without racing each other.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import TOLERANCE, ExplosionError, product_size
+from .game import (
+    Action,
+    ActionProfile,
+    BayesianGame,
+    StrategyProfile,
+    UnderlyingGame,
+)
+from .strategy import per_type_choices
+
+#: Guard on the number of action profiles enumerated in an underlying game
+#: (shared with :mod:`repro.core.equilibrium`, which re-exports it).
+DEFAULT_MAX_ACTION_PROFILES = 2_000_000
+
+#: Refuse to lower a game whose dense form would exceed this many cost
+#: cells (sum over states of ``k * N_t``); the reference path still works.
+TENSOR_MAX_CELLS = 8_000_000
+
+#: Cap (in cells) on any single temporary allocated by a blocked sweep.
+BLOCK_CELLS = 1 << 21
+
+_LOWERED_ATTR = "_tensor_lowered"
+_STATE_CACHE_ATTR = "_tensor_state_cache"
+_STATE_CACHE_LIMIT = 128
+
+# ----------------------------------------------------------------------
+# engine selection
+# ----------------------------------------------------------------------
+
+ENGINE_ENV = "REPRO_ENGINE"
+ENGINES = ("auto", "tensor", "reference")
+
+
+def _initial_engine() -> str:
+    value = os.environ.get(ENGINE_ENV, "auto").strip().lower()
+    return value if value in ENGINES else "auto"
+
+
+def _check_engine(name: str) -> None:
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+
+
+_default_engine = _initial_engine()
+_engine_local = threading.local()
+
+
+def get_engine() -> str:
+    """The effective engine: the thread's override, else the default."""
+    return getattr(_engine_local, "engine", None) or _default_engine
+
+
+def set_engine(name: str) -> None:
+    """Set the process-wide default engine (``tensor`` aliases ``auto``).
+
+    Threads inside an :func:`engine_override` scope keep their override.
+    """
+    _check_engine(name)
+    global _default_engine
+    _default_engine = name
+
+
+def tensor_enabled() -> bool:
+    return get_engine() != "reference"
+
+
+@contextmanager
+def engine_override(name: str):
+    """Temporarily select an engine for the *current thread* only.
+
+    Thread-local scoping means concurrently running thread-backend unit
+    tasks (``--backend thread``) can each pin an engine without racing:
+    nothing leaks to other threads or survives the ``with`` block.
+    """
+    _check_engine(name)
+    previous = getattr(_engine_local, "engine", None)
+    _engine_local.engine = name
+    try:
+        yield
+    finally:
+        _engine_local.engine = previous
+
+
+# ----------------------------------------------------------------------
+# vectorized tolerant comparison
+# ----------------------------------------------------------------------
+
+def lt_array(a, b, tol: float = TOLERANCE) -> np.ndarray:
+    """Elementwise tolerant strict ``a < b`` (vector form of ``_util.lt``).
+
+    Infinite operands compare plainly (``inf`` never beats ``inf``),
+    matching the scalar helper exactly.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    with np.errstate(invalid="ignore"):
+        scale = np.maximum(1.0, np.maximum(np.abs(a), np.abs(b)))
+        strict = a < b - tol * scale
+    finite = np.isfinite(a) & np.isfinite(b)
+    return np.where(finite, strict, a < b)
+
+
+# ----------------------------------------------------------------------
+# complete-information state tensors
+# ----------------------------------------------------------------------
+
+def _c_strides(shape: Sequence[int]) -> Tuple[int, ...]:
+    strides: List[int] = []
+    acc = 1
+    for n in reversed(tuple(shape)):
+        strides.append(acc)
+        acc *= n
+    return tuple(reversed(strides))
+
+
+def _tabulate(spaces: Sequence[Sequence[Action]], cost_of) -> np.ndarray:
+    """Dense ``(k, N)`` cost table over the product of ``spaces``.
+
+    Calls ``cost_of(agent, actions)`` once per (agent, cell) — exactly the
+    cells the reference enumeration would evaluate, in the same order.
+    """
+    k = len(spaces)
+    size = 1
+    for space in spaces:
+        size *= len(space)
+    costs = np.empty((k, size), dtype=float)
+    flat = 0
+    for combo in product(*spaces):
+        for agent in range(k):
+            costs[agent, flat] = cost_of(agent, combo)
+        flat += 1
+    return costs
+
+
+class StateTensor:
+    """One complete-information game in dense index-encoded form.
+
+    Axis ``i`` of the conceptual cost cube indexes agent ``i``'s feasible
+    actions in feasible-list order; ``costs`` stores the cube flattened
+    C-order as ``(k, N)`` so flat indices enumerate profiles in exactly
+    the reference ``itertools.product`` order.
+    """
+
+    __slots__ = ("actions", "shape", "size", "strides", "costs", "social")
+
+    def __init__(
+        self, actions: Sequence[Sequence[Action]], costs: np.ndarray
+    ) -> None:
+        self.actions = [list(space) for space in actions]
+        self.shape = tuple(len(space) for space in self.actions)
+        size = 1
+        for n in self.shape:
+            size *= n
+        self.size = size
+        self.strides = _c_strides(self.shape)
+        self.costs = costs
+        self.social = costs.sum(axis=0)
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.actions)
+
+    def decode(self, flat: int) -> ActionProfile:
+        return tuple(
+            space[(flat // stride) % n]
+            for space, stride, n in zip(self.actions, self.strides, self.shape)
+        )
+
+    def nash_mask(self) -> np.ndarray:
+        """Boolean mask (flat, C-order) of pure Nash equilibria."""
+        cube = self.costs.reshape((self.num_agents,) + self.shape)
+        mask = np.ones(self.shape, dtype=bool)
+        for agent in range(self.num_agents):
+            costs_i = cube[agent]
+            best = costs_i.min(axis=agent, keepdims=True)
+            mask &= ~lt_array(best, costs_i)
+        return mask.reshape(-1)
+
+    def nash_equilibria(self) -> List[ActionProfile]:
+        return [self.decode(int(flat)) for flat in np.nonzero(self.nash_mask())[0]]
+
+    def nash_extreme_costs(self) -> Optional[Tuple[float, float]]:
+        """``(best, worst)`` Nash social costs, or ``None`` if no pure NE."""
+        mask = self.nash_mask()
+        if not mask.any():
+            return None
+        values = self.social[mask]
+        return float(values.min()), float(values.max())
+
+    def optimum(self) -> float:
+        """``min_a K_t(a)`` over the feasible product."""
+        return float(self.social.min())
+
+
+def lower_underlying(
+    game: UnderlyingGame,
+    max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> Optional[StateTensor]:
+    """Lower one complete-information game, or ``None`` if too large."""
+    spaces = [game.actions(agent) for agent in range(game.num_agents)]
+    size = product_size(len(space) for space in spaces)
+    if size > max_profiles or size * game.num_agents > TENSOR_MAX_CELLS:
+        return None
+    return StateTensor(spaces, _tabulate(spaces, game.cost))
+
+
+def maybe_state_tensor(
+    game: UnderlyingGame,
+    max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> Optional[StateTensor]:
+    """Cached state lowering honoring the engine switch and guards.
+
+    Reuses the parent game's full Bayesian lowering when the state is a
+    support state that has already been tabulated.
+    """
+    if not tensor_enabled():
+        return None
+    parent = game.game
+    profile = tuple(game.profile)
+    lowered_entry = parent.__dict__.get(_LOWERED_ATTR)
+    if lowered_entry is not None and lowered_entry[0] is not None:
+        tensor_game = lowered_entry[0]
+        index = tensor_game.state_index.get(profile)
+        if index is not None:
+            state = tensor_game.state_tensors[index]
+            return state if state.size <= max_profiles else None
+    cache: Dict[Tuple, StateTensor] = parent.__dict__.setdefault(
+        _STATE_CACHE_ATTR, {}
+    )
+    state = cache.get(profile)
+    if state is None:
+        state = lower_underlying(game, max_profiles)
+        if state is None:
+            return None
+        if len(cache) >= _STATE_CACHE_LIMIT:
+            cache.clear()
+        cache[profile] = state
+    return state if state.size <= max_profiles else None
+
+
+# ----------------------------------------------------------------------
+# Bayesian lowering
+# ----------------------------------------------------------------------
+
+class _AgentSpace:
+    """Mixed-radix strategy encoding for one agent.
+
+    ``choices[p]`` is the action list enumerated at type position ``p``
+    (the feasible list, truncated to one entry at zero-probability
+    types); a strategy index's digit at position ``p`` indexes into it.
+    """
+
+    __slots__ = ("choices", "radix", "strides", "count", "exact_count")
+
+    def __init__(self, choices: List[List[Action]]) -> None:
+        self.choices = choices
+        self.radix = tuple(len(space) for space in choices)
+        self.strides = _c_strides(self.radix)
+        self.count = product_size(self.radix)  # float, for guard math
+        exact = 1
+        for n in self.radix:
+            exact *= n
+        self.exact_count = exact
+
+    def decode(self, index: int) -> Tuple[Action, ...]:
+        return tuple(
+            space[(index // stride) % n]
+            for space, stride, n in zip(self.choices, self.strides, self.radix)
+        )
+
+
+@dataclass
+class ProfileSweep:
+    """Aggregates of one blocked pass over the strategy-profile space."""
+
+    opt_p: float
+    argmin_index: int
+    best_eq: float
+    worst_eq: float
+    eq_found: bool
+    eq_indices: Optional[List[int]] = None
+
+
+class TensorGame:
+    """A :class:`BayesianGame` lowered to index-encoded NumPy form."""
+
+    def __init__(
+        self,
+        game: BayesianGame,
+        states: List[Tuple],
+        probs: np.ndarray,
+        state_tensors: List[StateTensor],
+        agents: List[_AgentSpace],
+    ) -> None:
+        self.game = game
+        self.states = states
+        self.probs = probs
+        self.state_tensors = state_tensors
+        self.agents = agents
+        self.state_index = {profile: s for s, profile in enumerate(states)}
+        self.max_state_size = max(state.size for state in state_tensors)
+        self.profile_strides = _c_strides(
+            [agent.exact_count for agent in agents]
+        )
+        # Digit-extraction metadata: agent i's action position in state s
+        # is her strategy digit at the state type's position.
+        self._digit_stride: List[List[int]] = []
+        self._digit_radix: List[List[int]] = []
+        for i in range(game.num_agents):
+            pos = [game.type_position(i, profile[i]) for profile in states]
+            self._digit_stride.append([agents[i].strides[p] for p in pos])
+            self._digit_radix.append([agents[i].radix[p] for p in pos])
+        # Interim structure: per (agent, positive type): the conditional
+        # state indices with posterior weights (prior-support order) and
+        # the type's position / deviation count.
+        self._cond: List[List[Tuple[int, List[int], np.ndarray, int]]] = []
+        for i in range(game.num_agents):
+            rows = []
+            for ti in game.prior.positive_types(i):
+                indices = [s for s, profile in enumerate(states) if profile[i] == ti]
+                # Sequential fold, matching prior.conditional exactly.
+                total = 0.0
+                for s in indices:
+                    total += float(probs[s])
+                rows.append(
+                    (
+                        game.type_position(i, ti),
+                        indices,
+                        probs[indices] / total,
+                        len(game.feasible_actions(i, ti)),
+                    )
+                )
+            self._cond.append(rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        return len(self.agents)
+
+    def profile_count(self) -> float:
+        return product_size(agent.count for agent in self.agents)
+
+    def decode_profile(self, flat: int) -> StrategyProfile:
+        return tuple(
+            agent.decode((flat // stride) % agent.exact_count)
+            for agent, stride in zip(self.agents, self.profile_strides)
+        )
+
+    def _block_size(self) -> int:
+        widest = max(
+            [1]
+            + [row[3] for rows in self._cond for row in rows]
+            + [len(self.states)]
+        )
+        return max(1, min(1 << 16, BLOCK_CELLS // widest))
+
+    # ------------------------------------------------------------------
+    # the blocked profile sweep
+    # ------------------------------------------------------------------
+    def sweep_profiles(
+        self,
+        max_profiles: int,
+        collect_equilibria: bool = False,
+        check_equilibria: bool = True,
+    ) -> ProfileSweep:
+        """One pass computing ``optP`` and equilibrium extreme costs.
+
+        ``check_equilibria=False`` skips the interim-condition matrices
+        entirely (for ``optP``/argmin-only callers); the equilibrium
+        fields then report nothing found.  Raises
+        :class:`ExplosionError` exactly when the reference
+        strategy-profile enumeration would.
+        """
+        total_f = self.profile_count()
+        if total_f > max_profiles:
+            raise ExplosionError("strategy profiles", total_f, max_profiles)
+        total = int(total_f)
+        k = self.num_agents
+        pstrides = self.profile_strides
+        counts = [agent.exact_count for agent in self.agents]
+        block = self._block_size()
+
+        opt = float("inf")
+        argmin = -1
+        best_eq = float("inf")
+        worst_eq = float("-inf")
+        eq_found = False
+        eq_indices: Optional[List[int]] = [] if collect_equilibria else None
+
+        for lo in range(0, total, block):
+            hi = min(total, lo + block)
+            flat = np.arange(lo, hi, dtype=np.int64)
+            strat = [(flat // pstrides[i]) % counts[i] for i in range(k)]
+
+            # Per-state flat action indices and the ex-ante social cost,
+            # accumulated in prior-support order (the reference fold).
+            state_flat: List[np.ndarray] = []
+            social = np.zeros(hi - lo, dtype=float)
+            for s, state in enumerate(self.state_tensors):
+                index = np.zeros(hi - lo, dtype=np.int64)
+                for i in range(k):
+                    digit = (
+                        strat[i] // self._digit_stride[i][s]
+                    ) % self._digit_radix[i][s]
+                    index += state.strides[i] * digit
+                state_flat.append(index)
+                social += self.probs[s] * state.social[index]
+
+            block_min = float(social.min())
+            if block_min < opt:
+                opt = block_min
+                argmin = lo + int(social.argmin())
+            if not check_equilibria:
+                continue
+
+            ok = np.ones(hi - lo, dtype=bool)
+            for i in range(k):
+                for tpos, cond_states, weights, n_dev in self._cond[i]:
+                    own = (
+                        strat[i] // self.agents[i].strides[tpos]
+                    ) % self.agents[i].radix[tpos]
+                    deviations = np.arange(n_dev, dtype=np.int64)
+                    interim = np.zeros((hi - lo, n_dev), dtype=float)
+                    for s, q in zip(cond_states, weights):
+                        state = self.state_tensors[s]
+                        others = state_flat[s] - state.strides[i] * own
+                        interim += q * state.costs[i][
+                            others[:, None] + state.strides[i] * deviations[None, :]
+                        ]
+                    current = interim[np.arange(hi - lo), own]
+                    best = interim.min(axis=1)
+                    ok &= ~lt_array(best, current)
+
+            if ok.any():
+                eq_found = True
+                values = social[ok]
+                best_eq = min(best_eq, float(values.min()))
+                worst_eq = max(worst_eq, float(values.max()))
+                if eq_indices is not None:
+                    eq_indices.extend(int(f) for f in flat[ok])
+
+        return ProfileSweep(
+            opt_p=opt,
+            argmin_index=argmin,
+            best_eq=best_eq,
+            worst_eq=worst_eq,
+            eq_found=eq_found,
+            eq_indices=eq_indices,
+        )
+
+    # ------------------------------------------------------------------
+    # measure kernels
+    # ------------------------------------------------------------------
+    def opt_p(self, max_profiles: int) -> float:
+        return self.sweep_profiles(max_profiles, check_equilibria=False).opt_p
+
+    def enumerate_bayesian_equilibria(
+        self, max_profiles: int
+    ) -> List[StrategyProfile]:
+        sweep = self.sweep_profiles(max_profiles, collect_equilibria=True)
+        assert sweep.eq_indices is not None
+        return [self.decode_profile(index) for index in sweep.eq_indices]
+
+    def bayesian_equilibrium_extreme_costs(
+        self, max_profiles: int
+    ) -> Tuple[float, float]:
+        sweep = self.sweep_profiles(max_profiles)
+        if not sweep.eq_found:
+            raise RuntimeError(f"{self.game!r} has no pure Bayesian equilibrium")
+        return sweep.best_eq, sweep.worst_eq
+
+    def opt_c(self) -> float:
+        total = 0.0
+        for state, prob in zip(self.state_tensors, self.probs):
+            total += float(prob) * state.optimum()
+        return total
+
+    def eq_c(self) -> Tuple[float, float]:
+        best_total = 0.0
+        worst_total = 0.0
+        for s, (state, prob) in enumerate(zip(self.state_tensors, self.probs)):
+            extremes = state.nash_extreme_costs()
+            if extremes is None:
+                underlying = self.game.underlying_game(self.states[s])
+                raise RuntimeError(
+                    f"underlying game {underlying!r} has no pure Nash equilibrium"
+                )
+            best, worst = extremes
+            best_total += float(prob) * best
+            worst_total += float(prob) * worst
+        return best_total, worst_total
+
+    def __repr__(self) -> str:
+        return (
+            f"<TensorGame k={self.num_agents} states={len(self.states)} "
+            f"cells={sum(s.size * self.num_agents for s in self.state_tensors)}>"
+        )
+
+
+def lower_game(
+    game: BayesianGame,
+    max_action_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> Optional[TensorGame]:
+    """Compile a :class:`BayesianGame` to dense tensors, or ``None``.
+
+    Refuses (returning ``None``, so callers fall back to the reference
+    path) when any support state's feasible action product exceeds
+    ``max_action_profiles`` or the dense form would exceed
+    :data:`TENSOR_MAX_CELLS` cells.
+    """
+    support = game.prior.support()
+    states = [tuple(profile) for profile, _ in support]
+    probs = np.array([prob for _, prob in support], dtype=float)
+    k = game.num_agents
+
+    # per_type_choices is the same per-type action lists the reference
+    # enumeration walks — the whole parity contract hinges on sharing it.
+    agents = [_AgentSpace(per_type_choices(game, i)) for i in range(k)]
+
+    state_spaces: List[List[List[Action]]] = []
+    total_cells = 0.0
+    for profile in states:
+        spaces = [
+            agents[i].choices[game.type_position(i, profile[i])] for i in range(k)
+        ]
+        size = product_size(len(space) for space in spaces)
+        if size > max_action_profiles:
+            return None
+        total_cells += size * k
+        if total_cells > TENSOR_MAX_CELLS:
+            return None
+        state_spaces.append(spaces)
+
+    state_tensors: List[StateTensor] = []
+    for profile, spaces in zip(states, state_spaces):
+        costs = _tabulate(
+            spaces,
+            lambda agent, actions, _profile=profile: game.cost(
+                agent, _profile, actions
+            ),
+        )
+        state_tensors.append(StateTensor(spaces, costs))
+    return TensorGame(game, states, probs, state_tensors, agents)
+
+
+def maybe_lower(
+    game: BayesianGame,
+    max_action_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+) -> Optional[TensorGame]:
+    """Cached :func:`lower_game` honoring the engine switch and guards."""
+    if not tensor_enabled():
+        return None
+    entry = game.__dict__.get(_LOWERED_ATTR)
+    if entry is not None:
+        lowered, built_guard = entry
+        if lowered is not None:
+            if lowered.max_state_size <= max_action_profiles:
+                return lowered
+            return None
+        if max_action_profiles <= built_guard:
+            return None
+    lowered = lower_game(game, max_action_profiles)
+    game.__dict__[_LOWERED_ATTR] = (lowered, max_action_profiles)
+    return lowered

@@ -11,6 +11,13 @@ simple-path actions (exact for all the paper's quantities — see
 * best-response dynamics converging by the Bayesian Rosenthal potential,
 * the exact per-state optimum (Steiner forest / arborescence solvers) for
   ``optC``.
+
+Because the wrapped core game declares its feasible-path action sets via
+``feasible_fn``, it lowers directly to the tensorized evaluation engine
+(:mod:`repro.core.tensor`): enumeration-heavy quantities (equilibrium
+sets, ``optP``, the ignorance report) dispatch to index-encoded NumPy
+kernels automatically; :meth:`BayesianNCSGame.lowered` exposes the
+compiled form.
 """
 
 from __future__ import annotations
@@ -103,6 +110,16 @@ class BayesianNCSGame:
     # ------------------------------------------------------------------
     # delegation and views
     # ------------------------------------------------------------------
+    def lowered(self):
+        """The tensor (index-encoded) form of the wrapped core game.
+
+        Cached on the core game; ``None`` when the game exceeds the
+        lowering guards or the reference engine is forced.
+        """
+        from ..core import tensor
+
+        return tensor.maybe_lower(self.game)
+
     @property
     def num_agents(self) -> int:
         return self.game.num_agents

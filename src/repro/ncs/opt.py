@@ -14,6 +14,7 @@ import math
 from typing import List, Optional, Tuple
 
 from .._util import lt
+from ..core import tensor
 from ..core.game import StrategyProfile
 from ..core.measures import opt_p as core_opt_p
 from ..core.strategy import DEFAULT_MAX_PROFILES, enumerate_strategy_profiles
@@ -28,7 +29,16 @@ def opt_p(game: BayesianNCSGame, max_profiles: int = DEFAULT_MAX_PROFILES) -> fl
 def optimal_strategy_profile(
     game: BayesianNCSGame, max_profiles: int = DEFAULT_MAX_PROFILES
 ) -> Tuple[StrategyProfile, float]:
-    """An ``optP``-achieving strategy profile and its social cost."""
+    """An ``optP``-achieving strategy profile and its social cost.
+
+    The tensor path returns the *first* minimizer in enumeration order —
+    the same profile the reference scan below selects.
+    """
+    lowered = tensor.maybe_lower(game.game)
+    if lowered is not None:
+        sweep = lowered.sweep_profiles(max_profiles, check_equilibria=False)
+        assert sweep.argmin_index >= 0
+        return lowered.decode_profile(sweep.argmin_index), sweep.opt_p
     best_profile: Optional[StrategyProfile] = None
     best_cost = math.inf
     for strategies in enumerate_strategy_profiles(game.game, max_profiles):

@@ -9,6 +9,10 @@ JSON-serializable (unit tasks return plain floats/dicts/lists).
 Writes are atomic (tempfile + rename) so concurrent runs — including the
 process-pool workers of two simultaneous sweeps — never observe a
 half-written entry.
+
+The cache is version-salted but otherwise unbounded by default;
+:meth:`ResultCache.prune` (``python -m repro cache prune``) evicts by age
+and/or total size, oldest entries first.
 """
 
 from __future__ import annotations
@@ -16,9 +20,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 #: Default cache directory (relative to the current working directory),
 #: overridable via the ``REPRO_CACHE_DIR`` environment variable.
@@ -54,6 +59,24 @@ class CacheStats:
             "writes": self.writes,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+
+@dataclass
+class PruneResult:
+    """Outcome of one :meth:`ResultCache.prune` pass."""
+
+    removed: int = 0
+    freed_bytes: int = 0
+    remaining_entries: int = 0
+    remaining_bytes: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"pruned {self.removed} entr{'y' if self.removed == 1 else 'ies'} "
+            f"({self.freed_bytes} bytes); "
+            f"{self.remaining_entries} entr{'y' if self.remaining_entries == 1 else 'ies'} "
+            f"({self.remaining_bytes} bytes) remain"
+        )
 
 
 @dataclass
@@ -137,7 +160,86 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        # Prune now-empty shard directories (best effort).
+        self._remove_empty_shards()
+        return removed
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> "PruneResult":
+        """Evict entries: first anything older than ``max_age_seconds``,
+        then oldest-first until the cache fits in ``max_bytes``.
+
+        Age and eviction order use the entry file's mtime (the time the
+        value was computed, refreshed on overwrite).  Concurrent writers
+        are safe: already-unlinked entries are skipped.
+        """
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+
+        now = time.time() if now is None else now
+        removed = 0
+        freed = 0
+
+        def _evict(entry: Tuple[float, int, Path]) -> str:
+            """``"removed"`` | ``"gone"`` (raced away) | ``"kept"``."""
+            nonlocal removed, freed
+            try:
+                entry[2].unlink()
+            except FileNotFoundError:
+                # A concurrent pruner beat us to it: the bytes are gone,
+                # but they are not ours to count as freed.
+                return "gone"
+            except OSError:
+                return "kept"
+            removed += 1
+            freed += entry[1]
+            return "removed"
+
+        survivors: List[Tuple[float, int, Path]] = []
+        for entry in entries:
+            if (
+                max_age_seconds is not None
+                and now - entry[0] > max_age_seconds
+                and _evict(entry) != "kept"
+            ):
+                continue
+            survivors.append(entry)
+
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            remaining: List[Tuple[float, int, Path]] = []
+            for position, entry in enumerate(survivors):
+                if total <= max_bytes:
+                    remaining.extend(survivors[position:])
+                    break
+                outcome = _evict(entry)
+                if outcome == "kept":
+                    remaining.append(entry)
+                else:
+                    # Removed by us or raced away: either way the bytes
+                    # no longer count against the budget.
+                    total -= entry[1]
+            survivors = remaining
+
+        self._remove_empty_shards()
+        return PruneResult(
+            removed=removed,
+            freed_bytes=freed,
+            remaining_entries=len(survivors),
+            remaining_bytes=sum(size for _, size, _ in survivors),
+        )
+
+    def _remove_empty_shards(self) -> None:
+        """Drop now-empty shard directories (best effort)."""
         if self.root.is_dir():
             for shard in self.root.iterdir():
                 if shard.is_dir():
@@ -145,4 +247,3 @@ class ResultCache:
                         shard.rmdir()
                     except OSError:
                         pass
-        return removed

@@ -8,12 +8,16 @@ Subcommands::
     python -m repro report                # the full suite, like the old
                                           #   python -m repro.analysis.report
     python -m repro cache stats|clear     # inspect / empty .repro_cache
+    python -m repro cache prune --max-size-mb 64 --max-age-days 30
 
 ``run`` and ``sweep`` share the engine: ids match exactly or by prefix,
 unit tasks are served from the content-addressed cache (``--no-cache``
 disables it, ``--clear-cache`` empties it first) and executed on a
-``spawn`` process pool (``--jobs``).  Every run writes JSON + CSV +
-Markdown artifacts under ``results/`` (``--no-artifacts`` to skip).
+worker pool (``--jobs`` workers; ``--backend {process,thread,serial}``
+picks the pool — all backends emit byte-identical rows).  Every run
+writes JSON + CSV + Markdown artifacts under ``results/``
+(``--no-artifacts`` to skip), including per-unit wall-clock timings in
+``meta.json``.
 
 Exit codes: 0 all claims pass, 1 a cell failed its claim, 2 usage error.
 """
@@ -29,7 +33,7 @@ from ..analysis import registry
 from ..analysis.table1 import render_markdown, render_series_block
 from .artifacts import DEFAULT_RESULTS_DIRNAME, ArtifactStore
 from .cache import ResultCache, default_cache_root
-from .executor import run_sweeps
+from .executor import BACKENDS, run_sweeps, unit_timings
 from .spec import Scalar
 
 
@@ -95,7 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "-j", "--jobs", type=int, default=1,
-            help="worker processes (default 1 = serial)",
+            help="worker processes/threads (default 1 = serial)",
+        )
+        sub.add_argument(
+            "--backend", choices=BACKENDS, default="process",
+            help="worker pool: spawn processes, GIL-releasing threads, "
+            "or a serial loop (default process)",
         )
         sub.add_argument(
             "--no-cache", action="store_true",
@@ -133,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run the full default suite and print the table"
     )
     report_parser.add_argument("-j", "--jobs", type=int, default=1)
+    report_parser.add_argument("--backend", choices=BACKENDS, default="process")
     report_parser.add_argument("--no-cache", action="store_true")
     report_parser.add_argument("--clear-cache", action="store_true")
     report_parser.add_argument("--cache-dir", type=Path, default=None)
@@ -142,12 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--no-artifacts", action="store_true")
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or empty the result cache"
+        "cache", help="inspect, empty, or prune the result cache"
     )
     cache_parser.add_argument(
-        "action", choices=("stats", "clear"), nargs="?", default="stats"
+        "action", choices=("stats", "clear", "prune"), nargs="?", default="stats"
     )
     cache_parser.add_argument("--cache-dir", type=Path, default=None)
+    cache_parser.add_argument(
+        "--max-size-mb", type=float, default=None, metavar="N",
+        help="prune: evict oldest entries until the cache is at most N MiB",
+    )
+    cache_parser.add_argument(
+        "--max-age-days", type=float, default=None, metavar="D",
+        help="prune: evict entries older than D days",
+    )
     return parser
 
 
@@ -206,7 +224,9 @@ def _run_and_report(
         sweeps = [sweep.with_grid(**overrides) for sweep in sweeps]
 
     cache = _cache_from_args(args)
-    sweep_runs, stats = run_sweeps(sweeps, jobs=args.jobs, cache=cache)
+    sweep_runs, stats = run_sweeps(
+        sweeps, jobs=args.jobs, cache=cache, backend=args.backend
+    )
     cells = [cell for run in sweep_runs for cell in run.cells]
 
     print(render_markdown(cells))
@@ -233,8 +253,11 @@ def _run_and_report(
                     "executed": stats.executed,
                     "cache_hits": stats.cache_hits,
                     "jobs": stats.jobs,
+                    "backend": stats.backend,
                     "wall_seconds": round(stats.wall_seconds, 3),
+                    "executed_seconds": round(stats.executed_seconds, 3),
                 },
+                "unit_timings": unit_timings(sweep_runs),
             },
         )
         print(f"artifacts: {artifacts.directory}")
@@ -266,9 +289,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     root = args.cache_dir if args.cache_dir is not None else default_cache_root()
     cache = ResultCache(root=root)
+    if args.action != "prune" and (
+        args.max_size_mb is not None or args.max_age_days is not None
+    ):
+        print(
+            f"--max-size-mb/--max-age-days only apply to 'cache prune', "
+            f"not 'cache {args.action}'",
+            file=sys.stderr,
+        )
+        return 2
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    if args.action == "prune":
+        if args.max_size_mb is None and args.max_age_days is None:
+            print(
+                "cache prune needs --max-size-mb and/or --max-age-days",
+                file=sys.stderr,
+            )
+            return 2
+        max_bytes = (
+            int(args.max_size_mb * 1024 * 1024)
+            if args.max_size_mb is not None
+            else None
+        )
+        max_age = (
+            args.max_age_days * 86_400.0
+            if args.max_age_days is not None
+            else None
+        )
+        result = cache.prune(max_bytes=max_bytes, max_age_seconds=max_age)
+        print(f"cache: {cache.root}")
+        print(result.describe())
         return 0
     count = cache.entry_count()
     size = cache.total_bytes()

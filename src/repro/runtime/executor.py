@@ -2,10 +2,19 @@
 
 ``run_units`` is the engine core: it deduplicates the unit-task list,
 serves what it can from the :class:`~repro.runtime.cache.ResultCache`,
-dispatches the remainder to a ``spawn``-based process pool (stdlib
-``concurrent.futures``; serial fallback for ``jobs <= 1``), writes fresh
-values back to the cache, and reassembles results in the *original
-submission order* — so ``jobs=1`` and ``jobs=N`` produce identical rows.
+dispatches the remainder to a worker pool, writes fresh values back to
+the cache, and reassembles results in the *original submission order* —
+so every backend and any ``jobs`` count produce identical rows.
+
+Three backends share that contract:
+
+* ``process`` (default) — a ``spawn``-based ``ProcessPoolExecutor``;
+  workers re-import task modules instead of inheriting parent state.
+* ``thread`` — a ``ThreadPoolExecutor`` in-process.  Worthwhile since the
+  tensorized evaluation engine (:mod:`repro.core.tensor`) moved the unit
+  tasks' hot loops into NumPy kernels that release the GIL: no spawn or
+  pickling overhead, shared page cache, same rows byte-for-byte.
+* ``serial`` — a plain loop regardless of ``jobs`` (the baseline).
 
 ``run_sweeps`` layers the declarative side on top: it expands every
 :class:`~repro.runtime.spec.SweepSpec` into unit tasks, runs them through
@@ -18,11 +27,12 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.table1 import CellResult
+from ..core.tensor import engine_override, get_engine
 from .cache import ResultCache
 from .spec import ScenarioSpec, SweepSpec, UnitTask, resolve_ref
 
@@ -30,6 +40,9 @@ from .spec import ScenarioSpec, SweepSpec, UnitTask, resolve_ref
 #: choice: workers re-import task modules instead of inheriting arbitrary
 #: parent state, which is exactly what keeps unit tasks reproducible.
 MP_START_METHOD = "spawn"
+
+#: Recognized execution backends.
+BACKENDS = ("process", "thread", "serial")
 
 
 @dataclass
@@ -52,7 +65,9 @@ class RunStats:
     executed: int = 0
     cache_hits: int = 0
     jobs: int = 1
+    backend: str = "process"
     wall_seconds: float = 0.0
+    executed_seconds: float = 0.0
 
     @property
     def deduplicated(self) -> int:
@@ -68,14 +83,24 @@ class RunStats:
             f"({self.unique_units} unique, {self.executed} executed, "
             f"{self.cache_hits} cache hit(s), "
             f"hit rate {100.0 * self.cache_hit_rate:.0f}%) "
-            f"jobs={self.jobs} wall={self.wall_seconds:.2f}s"
+            f"jobs={self.jobs} backend={self.backend} "
+            f"wall={self.wall_seconds:.2f}s"
         )
 
 
-def _execute_unit(unit: UnitTask) -> Tuple[Any, float]:
-    """Top-level worker entry point (picklable under ``spawn``)."""
+def _execute_unit(job: Tuple[UnitTask, str]) -> Tuple[Any, float]:
+    """Top-level worker entry point (picklable under ``spawn``).
+
+    The submitting caller's effective evaluation engine rides along and
+    is applied around the task, so thread workers (which would not
+    inherit a thread-local override) and spawn workers (which would
+    only see the environment variable) compute exactly what ``jobs=1``
+    in the caller's thread would.
+    """
+    unit, engine = job
     start = time.perf_counter()
-    value = unit.run()
+    with engine_override(engine):
+        value = unit.run()
     return value, time.perf_counter() - start
 
 
@@ -88,11 +113,22 @@ def run_units(
     units: Sequence[UnitTask],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    backend: str = "process",
 ) -> Tuple[List[UnitResult], RunStats]:
-    """Execute unit tasks; results come back in submission order."""
+    """Execute unit tasks; results come back in submission order.
+
+    ``backend`` selects the worker pool (see module docstring); every
+    backend produces byte-identical result rows because values depend
+    only on task parameters and ``map`` preserves submission order.
+    """
     start = time.perf_counter()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     jobs = max(1, int(jobs))
-    stats = RunStats(total_units=len(units), jobs=jobs)
+    stats = RunStats(total_units=len(units), jobs=jobs, backend=backend)
+    # The submitting caller's engine governs every worker *and* the cache
+    # address, so an engine pin can never serve or produce aliased values.
+    engine = get_engine()
 
     # Deduplicate while preserving first-seen order.
     unique: List[UnitTask] = []
@@ -109,7 +145,7 @@ def run_units(
     pending_indices: List[int] = []
     if cache is not None:
         for index, unit in enumerate(unique):
-            hit, value = cache.get(unit.key())
+            hit, value = cache.get(unit.key(engine=engine))
             if hit:
                 values[index] = value
                 cached_flags[index] = True
@@ -119,18 +155,21 @@ def run_units(
     else:
         pending_indices = list(range(len(unique)))
 
-    pending = [unique[index] for index in pending_indices]
+    pending = [(unique[index], engine) for index in pending_indices]
     if pending:
-        if jobs == 1 or len(pending) == 1:
-            outcomes = [_execute_unit(unit) for unit in pending]
+        workers = min(jobs, len(pending))
+        if backend == "serial" or workers == 1:
+            outcomes = [_execute_unit(job) for job in pending]
+        elif backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # ``map`` preserves input order, so result assembly is
+                # deterministic regardless of completion order.
+                outcomes = list(pool.map(_execute_unit, pending))
         else:
             context = multiprocessing.get_context(MP_START_METHOD)
-            workers = min(jobs, len(pending))
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=context
             ) as pool:
-                # ``map`` preserves input order, so result assembly is
-                # deterministic regardless of completion order.
                 outcomes = list(
                     pool.map(
                         _execute_unit,
@@ -143,14 +182,16 @@ def run_units(
             seconds[index] = elapsed
             if cache is not None:
                 cache.put(
-                    unique[index].key(),
+                    unique[index].key(engine=engine),
                     value,
                     meta={
                         "task": unique[index].task,
                         "params": list(unique[index].params),
+                        "engine": engine,
                     },
                 )
         stats.executed = len(pending)
+        stats.executed_seconds = float(sum(elapsed for _, elapsed in outcomes))
 
     results = [
         UnitResult(
@@ -198,6 +239,7 @@ def run_sweeps(
     sweeps: Sequence[SweepSpec],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    backend: str = "process",
 ) -> Tuple[List[SweepRun], RunStats]:
     """Expand, execute (one shared pool), and reduce a batch of sweeps."""
     slices: List[Tuple[SweepSpec, List[Tuple[ScenarioSpec, int, int]]]] = []
@@ -212,7 +254,7 @@ def run_sweeps(
             units.extend(expanded)
         slices.append((sweep, scenario_slices))
 
-    results, stats = run_units(units, jobs=jobs, cache=cache)
+    results, stats = run_units(units, jobs=jobs, cache=cache, backend=backend)
 
     sweep_runs: List[SweepRun] = []
     for sweep, scenario_slices in slices:
@@ -232,13 +274,37 @@ def run_sweep(
     sweep: SweepSpec,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    backend: str = "process",
 ) -> Tuple[SweepRun, RunStats]:
     """Convenience wrapper for a single sweep."""
-    runs, stats = run_sweeps([sweep], jobs=jobs, cache=cache)
+    runs, stats = run_sweeps([sweep], jobs=jobs, cache=cache, backend=backend)
     return runs[0], stats
 
 
-def sweep_cells(sweep: SweepSpec, jobs: int = 1) -> List[CellResult]:
+def sweep_cells(
+    sweep: SweepSpec, jobs: int = 1, backend: str = "process"
+) -> List[CellResult]:
     """Uncached, in-order cell rows for one sweep (library entry point)."""
-    run, _ = run_sweep(sweep, jobs=jobs, cache=None)
+    run, _ = run_sweep(sweep, jobs=jobs, cache=None, backend=backend)
     return run.cells
+
+
+def unit_timings(sweep_runs: Sequence[SweepRun]) -> Dict[str, List[Dict[str, Any]]]:
+    """Per-unit wall-clock rows keyed by scenario id (for ``meta.json``).
+
+    Cached units report ``seconds = 0``; the rows are what future
+    adaptive chunking needs to size work units.
+    """
+    timings: Dict[str, List[Dict[str, Any]]] = {}
+    for sweep_run in sweep_runs:
+        for scenario_run in sweep_run.scenario_runs:
+            rows = [
+                {
+                    "params": result.params,
+                    "seconds": round(result.seconds, 6),
+                    "cached": result.cached,
+                }
+                for result in scenario_run.results
+            ]
+            timings[scenario_run.spec.scenario_id] = rows
+    return timings

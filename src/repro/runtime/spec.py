@@ -21,7 +21,7 @@ import importlib
 import itertools
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 Scalar = Union[int, float, str, bool, None]
 FrozenParams = Tuple[Tuple[str, Scalar], ...]
@@ -98,10 +98,26 @@ class UnitTask:
     def kwargs(self) -> Dict[str, Scalar]:
         return dict(self.params)
 
-    def key(self) -> str:
-        """Content address for the cache: task + params + package version."""
+    def key(self, engine: Optional[str] = None) -> str:
+        """Content address for the cache: task + params + package version
+        + the evaluation engine the value is computed under.
+
+        ``engine`` defaults to the ambient :func:`repro.core.tensor.
+        get_engine`; the executor passes the submitting caller's engine
+        explicitly so cached reference-path and tensor-path values can
+        never alias (``tensor`` normalizes to its alias target ``auto``).
+        """
+        if engine is None:
+            from ..core.tensor import get_engine
+
+            engine = get_engine()
         return _canonical_digest(
-            {"task": self.task, "params": self.params, "version": _version_salt()}
+            {
+                "task": self.task,
+                "params": self.params,
+                "version": _version_salt(),
+                "engine": "auto" if engine == "tensor" else engine,
+            }
         )
 
     def run(self) -> Any:

@@ -82,3 +82,29 @@ class TestFigureAndSectionCells:
         cells = aux_online_steiner(levels=(1, 2, 3), samples=8)
         values = [p.value for p in cells[0].series]
         assert values == sorted(values)
+
+
+class TestUnitEngineSelection:
+    def test_unit_ncs_report_inherits_ambient_engine(self, monkeypatch):
+        """An ambient REPRO_ENGINE/engine_override pin must reach the
+        unit task; only an explicit engine= parameter overrides it."""
+        from repro.analysis.experiments import unit_ncs_report
+        from repro.core import tensor
+
+        lowerings = []
+        real_lower = tensor.lower_game
+        monkeypatch.setattr(
+            tensor,
+            "lower_game",
+            lambda *args, **kwargs: (
+                lowerings.append(1),
+                real_lower(*args, **kwargs),
+            )[1],
+        )
+        with tensor.engine_override("reference"):
+            pinned = unit_ncs_report(k=2, seed=0, directed=True)
+            assert lowerings == []  # ambient pin honored: no lowering
+            explicit = unit_ncs_report(k=2, seed=0, directed=True, engine="auto")
+            assert lowerings  # explicit param wins over the pin
+        for key, value in pinned.items():
+            assert abs(explicit[key] - value) <= 1e-9 * max(1.0, abs(value))

@@ -1,0 +1,100 @@
+"""Tensor engine vs. reference parity on NCS games.
+
+The NCS instantiation stresses the parts of the lowering that the
+matrix-game canon does not: feasible-path action restriction
+(``feasible_fn``), frozenset-valued actions, correlated priors, and the
+exact Steiner ``optC`` solver override.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import engine_override, enumerate_bayesian_equilibria
+from repro.constructions.random_games import (
+    random_bayesian_ncs,
+    random_independent_bayesian_ncs,
+)
+from repro.ncs.opt import opt_p, optimal_strategy_profile
+
+from ncs_games import maybe_active_partner_game
+
+
+def _fresh_random_game(directed, k, seed):
+    rng = np.random.default_rng(10_000 * k + seed)
+    return random_bayesian_ncs(
+        k, 5, rng, directed=directed, extra_edges=5 if directed else 2
+    )
+
+
+class TestMaybeActivePartner:
+    def test_report_parity(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        with engine_override("reference"):
+            reference_game, _, _ = maybe_active_partner_game()
+            reference = reference_game.ignorance_report().as_dict()
+        tensorized = game.ignorance_report().as_dict()
+        for key, value in reference.items():
+            assert tensorized[key] == pytest.approx(value, abs=1e-12), key
+
+    def test_lowered_exposes_tensor_form(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        lowered = game.lowered()
+        assert lowered is not None
+        assert lowered.num_agents == 2
+        assert len(lowered.states) == 2
+        with engine_override("reference"):
+            assert game.lowered() is None
+
+    def test_equilibrium_sets_exact(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        with engine_override("reference"):
+            reference_game, _, _ = maybe_active_partner_game()
+            reference = enumerate_bayesian_equilibria(reference_game.game)
+        assert enumerate_bayesian_equilibria(game.game) == reference
+
+
+class TestRandomGames:
+    @pytest.mark.parametrize("directed", (True, False))
+    @pytest.mark.parametrize("k", (2, 3))
+    def test_report_parity(self, directed, k):
+        with engine_override("reference"):
+            reference = _fresh_random_game(directed, k, 0).ignorance_report()
+        tensorized = _fresh_random_game(directed, k, 0).ignorance_report()
+        for key, value in reference.as_dict().items():
+            assert tensorized.as_dict()[key] == pytest.approx(
+                value, abs=1e-9
+            ), key
+
+    @pytest.mark.parametrize("directed", (True, False))
+    def test_equilibrium_sets_exact(self, directed):
+        with engine_override("reference"):
+            reference = enumerate_bayesian_equilibria(
+                _fresh_random_game(directed, 3, 1).game
+            )
+        tensorized = enumerate_bayesian_equilibria(
+            _fresh_random_game(directed, 3, 1).game
+        )
+        assert tensorized == reference
+
+    def test_independent_prior_parity(self):
+        def build():
+            rng = np.random.default_rng(11)
+            return random_independent_bayesian_ncs(2, 5, rng)
+
+        with engine_override("reference"):
+            reference = build().ignorance_report().as_dict()
+        tensorized = build().ignorance_report().as_dict()
+        for key, value in reference.items():
+            assert tensorized[key] == pytest.approx(value, abs=1e-9), key
+
+
+class TestOptimalProfile:
+    def test_same_minimizer_as_reference_scan(self, maybe_active_partner):
+        game, _, _ = maybe_active_partner
+        with engine_override("reference"):
+            reference_game, _, _ = maybe_active_partner_game()
+            ref_profile, ref_cost = optimal_strategy_profile(reference_game)
+        profile, cost = optimal_strategy_profile(game)
+        assert profile == ref_profile
+        assert cost == pytest.approx(ref_cost, abs=1e-12)
+        assert opt_p(game) == pytest.approx(ref_cost, abs=1e-12)

@@ -1,5 +1,7 @@
 """Result-cache behavior: hits, misses, stats, robustness, clearing."""
 
+import os
+
 from repro.runtime.cache import ResultCache
 
 
@@ -67,3 +69,83 @@ class TestMaintenance:
         cache = ResultCache(root=tmp_path / "missing")
         assert cache.clear() == 0
         assert cache.entry_count() == 0
+
+
+class TestPrune:
+    @staticmethod
+    def _seeded(tmp_path, ages):
+        """A cache with one entry per (key-suffix, age-seconds) pair."""
+        cache = ResultCache(root=tmp_path / "cache")
+        now = 1_000_000_000.0
+        keys = []
+        for index, age in enumerate(ages):
+            key = f"a{index}" + "7" * 62
+            cache.put(key, {"payload": "x" * 64, "index": index})
+            os.utime(cache.path_for(key), (now - age, now - age))
+            keys.append(key)
+        return cache, keys, now
+
+    def test_age_eviction(self, tmp_path):
+        cache, keys, now = self._seeded(tmp_path, ages=(10.0, 5_000.0, 90_000.0))
+        result = cache.prune(max_age_seconds=86_400.0, now=now)
+        assert result.removed == 1
+        assert result.remaining_entries == 2
+        assert not cache.get(keys[2])[0]
+        assert cache.get(keys[0])[0] and cache.get(keys[1])[0]
+
+    def test_size_eviction_drops_oldest_first(self, tmp_path):
+        cache, keys, now = self._seeded(tmp_path, ages=(30.0, 20.0, 10.0))
+        entry_bytes = cache.path_for(keys[0]).stat().st_size
+        result = cache.prune(max_bytes=2 * entry_bytes, now=now)
+        assert result.removed == 1
+        assert not cache.get(keys[0])[0]  # oldest evicted
+        assert cache.get(keys[1])[0] and cache.get(keys[2])[0]
+        assert result.remaining_bytes <= 2 * entry_bytes
+        assert result.freed_bytes > 0
+
+    def test_combined_bounds(self, tmp_path):
+        cache, keys, now = self._seeded(tmp_path, ages=(90_000.0, 20.0, 10.0))
+        entry_bytes = cache.path_for(keys[1]).stat().st_size
+        result = cache.prune(
+            max_bytes=entry_bytes, max_age_seconds=86_400.0, now=now
+        )
+        assert result.removed == 2
+        assert result.remaining_entries == 1
+        assert cache.get(keys[2])[0]  # the newest entry survives
+
+    def test_prune_within_bounds_is_a_noop(self, tmp_path):
+        cache, keys, now = self._seeded(tmp_path, ages=(10.0, 20.0))
+        result = cache.prune(
+            max_bytes=10 * 1024 * 1024, max_age_seconds=86_400.0, now=now
+        )
+        assert result.removed == 0
+        assert result.remaining_entries == 2
+
+    def test_prune_empty_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "missing")
+        result = cache.prune(max_bytes=0)
+        assert result.removed == 0
+        assert result.remaining_entries == 0
+
+    def test_raced_away_entry_not_charged_to_budget(self, tmp_path, monkeypatch):
+        """An entry unlinked by a rival pruner mid-pass is dropped from
+        the size budget instead of forcing newer live entries out."""
+        from pathlib import Path
+
+        cache, keys, now = self._seeded(tmp_path, ages=(30.0, 20.0, 10.0))
+        entry_bytes = cache.path_for(keys[0]).stat().st_size
+        oldest = cache.path_for(keys[0])
+        real_unlink = Path.unlink
+
+        def racy_unlink(path, *args, **kwargs):
+            if path == oldest:
+                real_unlink(path)  # the rival pruner got there first
+                raise FileNotFoundError(str(path))
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", racy_unlink)
+        result = cache.prune(max_bytes=2 * entry_bytes, now=now)
+        assert result.removed == 0  # the rival's eviction is not ours
+        assert result.freed_bytes == 0
+        assert result.remaining_entries == 2
+        assert cache.get(keys[1])[0] and cache.get(keys[2])[0]

@@ -106,6 +106,64 @@ class TestCacheCommand:
         assert main(["cache", "stats"]) == 0
         assert "entries: 0" in capsys.readouterr().out
 
+    def test_prune_requires_a_bound(self, sandbox, capsys):
+        assert main(["cache", "prune"]) == 2
+        assert "--max-size-mb" in capsys.readouterr().err
+
+    def test_prune_flags_rejected_on_other_actions(self, sandbox, capsys):
+        """`cache clear --max-age-days 30` must not silently wipe it all."""
+        assert main(["cache", "clear", "--max-age-days", "30"]) == 2
+        assert "only apply to 'cache prune'" in capsys.readouterr().err
+        assert main(["cache", "stats", "--max-size-mb", "64"]) == 2
+        assert "only apply to 'cache prune'" in capsys.readouterr().err
+
+    def test_prune_by_size(self, sandbox, capsys):
+        assert main(["sweep", "AUX-3.5", "--jobs", "1", "--set", "level=1,2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-size-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_prune_by_age_keeps_fresh_entries(self, sandbox, capsys):
+        assert main(["sweep", "AUX-3.5", "--jobs", "1", "--set", "level=1,2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-age-days", "30"]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 2" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_thread_backend_smoke(self, sandbox, capsys):
+        args = [
+            "sweep", "AUX-3.5", "--jobs", "2", "--backend", "thread",
+            "--no-cache", "--no-artifacts", "--set", "level=1,2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "backend=thread" in out
+        assert "PASS" in out
+
+    def test_meta_records_backend_and_unit_timings(self, sandbox, capsys):
+        args = [
+            "sweep", "AUX-3.5", "--jobs", "1", "--backend", "serial",
+            "--no-cache", "--set", "level=1,2",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        meta = json.loads(
+            (sandbox / "results" / "AUX-3.5" / "meta.json").read_text()
+        )
+        assert meta["stats"]["backend"] == "serial"
+        timings = meta["unit_timings"]["AUX-3.5"]
+        assert len(timings) == 2
+        for row in timings:
+            assert set(row) == {"params", "seconds", "cached"}
+            assert row["seconds"] >= 0.0
+            assert row["cached"] is False
+
 
 class TestEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):

@@ -74,6 +74,63 @@ class TestPoolParity:
         parallel_rows = [cell_to_dict(cell) for cell in parallel_run.cells]
         assert serial_rows == parallel_rows
 
+    def test_all_backends_produce_identical_rows(self, tmp_path):
+        """serial, thread, and process backends agree byte-for-byte."""
+        import json
+
+        sweep = sweep_t1_directed_opt_universal(ks=(2, 3), seeds=(0, 1))
+        encoded = {}
+        for backend in ("serial", "thread", "process"):
+            run, stats = run_sweep(sweep, jobs=2, backend=backend)
+            assert stats.backend == backend
+            assert stats.executed == 4
+            encoded[backend] = json.dumps(
+                [cell_to_dict(cell) for cell in run.cells], sort_keys=True
+            )
+        assert encoded["thread"] == encoded["process"] == encoded["serial"]
+
+    def test_serial_backend_ignores_jobs(self):
+        units = [bliss_unit(k) for k in (4, 8)]
+        _, stats = run_units(units, jobs=8, backend="serial")
+        assert stats.executed == 2
+        assert stats.backend == "serial"
+
+    def test_unknown_backend_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_units([bliss_unit(4)], backend="gpu")
+
+    def test_thread_backend_shares_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        units = [bliss_unit(k) for k in (4, 8, 16)]
+        _, warm = run_units(units, jobs=2, cache=cache, backend="thread")
+        assert warm.executed == 3
+        _, cold = run_units(units, jobs=1, cache=cache)
+        assert cold.cache_hits == 3
+
+    def test_executed_units_record_timings(self):
+        results, stats = run_units([bliss_unit(4)], jobs=1)
+        assert all(result.seconds >= 0.0 for result in results)
+        assert stats.executed_seconds >= 0.0
+        assert "backend=process" in stats.describe()
+
+    def test_engine_pin_addresses_cache_separately(self, tmp_path):
+        """An engine_override rides into workers and the cache key, so
+        reference- and tensor-engine values never alias."""
+        from repro.core import engine_override
+
+        cache = ResultCache(root=tmp_path / "cache")
+        units = [bliss_unit(4)]
+        with engine_override("reference"):
+            _, pinned = run_units(units, jobs=2, cache=cache, backend="thread")
+        assert pinned.executed == 1
+        _, crossed = run_units(units, jobs=1, cache=cache)
+        assert crossed.cache_hits == 0  # different engine, different key
+        assert crossed.executed == 1
+        _, warm = run_units(units, jobs=1, cache=cache)
+        assert warm.cache_hits == 1
+
     def test_parallel_populates_cache_for_serial(self, tmp_path):
         cache = ResultCache(root=tmp_path / "cache")
         sweep = sweep_aux_online_steiner(levels=(1, 2), samples=4)

@@ -84,6 +84,17 @@ class TestHashing:
         assert a.key() != b.key()
         assert a.key() == UnitTask(task=TASK, params=(("seed", 0), ("k", 2))).key()
 
+    def test_unit_key_depends_on_engine(self):
+        unit = UnitTask(task=TASK, params=(("k", 2), ("seed", 0)))
+        assert unit.key(engine="reference") != unit.key(engine="auto")
+        # ``tensor`` is an alias of ``auto`` with identical results.
+        assert unit.key(engine="tensor") == unit.key(engine="auto")
+        # Bare key() uses the ambient engine.
+        from repro.core import engine_override
+
+        with engine_override("reference"):
+            assert unit.key() == unit.key(engine="reference")
+
     def test_sweep_hash_covers_scenarios(self):
         sweep_a = SweepSpec("S", (make_scenario(),))
         sweep_b = SweepSpec("S", (make_scenario(grid={"k": (9,), "seed": (0,)}),))
