@@ -1,24 +1,37 @@
-"""Micro-benchmark: serial vs process-pool sweep execution.
+"""Micro-benchmarks: parallel scaling and adaptive chunking.
 
-Runs a fixed Table-1-style grid through the runtime engine at
-``jobs=1`` and ``jobs=2`` (no cache, so both runs do the full work),
-asserts the cell rows are identical, and records the wall-clock numbers
-through the artifact store (``results/bench-runtime-scaling/``).
+Two experiments on the canonical Table-1 grid, both no-cache so every
+run does the full work:
+
+* ``test_runtime_scaling`` — serial vs process-pool execution
+  (``jobs=1`` vs ``jobs=2``), asserting identical cell rows and
+  recording the wall clocks under ``results/bench-runtime-scaling/``.
+* ``test_adaptive_chunking`` — uniform vs timing-driven scheduling at
+  ``jobs=2``: a serial pass measures per-unit wall clocks, a
+  :class:`~repro.runtime.shard.CostModel` built from them drives
+  longest-first dispatch and spread-scaled chunk sizing, and the
+  adaptive run must not be slower than the uniform one (within noise
+  tolerance) while producing identical rows
+  (``results/bench-adaptive-chunking/``).
 
 Parallel dispatch pays off once per-unit work exceeds the ``spawn``
 worker start-up cost (each worker imports numpy + repro); on small grids
-or single-core machines serial wins, and this benchmark records whichever
-is true for the current host rather than asserting a speedup.
+or single-core machines serial wins, and the scaling benchmark records
+whichever is true for the current host rather than asserting a speedup.
+
+Run directly: ``python benchmarks/bench_runtime_scaling.py``.
 """
 
 import json
 import os
 import pathlib
+import sys
 import time
 
 from repro.analysis.experiments import sweep_t1_directed_opt_universal
 from repro.runtime.artifacts import ArtifactStore, cell_to_dict
-from repro.runtime.executor import run_sweep
+from repro.runtime.executor import run_sweep, unit_timings
+from repro.runtime.shard import CostModel
 
 #: A fixed grid heavy enough to time meaningfully: k up to 4 drives the
 #: exact-equilibrium enumeration, the dominant per-unit cost.
@@ -26,11 +39,21 @@ SCALING_SWEEP = sweep_t1_directed_opt_universal(ks=(2, 3, 4), seeds=(0, 1, 2, 3)
 
 PARALLEL_JOBS = 2
 
+#: Adaptive scheduling must be "no slower" than uniform; allow this much
+#: wall-clock noise before calling it a regression.
+ADAPTIVE_TOLERANCE = 1.25
 
-def _timed_run(jobs):
+_RESULTS_ROOT = pathlib.Path(__file__).parent.parent / "results"
+
+
+def _timed_run(jobs, cost_model=None):
     start = time.perf_counter()
-    run, stats = run_sweep(SCALING_SWEEP, jobs=jobs, cache=None)
+    run, stats = run_sweep(SCALING_SWEEP, jobs=jobs, cache=None, cost_model=cost_model)
     return run, stats, time.perf_counter() - start
+
+
+def _rows(run):
+    return [cell_to_dict(cell) for cell in run.cells]
 
 
 def test_runtime_scaling(record):
@@ -38,15 +61,13 @@ def test_runtime_scaling(record):
     parallel_run, parallel_stats, parallel_seconds = _timed_run(jobs=PARALLEL_JOBS)
 
     # Parity first: parallel execution must not change a single row.
-    serial_rows = [cell_to_dict(cell) for cell in serial_run.cells]
-    parallel_rows = [cell_to_dict(cell) for cell in parallel_run.cells]
-    assert serial_rows == parallel_rows
+    assert _rows(serial_run) == _rows(parallel_run)
     assert serial_stats.executed == parallel_stats.executed
 
     record(serial_run.cells)
     assert all(cell.passed for cell in serial_run.cells)
 
-    store = ArtifactStore(root=pathlib.Path(__file__).parent.parent / "results")
+    store = ArtifactStore(root=_RESULTS_ROOT)
     artifacts = store.write(
         "bench-runtime-scaling",
         serial_run.cells,
@@ -62,3 +83,73 @@ def test_runtime_scaling(record):
     )
     meta = json.loads(artifacts.meta_path.read_text())
     assert meta["rows_identical"] is True
+
+
+def run_adaptive_benchmark():
+    """Uniform vs timing-driven jobs=2 runs; returns the meta dict."""
+    # A serial pass provides the measured per-unit costs the adaptive
+    # run feeds back — exactly what a real rerun reads from meta.json.
+    measured_run, measured_stats, _ = _timed_run(jobs=1)
+    cost_model = CostModel.from_unit_timings(
+        unit_timings([measured_run]), source="bench serial pass"
+    )
+
+    uniform_run, _, uniform_seconds = _timed_run(jobs=PARALLEL_JOBS)
+    adaptive_run, _, adaptive_seconds = _timed_run(
+        jobs=PARALLEL_JOBS, cost_model=cost_model
+    )
+    rows_identical = _rows(uniform_run) == _rows(adaptive_run)
+
+    meta = {
+        "grid_units": measured_stats.unique_units,
+        "measured_timings": len(cost_model),
+        "parallel_jobs": PARALLEL_JOBS,
+        "uniform_seconds": round(uniform_seconds, 3),
+        "adaptive_seconds": round(adaptive_seconds, 3),
+        "adaptive_over_uniform": round(adaptive_seconds / uniform_seconds, 3),
+        "tolerance": ADAPTIVE_TOLERANCE,
+        "rows_identical": rows_identical,
+    }
+    store = ArtifactStore(root=_RESULTS_ROOT)
+    store.write("bench-adaptive-chunking", adaptive_run.cells, meta=meta)
+    return meta, adaptive_run
+
+
+def adaptive_failures(meta):
+    """The acceptance criteria, shared by pytest and ``main()``."""
+    failures = []
+    if not meta["rows_identical"]:
+        failures.append("adaptive scheduling changed result rows")
+    if meta["measured_timings"] <= 0:
+        failures.append("serial pass produced no measured unit timings")
+    if meta["adaptive_seconds"] > meta["uniform_seconds"] * ADAPTIVE_TOLERANCE:
+        failures.append(
+            f"adaptive {meta['adaptive_seconds']}s slower than uniform "
+            f"{meta['uniform_seconds']}s beyond tolerance {ADAPTIVE_TOLERANCE}x"
+        )
+    return failures
+
+
+def test_adaptive_chunking(record):
+    meta, adaptive_run = run_adaptive_benchmark()
+    record(adaptive_run.cells)
+    assert not adaptive_failures(meta), (adaptive_failures(meta), meta)
+
+
+def main() -> int:
+    meta, _ = run_adaptive_benchmark()
+    print(json.dumps(meta, indent=2, sort_keys=True))
+    failures = adaptive_failures(meta)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"OK: adaptive/uniform = {meta['adaptive_over_uniform']}x "
+        f"(tolerance {ADAPTIVE_TOLERANCE}x), rows identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,12 +7,20 @@ Every CLI run (and the benchmark session hook) writes its
 views of the same rows, plus a ``meta.json`` with engine statistics.
 Each named run overwrites its own directory, so ``results/<name>/``
 always holds the latest evidence for that workload.
+
+Partial sweeps are inspectable too: shard runs
+(:mod:`repro.runtime.shard`) persist one manifest per shard under
+``results/<name>/shards/shard-<k>-of-<N>.json``; ``write()`` leaves the
+``shards/`` subdirectory alone, so a merge can overwrite the unified
+report without destroying the evidence it was merged from.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -22,6 +30,9 @@ from ..analysis.table1 import CellResult, render_markdown, render_series_block
 
 #: Default artifact directory (relative to the current working directory).
 DEFAULT_RESULTS_DIRNAME = "results"
+
+#: Subdirectory of a run directory holding per-shard manifests.
+SHARDS_DIRNAME = "shards"
 
 _CSV_COLUMNS = (
     "experiment_id",
@@ -78,6 +89,66 @@ class ArtifactStore:
 
     def run_dir(self, name: str) -> Path:
         return self.root / name
+
+    def shard_dir(self, name: str) -> Path:
+        return self.run_dir(name) / SHARDS_DIRNAME
+
+    def write_shard_manifest(self, name: str, manifest: Dict[str, Any]) -> Path:
+        """Persist one shard manifest as ``shards/shard-<k>-of-<N>.json``.
+
+        ``<k>`` is 1-based in the filename (matching the CLI's ``k/N``
+        contract); the manifest body keeps the 0-based ``shard_index``.
+        Written atomically (tempfile + rename, like the result cache):
+        a manifest either exists complete or not at all, so a killed
+        shard run never leaves a half-written file for the merge.
+        """
+        directory = self.shard_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / (
+            f"shard-{int(manifest['shard_index']) + 1}"
+            f"-of-{int(manifest['n_shards'])}.json"
+        )
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=directory,
+            prefix=f".{path.stem}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_shard_manifests(self, name: str) -> List[Dict[str, Any]]:
+        """Read every ``shards/shard-*.json`` manifest (sorted by name).
+
+        A manifest that is not valid JSON (e.g. a truncated copy from
+        another machine) raises ``ValueError`` naming the file, rather
+        than surfacing a bare decode traceback from deep in a merge.
+        """
+        directory = self.shard_dir(name)
+        if not directory.is_dir():
+            return []
+        manifests = []
+        for path in sorted(directory.glob("shard-*.json")):
+            try:
+                manifests.append(json.loads(path.read_text(encoding="utf-8")))
+            except ValueError as error:
+                raise ValueError(
+                    f"corrupt shard manifest {path}: {error}; re-run or "
+                    f"re-copy that shard"
+                ) from None
+        return manifests
 
     def write(
         self,

@@ -13,6 +13,11 @@ half-written entry.
 The cache is version-salted but otherwise unbounded by default;
 :meth:`ResultCache.prune` (``python -m repro cache prune``) evicts by age
 and/or total size, oldest entries first.
+
+Because keys are pure content addresses, caches from different machines
+can be combined: :meth:`ResultCache.merge_from` (``python -m repro cache
+merge --from DIR``) imports every entry the local cache is missing —
+the cache-level transport for sharded sweeps (:mod:`repro.runtime.shard`).
 """
 
 from __future__ import annotations
@@ -150,6 +155,32 @@ class ResultCache:
 
     def total_bytes(self) -> int:
         return sum(path.stat().st_size for path in self._entry_paths())
+
+    def merge_from(self, other: Union["ResultCache", Path, str]) -> int:
+        """Import entries from another cache directory; returns the count.
+
+        The shard-transport sibling of the manifest merge: because keys
+        are content addresses, an entry computed on any machine is valid
+        here verbatim, so merging is "copy the entries this cache does
+        not have yet" (existing local entries always win).  Writes go
+        through :meth:`put`, hence are atomic; unreadable or corrupt
+        source entries are skipped.
+        """
+        source = other if isinstance(other, ResultCache) else ResultCache(root=other)
+        imported = 0
+        for path in source._entry_paths():
+            key = path.stem
+            if self.path_for(key).exists():
+                continue
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                value = entry["value"]
+            except (OSError, ValueError, KeyError):
+                continue
+            self.put(key, value, meta=entry.get("meta"))
+            imported += 1
+        return imported
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -5,10 +5,15 @@ Subcommands::
     python -m repro list                  # every experiment id + grid size
     python -m repro run FIG1 SEC4         # run experiments (cached)
     python -m repro sweep T1 --jobs 4     # prefix selection + grid overrides
+    python -m repro sweep T1 --shard 1/4  # run one shard of a split sweep
     python -m repro report                # the full suite, like the old
                                           #   python -m repro.analysis.report
+    python -m repro shard plan T1 -n 4    # preview the shard partition
+    python -m repro shard run T1 --shard 2/4   # same engine as sweep --shard
+    python -m repro shard merge T1        # merge manifests -> unified report
     python -m repro cache stats|clear     # inspect / empty .repro_cache
     python -m repro cache prune --max-size-mb 64 --max-age-days 30
+    python -m repro cache merge --from DIR     # import another machine's cache
 
 ``run`` and ``sweep`` share the engine: ids match exactly or by prefix,
 unit tasks are served from the content-addressed cache (``--no-cache``
@@ -17,14 +22,25 @@ worker pool (``--jobs`` workers; ``--backend {process,thread,serial}``
 picks the pool — all backends emit byte-identical rows).  Every run
 writes JSON + CSV + Markdown artifacts under ``results/``
 (``--no-artifacts`` to skip), including per-unit wall-clock timings in
-``meta.json``.
+``meta.json``.  When a previous run's timings exist (``--timings PATH``,
+or the run's own ``meta.json`` from last time), they drive adaptive
+chunking — longest-first dispatch with a spread-scaled chunk size —
+which changes scheduling only, never rows.
 
-Exit codes: 0 all claims pass, 1 a cell failed its claim, 2 usage error.
+``--shard K/N`` / the ``shard`` subcommands split a sweep into N
+deterministic shards for independent machines (docs/SHARDING.md):
+``shard run`` writes a per-shard manifest under
+``results/<name>/shards/``, and ``shard merge`` reduces the collected
+manifests into the same unified report an unsharded run would write.
+
+Exit codes: 0 all claims pass (shard runs: shard completed), 1 a cell
+failed its claim, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -34,6 +50,13 @@ from ..analysis.table1 import render_markdown, render_series_block
 from .artifacts import DEFAULT_RESULTS_DIRNAME, ArtifactStore
 from .cache import ResultCache, default_cache_root
 from .executor import BACKENDS, run_sweeps, unit_timings
+from .shard import (
+    CostModel,
+    ShardMergeError,
+    merge_shards,
+    plan_shards,
+    run_shard,
+)
 from .spec import Scalar
 
 
@@ -72,6 +95,79 @@ def parse_set_option(option: str) -> Dict[str, List[Scalar]]:
     return {key: [_parse_scalar(part) for part in raw.split(",") if part != ""]}
 
 
+def parse_shard_option(option: str) -> "tuple[int, int]":
+    """Parse ``--shard K/N`` into the 1-based ``(K, N)`` pair."""
+    k_text, sep, n_text = option.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --shard {option!r}; expected K/N like 1/4"
+        ) from None
+    if n < 1 or not 1 <= k <= n:
+        raise argparse.ArgumentTypeError(
+            f"bad --shard {option!r}; K must satisfy 1 <= K <= N"
+        )
+    return k, n
+
+
+def _add_pool_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes/threads (default 1 = serial)",
+    )
+    sub.add_argument(
+        "--backend", choices=BACKENDS, default="process",
+        help="worker pool: spawn processes, GIL-releasing threads, "
+        "or a serial loop (default process)",
+    )
+
+
+def _add_cache_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache entirely",
+    )
+    sub.add_argument(
+        "--clear-cache", action="store_true",
+        help="empty the cache before running",
+    )
+    sub.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache directory (default .repro_cache or $REPRO_CACHE_DIR)",
+    )
+
+
+def _add_artifact_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--results-dir", type=Path, default=Path(DEFAULT_RESULTS_DIRNAME),
+        help="artifact directory (default results/)",
+    )
+    sub.add_argument(
+        "--no-artifacts", action="store_true",
+        help="do not write JSON/CSV/Markdown artifacts",
+    )
+
+
+def _add_set_option(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--set", action="append", default=[], metavar="DIM=VALUES",
+        dest="overrides", type=parse_set_option,
+        help="override a grid dimension on matching scenarios, e.g. "
+        "--set k=2,3,4 or --set seed=0..7 (repeatable)",
+    )
+
+
+def _add_timings_option(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--timings", type=Path, default=None, metavar="META_JSON",
+        help="a previous run's meta.json; its unit timings drive shard "
+        "balancing and adaptive chunking (default: uniform costs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -97,65 +193,91 @@ def build_parser() -> argparse.ArgumentParser:
             "ids", nargs="+", metavar="ID",
             help="experiment id or prefix (e.g. T1, FIG1, SEC4)",
         )
+        _add_pool_options(sub)
+        _add_cache_options(sub)
+        _add_artifact_options(sub)
+        _add_timings_option(sub)
         sub.add_argument(
-            "-j", "--jobs", type=int, default=1,
-            help="worker processes/threads (default 1 = serial)",
-        )
-        sub.add_argument(
-            "--backend", choices=BACKENDS, default="process",
-            help="worker pool: spawn processes, GIL-releasing threads, "
-            "or a serial loop (default process)",
-        )
-        sub.add_argument(
-            "--no-cache", action="store_true",
-            help="skip the on-disk result cache entirely",
-        )
-        sub.add_argument(
-            "--clear-cache", action="store_true",
-            help="empty the cache before running",
-        )
-        sub.add_argument(
-            "--cache-dir", type=Path, default=None,
-            help="cache directory (default .repro_cache or $REPRO_CACHE_DIR)",
-        )
-        sub.add_argument(
-            "--results-dir", type=Path, default=Path(DEFAULT_RESULTS_DIRNAME),
-            help="artifact directory (default results/)",
-        )
-        sub.add_argument(
-            "--no-artifacts", action="store_true",
-            help="do not write JSON/CSV/Markdown artifacts",
+            "--shard", type=parse_shard_option, default=None, metavar="K/N",
+            help="run only shard K of a deterministic N-way split "
+            "(writes a shard manifest instead of a report; see "
+            "'shard merge')",
         )
         sub.add_argument(
             "--series", action="store_true",
             help="print every cell's measured series",
         )
         if name == "sweep":
-            sub.add_argument(
-                "--set", action="append", default=[], metavar="DIM=VALUES",
-                dest="overrides", type=parse_set_option,
-                help="override a grid dimension on matching scenarios, e.g. "
-                "--set k=2,3,4 or --set seed=0..7 (repeatable)",
-            )
+            _add_set_option(sub)
 
     report_parser = subparsers.add_parser(
         "report", help="run the full default suite and print the table"
     )
-    report_parser.add_argument("-j", "--jobs", type=int, default=1)
-    report_parser.add_argument("--backend", choices=BACKENDS, default="process")
-    report_parser.add_argument("--no-cache", action="store_true")
-    report_parser.add_argument("--clear-cache", action="store_true")
-    report_parser.add_argument("--cache-dir", type=Path, default=None)
-    report_parser.add_argument(
-        "--results-dir", type=Path, default=Path(DEFAULT_RESULTS_DIRNAME)
+    _add_pool_options(report_parser)
+    _add_cache_options(report_parser)
+    _add_artifact_options(report_parser)
+    _add_timings_option(report_parser)
+
+    shard_parser = subparsers.add_parser(
+        "shard", help="plan, run, and merge cross-machine sweep shards"
     )
-    report_parser.add_argument("--no-artifacts", action="store_true")
+    shard_sub = shard_parser.add_subparsers(dest="shard_command", required=True)
+
+    plan_parser = shard_sub.add_parser(
+        "plan", help="show the deterministic N-way partition of a sweep"
+    )
+    plan_parser.add_argument(
+        "ids", nargs="+", metavar="ID",
+        help="experiment id or prefix (e.g. T1, FIG1, SEC4)",
+    )
+    plan_parser.add_argument(
+        "-n", "--num-shards", type=int, required=True, metavar="N",
+        help="number of shards to partition the sweep into",
+    )
+    _add_timings_option(plan_parser)
+    _add_set_option(plan_parser)
+    plan_parser.add_argument(
+        "--json", action="store_true",
+        help="print the full plan (addresses included) as JSON",
+    )
+
+    shard_run_parser = shard_sub.add_parser(
+        "run", help="execute one shard and write its manifest"
+    )
+    shard_run_parser.add_argument(
+        "ids", nargs="+", metavar="ID",
+        help="experiment id or prefix (e.g. T1, FIG1, SEC4)",
+    )
+    shard_run_parser.add_argument(
+        "--shard", type=parse_shard_option, required=True, metavar="K/N",
+        help="which shard to run (1-based), e.g. 2/4",
+    )
+    _add_pool_options(shard_run_parser)
+    _add_cache_options(shard_run_parser)
+    _add_artifact_options(shard_run_parser)
+    _add_timings_option(shard_run_parser)
+    _add_set_option(shard_run_parser)
+
+    merge_parser = shard_sub.add_parser(
+        "merge", help="merge collected shard manifests into the unified report"
+    )
+    merge_parser.add_argument(
+        "ids", nargs="+", metavar="ID",
+        help="experiment id or prefix (e.g. T1, FIG1, SEC4)",
+    )
+    _add_artifact_options(merge_parser)
+    _add_set_option(merge_parser)
+    merge_parser.add_argument(
+        "--series", action="store_true",
+        help="print every cell's measured series",
+    )
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect, empty, or prune the result cache"
+        "cache", help="inspect, empty, prune, or merge the result cache"
     )
     cache_parser.add_argument(
-        "action", choices=("stats", "clear", "prune"), nargs="?", default="stats"
+        "action", choices=("stats", "clear", "prune", "merge"),
+        nargs="?", default="stats",
     )
     cache_parser.add_argument("--cache-dir", type=Path, default=None)
     cache_parser.add_argument(
@@ -165,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--max-age-days", type=float, default=None, metavar="D",
         help="prune: evict entries older than D days",
+    )
+    cache_parser.add_argument(
+        "--from", dest="merge_source", type=Path, default=None, metavar="DIR",
+        help="merge: cache directory to import entries from",
     )
     return parser
 
@@ -199,34 +325,71 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_and_report(
-    args: argparse.Namespace,
-    sweeps,
-    artifact_name: str,
-    show_series: bool,
-) -> int:
+def _apply_overrides(args: argparse.Namespace, sweeps):
+    """Apply ``--set`` grid overrides, warning on unmatched dimensions."""
     overrides: Dict[str, List[Scalar]] = {}
     for entry in getattr(args, "overrides", []) or []:
         overrides.update(entry)
-    if overrides:
-        declared = {
-            key
-            for sweep in sweeps
-            for scenario in sweep.scenarios
-            for key, _ in scenario.grid
-        }
-        for key in sorted(set(overrides) - declared):
-            print(
-                f"warning: --set {key}=... matches no grid dimension of the "
-                f"selected experiments (dimensions: {sorted(declared)})",
-                file=sys.stderr,
-            )
-        sweeps = [sweep.with_grid(**overrides) for sweep in sweeps]
+    if not overrides:
+        return sweeps
+    declared = {
+        key
+        for sweep in sweeps
+        for scenario in sweep.scenarios
+        for key, _ in scenario.grid
+    }
+    for key in sorted(set(overrides) - declared):
+        print(
+            f"warning: --set {key}=... matches no grid dimension of the "
+            f"selected experiments (dimensions: {sorted(declared)})",
+            file=sys.stderr,
+        )
+    return [sweep.with_grid(**overrides) for sweep in sweeps]
 
-    cache = _cache_from_args(args)
-    sweep_runs, stats = run_sweeps(
-        sweeps, jobs=args.jobs, cache=cache, backend=args.backend
-    )
+
+def _artifact_name(ids: Sequence[str]) -> str:
+    return "-".join(ids) if len(ids) <= 3 else f"{ids[0]}-etc"
+
+
+def _cost_model_from_args(
+    args: argparse.Namespace, artifact_name: Optional[str] = None
+) -> Optional[CostModel]:
+    """``--timings PATH`` wins; otherwise reuse the run's own last
+    ``meta.json`` when present (scheduling-only, so always safe).
+
+    Shard planning passes ``artifact_name=None`` to disable the
+    implicit fallback: a plan must depend only on inputs every machine
+    shares, and a machine-local previous run is not one of them.
+    """
+    path = getattr(args, "timings", None)
+    if path is None and artifact_name is not None and not getattr(
+        args, "no_artifacts", False
+    ):
+        candidate = Path(args.results_dir) / artifact_name / "meta.json"
+        if candidate.is_file():
+            path = candidate
+    if path is None:
+        return None
+    try:
+        model = CostModel.from_meta_json(path)
+    except (OSError, ValueError) as error:
+        print(f"warning: ignoring timings at {path}: {error}", file=sys.stderr)
+        return None
+    if len(model) == 0:
+        return None
+    print(f"adaptive chunking: {len(model)} measured unit timing(s) from {path}")
+    return model
+
+
+def _report_cells(
+    args: argparse.Namespace,
+    sweep_runs,
+    stats,
+    artifact_name: str,
+    show_series: bool,
+    extra_meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Print the table, write unified artifacts, return the exit code."""
     cells = [cell for run in sweep_runs for cell in run.cells]
 
     print(render_markdown(cells))
@@ -258,6 +421,7 @@ def _run_and_report(
                     "executed_seconds": round(stats.executed_seconds, 3),
                 },
                 "unit_timings": unit_timings(sweep_runs),
+                **(extra_meta or {}),
             },
         )
         print(f"artifacts: {artifacts.directory}")
@@ -270,20 +434,141 @@ def _run_and_report(
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _run_and_report(
+    args: argparse.Namespace,
+    sweeps,
+    artifact_name: str,
+    show_series: bool,
+) -> int:
+    sweeps = _apply_overrides(args, sweeps)
+    cache = _cache_from_args(args)
+    cost_model = _cost_model_from_args(args, artifact_name)
+    sweep_runs, stats = run_sweeps(
+        sweeps,
+        jobs=args.jobs,
+        cache=cache,
+        backend=args.backend,
+        cost_model=cost_model,
+    )
+    return _report_cells(args, sweep_runs, stats, artifact_name, show_series)
+
+
+def _resolve_ids(args: argparse.Namespace):
     try:
-        sweeps = registry.resolve_sweeps(args.ids)
+        return registry.resolve_sweeps(args.ids)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
+        return None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "shard", None) is not None:
+        return _cmd_shard_run(args)
+    sweeps = _resolve_ids(args)
+    if sweeps is None:
         return 2
-    name = "-".join(args.ids) if len(args.ids) <= 3 else f"{args.ids[0]}-etc"
-    return _run_and_report(args, sweeps, name, args.series)
+    return _run_and_report(args, sweeps, _artifact_name(args.ids), args.series)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     sweeps = list(registry.sweep_specs().values())
     args.overrides = []
     return _run_and_report(args, sweeps, "report", show_series=True)
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    sweeps = _resolve_ids(args)
+    if sweeps is None:
+        return 2
+    sweeps = _apply_overrides(args, sweeps)
+    if args.num_shards < 1:
+        print("shard plan needs --num-shards >= 1", file=sys.stderr)
+        return 2
+    cost_model = _cost_model_from_args(args, artifact_name=None)
+    plan = plan_shards(sweeps, args.num_shards, cost_model=cost_model)
+    if args.json:
+        print(json.dumps(plan.to_json(), indent=2, sort_keys=True))
+    else:
+        print(plan.describe())
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    sweeps = _resolve_ids(args)
+    if sweeps is None:
+        return 2
+    sweeps = _apply_overrides(args, sweeps)
+    k, n = args.shard
+    cache = _cache_from_args(args)
+    cost_model = _cost_model_from_args(args, artifact_name=None)
+    shard_run = run_shard(
+        sweeps,
+        k - 1,
+        n,
+        jobs=args.jobs,
+        cache=cache,
+        backend=args.backend,
+        cost_model=cost_model,
+    )
+    plan = shard_run.plan
+    print(
+        f"shard {k}/{n} of plan {plan.plan_hash()[:12]}: "
+        f"{len(plan.shards[k - 1])} of {plan.total_units} unit task(s)"
+    )
+    print(shard_run.stats.describe())
+    if not args.no_artifacts:
+        store = ArtifactStore(root=args.results_dir)
+        path = store.write_shard_manifest(
+            _artifact_name(args.ids), shard_run.manifest()
+        )
+        print(f"shard manifest: {path}")
+    return 0
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    sweeps = _resolve_ids(args)
+    if sweeps is None:
+        return 2
+    sweeps = _apply_overrides(args, sweeps)
+    name = _artifact_name(args.ids)
+    store = ArtifactStore(root=args.results_dir)
+    try:
+        manifests = store.load_shard_manifests(name)
+    except ValueError as error:
+        print(f"shard merge failed: {error}", file=sys.stderr)
+        return 2
+    if not manifests:
+        print(
+            f"no shard manifests under {store.shard_dir(name)}; "
+            f"run 'sweep {' '.join(args.ids)} --shard K/N' first",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        sweep_runs, stats, merge_meta = merge_shards(sweeps, manifests)
+    except (ShardMergeError, ValueError) as error:
+        print(f"shard merge failed: {error}", file=sys.stderr)
+        return 2
+    if merge_meta["ignored_manifests"]:
+        print(
+            f"warning: ignored {merge_meta['ignored_manifests']} stale "
+            f"manifest(s) from an earlier split (different spec/overrides/"
+            f"version)",
+            file=sys.stderr,
+        )
+    print(
+        f"merged {merge_meta['manifests']} shard manifest(s) "
+        f"({', '.join(merge_meta['shards'])}) computed under "
+        f"engine {merge_meta['engine']!r}"
+    )
+    return _report_cells(
+        args,
+        sweep_runs,
+        stats,
+        name,
+        args.series,
+        extra_meta={"shard_merge": merge_meta},
+    )
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -298,6 +583,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.action != "merge" and args.merge_source is not None:
+        print(
+            f"--from only applies to 'cache merge', not 'cache {args.action}'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "merge":
+        if args.merge_source is None:
+            print("cache merge needs --from DIR", file=sys.stderr)
+            return 2
+        if not Path(args.merge_source).is_dir():
+            print(
+                f"cache merge: {args.merge_source} is not a directory",
+                file=sys.stderr,
+            )
+            return 2
+        imported = cache.merge_from(args.merge_source)
+        print(
+            f"imported {imported} entr{'y' if imported == 1 else 'ies'} "
+            f"from {args.merge_source} into {cache.root}"
+        )
+        return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
@@ -341,6 +648,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "shard":
+            if args.shard_command == "plan":
+                return _cmd_shard_plan(args)
+            if args.shard_command == "run":
+                return _cmd_shard_run(args)
+            return _cmd_shard_merge(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except BrokenPipeError:

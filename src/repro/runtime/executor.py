@@ -21,6 +21,14 @@ Three backends share that contract:
 one shared pool (deduplication spans sweeps, so e.g. the three Table-1
 universal cells share their random-game reports), and hands each
 scenario's ordered values to its reducer to produce ``CellResult`` rows.
+The expand and reduce halves are exposed separately (``expand_sweeps`` /
+``reduce_sweeps``) so the shard scheduler (:mod:`repro.runtime.shard`)
+can reduce merged cross-machine results through the identical code path.
+
+Scheduling is cost-aware when a ``cost_model`` is supplied (built from a
+prior run's ``meta.json`` unit timings): pending units dispatch
+longest-first and the process-pool chunk size adapts to the measured
+cost spread.  Scheduling decisions never change result rows.
 """
 
 from __future__ import annotations
@@ -104,9 +112,24 @@ def _execute_unit(job: Tuple[UnitTask, str]) -> Tuple[Any, float]:
     return value, time.perf_counter() - start
 
 
-def _chunksize(pending: int, jobs: int) -> int:
-    # ~4 chunks per worker balances dispatch overhead against stragglers.
-    return max(1, pending // (jobs * 4))
+def _chunksize(pending: int, jobs: int, costs: Optional[Sequence[float]] = None) -> int:
+    """Process-pool ``map`` chunk size, adapted to measured unit costs.
+
+    Uniform fallback: ~4 chunks per worker balances dispatch overhead
+    against stragglers.  With cost estimates, the chunk count scales
+    with the relative spread of the costs (coefficient of variation):
+    near-uniform loads take bigger chunks (less dispatch overhead),
+    highly skewed loads take smaller ones (a straggler chunk can hold
+    at most a small slice of the work).
+    """
+    chunks_per_worker = 4
+    if costs is not None and len(costs) > 1:
+        mean = sum(costs) / len(costs)
+        if mean > 0.0:
+            variance = sum((cost - mean) ** 2 for cost in costs) / len(costs)
+            spread = (variance ** 0.5) / mean
+            chunks_per_worker = int(min(16.0, max(2.0, round(2.0 + 6.0 * spread))))
+    return max(1, pending // (jobs * chunks_per_worker))
 
 
 def run_units(
@@ -114,12 +137,21 @@ def run_units(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     backend: str = "process",
+    cost_model: Optional[Any] = None,
 ) -> Tuple[List[UnitResult], RunStats]:
     """Execute unit tasks; results come back in submission order.
 
     ``backend`` selects the worker pool (see module docstring); every
     backend produces byte-identical result rows because values depend
     only on task parameters and ``map`` preserves submission order.
+
+    ``cost_model`` (any object with ``estimate(unit) -> float``, e.g.
+    :class:`repro.runtime.shard.CostModel` built from a prior run's
+    ``meta.json`` timings) enables adaptive scheduling: pending units
+    are dispatched longest-first and the process-pool chunk size shrinks
+    as the cost spread grows.  Scheduling never affects values — results
+    are reassembled by submission index — so adaptive and uniform runs
+    emit identical rows.
     """
     start = time.perf_counter()
     if backend not in BACKENDS:
@@ -155,6 +187,21 @@ def run_units(
     else:
         pending_indices = list(range(len(unique)))
 
+    costs: Optional[List[float]] = None
+    if cost_model is not None and len(pending_indices) > 1:
+        costs = [
+            float(cost_model.estimate(unique[index])) for index in pending_indices
+        ]
+        # Longest-first dispatch: the classic LPT straggler mitigation.
+        # Stable sort on (-cost, arrival) keeps ties deterministic, and
+        # result assembly below goes through pending_indices, so the
+        # permutation never reaches the caller.
+        order = sorted(
+            range(len(pending_indices)), key=lambda at: (-costs[at], at)
+        )
+        pending_indices = [pending_indices[at] for at in order]
+        costs = [costs[at] for at in order]
+
     pending = [(unique[index], engine) for index in pending_indices]
     if pending:
         workers = min(jobs, len(pending))
@@ -174,7 +221,7 @@ def run_units(
                     pool.map(
                         _execute_unit,
                         pending,
-                        chunksize=_chunksize(len(pending), workers),
+                        chunksize=_chunksize(len(pending), workers, costs),
                     )
                 )
         for index, (value, elapsed) in zip(pending_indices, outcomes):
@@ -235,14 +282,21 @@ class SweepRun:
         return cells
 
 
-def run_sweeps(
+#: Per-sweep scenario slices into the flat submission-order unit list.
+SweepSlices = List[Tuple[SweepSpec, List[Tuple[ScenarioSpec, int, int]]]]
+
+
+def expand_sweeps(
     sweeps: Sequence[SweepSpec],
-    jobs: int = 1,
-    cache: Optional[ResultCache] = None,
-    backend: str = "process",
-) -> Tuple[List[SweepRun], RunStats]:
-    """Expand, execute (one shared pool), and reduce a batch of sweeps."""
-    slices: List[Tuple[SweepSpec, List[Tuple[ScenarioSpec, int, int]]]] = []
+) -> Tuple[List[UnitTask], SweepSlices]:
+    """Flatten sweeps into the submission-order unit list plus slices.
+
+    The slices record which ``[start, stop)`` range of the flat list
+    belongs to each scenario, so any provider of in-order unit values —
+    the live executor or a shard merge — can be reduced identically by
+    :func:`reduce_sweeps`.
+    """
+    slices: SweepSlices = []
     units: List[UnitTask] = []
     for sweep in sweeps:
         scenario_slices = []
@@ -253,21 +307,40 @@ def run_sweeps(
             )
             units.extend(expanded)
         slices.append((sweep, scenario_slices))
+    return units, slices
 
-    results, stats = run_units(units, jobs=jobs, cache=cache, backend=backend)
 
+def reduce_sweeps(
+    slices: SweepSlices, results: Sequence[UnitResult]
+) -> List[SweepRun]:
+    """Run every scenario's reducer over its slice of ordered results."""
     sweep_runs: List[SweepRun] = []
     for sweep, scenario_slices in slices:
         sweep_run = SweepRun(sweep=sweep)
         for scenario, start, stop in scenario_slices:
-            scenario_results = results[start:stop]
+            scenario_results = list(results[start:stop])
             reducer = resolve_ref(scenario.reducer)
             cells = reducer(scenario, scenario_results)
             sweep_run.scenario_runs.append(
                 ScenarioRun(spec=scenario, results=scenario_results, cells=cells)
             )
         sweep_runs.append(sweep_run)
-    return sweep_runs, stats
+    return sweep_runs
+
+
+def run_sweeps(
+    sweeps: Sequence[SweepSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    backend: str = "process",
+    cost_model: Optional[Any] = None,
+) -> Tuple[List[SweepRun], RunStats]:
+    """Expand, execute (one shared pool), and reduce a batch of sweeps."""
+    units, slices = expand_sweeps(sweeps)
+    results, stats = run_units(
+        units, jobs=jobs, cache=cache, backend=backend, cost_model=cost_model
+    )
+    return reduce_sweeps(slices, results), stats
 
 
 def run_sweep(
@@ -275,9 +348,12 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     backend: str = "process",
+    cost_model: Optional[Any] = None,
 ) -> Tuple[SweepRun, RunStats]:
     """Convenience wrapper for a single sweep."""
-    runs, stats = run_sweeps([sweep], jobs=jobs, cache=cache, backend=backend)
+    runs, stats = run_sweeps(
+        [sweep], jobs=jobs, cache=cache, backend=backend, cost_model=cost_model
+    )
     return runs[0], stats
 
 
@@ -300,6 +376,7 @@ def unit_timings(sweep_runs: Sequence[SweepRun]) -> Dict[str, List[Dict[str, Any
         for scenario_run in sweep_run.scenario_runs:
             rows = [
                 {
+                    "task": result.task,
                     "params": result.params,
                     "seconds": round(result.seconds, 6),
                     "cached": result.cached,

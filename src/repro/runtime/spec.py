@@ -11,7 +11,12 @@ groups the scenarios backing one experiment id.
 Specs are frozen, hashable, and JSON-serializable; :meth:`spec_hash`
 gives a stable content address (salted with the package version) used by
 the on-disk result cache.  ``expand()`` unrolls the grid into independent
-:class:`UnitTask` rows — the unit of parallel dispatch.
+:class:`UnitTask` rows — the unit of parallel dispatch.  Each unit has
+two content addresses: :meth:`UnitTask.key` (engine-salted, the cache
+key) and :meth:`UnitTask.address` (engine-free, the shard scheduler's
+cross-machine work-unit identity).  All addresses reduce to
+:func:`canonical_digest` over canonical JSON, so two machines sharing
+nothing but the repo agree on every address.
 """
 
 from __future__ import annotations
@@ -73,9 +78,19 @@ def _freeze_grid(grid: Union[Mapping[str, Sequence[Scalar]], FrozenGrid]) -> Fro
     return tuple(frozen)
 
 
-def _canonical_digest(payload: Any) -> str:
+def canonical_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``.
+
+    The one hash function behind every runtime content address: unit
+    cache keys, spec hashes, and shard-plan hashes all reduce to this,
+    so "same canonical JSON" and "same address" are interchangeable.
+    """
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+#: Backwards-compatible private alias (pre-shard-scheduler name).
+_canonical_digest = canonical_digest
 
 
 def _version_salt() -> str:
@@ -117,6 +132,24 @@ class UnitTask:
                 "params": self.params,
                 "version": _version_salt(),
                 "engine": "auto" if engine == "tensor" else engine,
+            }
+        )
+
+    def address(self) -> str:
+        """Engine-independent content address: task + params + version.
+
+        This is the shard scheduler's stable work-unit identity
+        (:mod:`repro.runtime.shard`): machines that share nothing but
+        the repo compute the same address for the same grid point, so
+        shard plans and manifests can reference units without agreeing
+        on an evaluation engine up front.  :meth:`key` — the *cache*
+        address — is this plus the engine the value was computed under.
+        """
+        return _canonical_digest(
+            {
+                "task": self.task,
+                "params": self.params,
+                "version": _version_salt(),
             }
         )
 

@@ -45,11 +45,17 @@ class GreedyOnlineSteiner:
             self.step_costs.append(0.0)
             return 0.0
 
-        # Multi-source Dijkstra from the connected component.
-        dist: Dict[Node, float] = {node: 0.0 for node in self.connected}
-        parent: Dict[Node, Optional[EdgeId]] = {node: None for node in self.connected}
+        # Multi-source Dijkstra from the connected component.  The seed
+        # order breaks equal-cost path ties, so it must not depend on
+        # set iteration order: that varies with the per-process string
+        # hash seed, and spawned pool workers would disagree on which
+        # cheapest path greedy buys.  Sorting by repr gives a total
+        # order for any Hashable node type.
+        seeds = sorted(self.connected, key=repr)
+        dist: Dict[Node, float] = {node: 0.0 for node in seeds}
+        parent: Dict[Node, Optional[EdgeId]] = {node: None for node in seeds}
         heap: List[Tuple[float, int, Node]] = [
-            (0.0, i, node) for i, node in enumerate(self.connected)
+            (0.0, i, node) for i, node in enumerate(seeds)
         ]
         heapq.heapify(heap)
         counter = len(heap)

@@ -160,7 +160,8 @@ class TestBackendFlag:
         timings = meta["unit_timings"]["AUX-3.5"]
         assert len(timings) == 2
         for row in timings:
-            assert set(row) == {"params", "seconds", "cached"}
+            assert set(row) == {"task", "params", "seconds", "cached"}
+            assert row["task"].endswith(":unit_online_steiner")
             assert row["seconds"] >= 0.0
             assert row["cached"] is False
 

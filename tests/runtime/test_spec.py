@@ -95,6 +95,19 @@ class TestHashing:
         with engine_override("reference"):
             assert unit.key() == unit.key(engine="reference")
 
+    def test_unit_address_is_engine_free(self):
+        """The shard scheduler's work-unit identity ignores the engine."""
+        unit = UnitTask(task=TASK, params=(("k", 2), ("seed", 0)))
+        from repro.core import engine_override
+
+        with engine_override("reference"):
+            pinned = unit.address()
+        assert pinned == unit.address()
+        assert unit.address() not in (unit.key(engine="auto"),
+                                      unit.key(engine="reference"))
+        other = UnitTask(task=TASK, params=(("k", 2), ("seed", 1)))
+        assert unit.address() != other.address()
+
     def test_sweep_hash_covers_scenarios(self):
         sweep_a = SweepSpec("S", (make_scenario(),))
         sweep_b = SweepSpec("S", (make_scenario(grid={"k": (9,), "seed": (0,)}),))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links in README.md and docs/*.md.
+
+Scans every inline markdown link (``[text](target)``) in the given
+files (default: ``README.md`` and ``docs/*.md`` relative to the repo
+root), skips external schemes (``http://``, ``https://``, ``mailto:``)
+and pure in-page anchors (``#...``), and verifies each remaining target
+— resolved relative to the file that contains it, with any ``#fragment``
+stripped — exists on disk.  Exits 1 listing every broken link.
+
+Stdlib only, so the CI docs job needs no dependencies:
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline links; images share the syntax modulo a leading ``!``.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    in_code_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            yield lineno, match.group(1)
+
+
+def broken_links(path: Path) -> List[Tuple[int, str, str]]:
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append((lineno, target, str(resolved)))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+
+    failures = 0
+    checked = 0
+    for path in files:
+        if not path.is_file():
+            print(f"{path}: no such file", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for lineno, target, resolved in broken_links(path):
+            print(
+                f"{path.relative_to(root) if path.is_relative_to(root) else path}"
+                f":{lineno}: broken link {target!r} -> {resolved}",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all intra-repo links OK across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
