@@ -12,6 +12,9 @@ These benchmarks quantify design choices and the paper's side remarks:
 * the Euclidean online Steiner remark (Alon-Azar).
 """
 
+import pathlib
+import sys
+
 import numpy as np
 
 from repro._util import harmonic
@@ -34,7 +37,13 @@ from repro.graphs import grid_graph
 from repro.minimax import GamePhi, analyze_private_randomness
 from repro.ncs import WeightedNCSGame
 from repro.steiner_online import dyadic_adversary_ratio, uniform_competitive_ratio
-from tests.core.conftest import matching_state_game
+
+# The canonical worked games live next to the core tests as a plain
+# importable helper module (the tests/ tree is not a package).
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "tests" / "core")
+)
+from canonical_games import matching_state_game  # noqa: E402
 
 
 def test_ablation_correlation_device(benchmark, record):

@@ -1,7 +1,7 @@
 """Engine benchmark: tensor lowering vs. reference enumeration, and
 backend parity through the runtime.
 
-Two claims, checked on every run (pytest *or* ``python
+Three claims, checked on every run (pytest *or* ``python
 benchmarks/bench_engine.py``, the CI smoke step):
 
 1. **Speedup.**  On a representative mid-size Bayesian game (one
@@ -9,7 +9,13 @@ benchmarks/bench_engine.py``, the CI smoke step):
    profiles), equilibrium enumeration through the tensor engine is at
    least :data:`TARGET_SPEEDUP` times faster than the per-profile
    reference path — while producing the *identical* equilibrium set.
-2. **Backend parity.**  One mid-size sweep executed through the runtime
+2. **Dynamics speedup.**  A multi-restart interim best-response
+   dynamics batch (equilibrium sampling from :data:`DYNAMICS_RESTARTS`
+   seeded starting profiles on a random directed NCS game) runs at
+   least :data:`DYNAMICS_TARGET_SPEEDUP` times faster on the tensor
+   engine — end to end, lowering included — with the *identical* list
+   of fixed points.
+3. **Backend parity.**  One mid-size sweep executed through the runtime
    on the ``serial``, ``thread``, and ``process`` backends yields
    byte-identical cell rows (the thread backend exists because the
    tensor kernels release the GIL).
@@ -25,13 +31,24 @@ import time
 import numpy as np
 
 from repro.analysis.experiments import sweep_t1_directed_opt_universal
-from repro.core import engine_override, enumerate_bayesian_equilibria
+from repro.constructions.random_games import random_bayesian_ncs
+from repro.core import (
+    bayesian_best_response_dynamics,
+    engine_override,
+    enumerate_bayesian_equilibria,
+)
 from repro.core.matrix_game import MatrixGame, bayesian_game_from_state_games
 from repro.runtime.artifacts import ArtifactStore, cell_to_dict
 from repro.runtime.executor import run_sweep
 
 #: Acceptance floor for the tensor-vs-reference equilibrium speedup.
 TARGET_SPEEDUP = 5.0
+
+#: Acceptance floor for the tensor-vs-reference dynamics-batch speedup.
+DYNAMICS_TARGET_SPEEDUP = 3.0
+
+#: Starting profiles per dynamics batch (one greedy + seeded random).
+DYNAMICS_RESTARTS = 64
 
 BACKEND_JOBS = 2
 
@@ -83,6 +100,61 @@ def measure_equilibrium_speedup():
     return reference_seconds, tensor_seconds, reference == tensorized
 
 
+def dynamics_game():
+    """A random directed NCS game sized for the dynamics batch.
+
+    Dense enough (14 extra edges, 4 scenarios) that each reference
+    best-response step scans a non-trivial feasible-path list through
+    Python cost callbacks, while the lowered form stays a few thousand
+    cells — the regime the tensor dynamics targets.
+    """
+    rng = np.random.default_rng(20_200)
+    return random_bayesian_ncs(
+        3, 8, rng, directed=True, extra_edges=14, scenarios=4,
+        name="bench-dynamics",
+    )
+
+
+def dynamics_initials(game, count=DYNAMICS_RESTARTS):
+    """The batch's starting profiles: greedy plus seeded random draws."""
+    core = game.game
+    rng = np.random.default_rng(77)
+    profiles = [game.greedy_profile()]
+    while len(profiles) < count:
+        profile = []
+        for agent in range(core.num_agents):
+            per_type = []
+            for ti in core.types(agent):
+                feasible = core.feasible_actions(agent, ti)
+                per_type.append(feasible[int(rng.integers(len(feasible)))])
+            profile.append(tuple(per_type))
+        profiles.append(tuple(profile))
+    return profiles
+
+
+def measure_dynamics_speedup():
+    """(reference_seconds, tensor_seconds, identical_fixed_points).
+
+    Each measurement runs the full restart batch on a *fresh* game (the
+    tensor timing therefore pays its one-time lowering) and takes the
+    best of several runs, like the equilibrium measurement above.
+    """
+    initials = dynamics_initials(dynamics_game())
+
+    def batch():
+        game = dynamics_game()
+        return [
+            bayesian_best_response_dynamics(game.game, initial=initial)
+            for initial in initials
+        ]
+
+    with engine_override("reference"):
+        reference_seconds, reference = _best_of(REFERENCE_REPEATS, batch)
+    with engine_override("auto"):
+        tensor_seconds, tensorized = _best_of(TENSOR_REPEATS, batch)
+    return reference_seconds, tensor_seconds, reference == tensorized
+
+
 def measure_backend_parity():
     """Run one mid-size sweep on all backends; return rows + timings."""
     sweep = sweep_t1_directed_opt_universal(ks=(2, 3, 4), seeds=(0, 1, 2, 3))
@@ -103,6 +175,8 @@ def measure_backend_parity():
 def run_benchmark():
     reference_seconds, tensor_seconds, sets_equal = measure_equilibrium_speedup()
     speedup = reference_seconds / max(tensor_seconds, 1e-9)
+    dyn_reference, dyn_tensor, dyn_identical = measure_dynamics_speedup()
+    dynamics_speedup = dyn_reference / max(dyn_tensor, 1e-9)
     cells, encoded, backend_seconds = measure_backend_parity()
     backends_identical = (
         encoded["thread"] == encoded["process"] == encoded["serial"]
@@ -113,6 +187,12 @@ def run_benchmark():
         "speedup": round(speedup, 2),
         "target_speedup": TARGET_SPEEDUP,
         "equilibrium_sets_equal": sets_equal,
+        "dynamics_reference_seconds": round(dyn_reference, 3),
+        "dynamics_tensor_seconds": round(dyn_tensor, 3),
+        "dynamics_speedup": round(dynamics_speedup, 2),
+        "dynamics_target_speedup": DYNAMICS_TARGET_SPEEDUP,
+        "dynamics_restarts": DYNAMICS_RESTARTS,
+        "dynamics_fixed_points_identical": dyn_identical,
         "backend_jobs": BACKEND_JOBS,
         "backend_seconds": {
             backend: round(value, 3) for backend, value in backend_seconds.items()
@@ -128,8 +208,10 @@ def test_engine_speedup_and_backend_parity(record):
     meta, cells = run_benchmark()
     record(cells)
     assert meta["equilibrium_sets_equal"]
+    assert meta["dynamics_fixed_points_identical"]
     assert meta["backends_identical"]
     assert meta["speedup"] >= TARGET_SPEEDUP, meta
+    assert meta["dynamics_speedup"] >= DYNAMICS_TARGET_SPEEDUP, meta
 
 
 def main() -> int:
@@ -137,6 +219,9 @@ def main() -> int:
     print(json.dumps(meta, indent=2, sort_keys=True))
     if not meta["equilibrium_sets_equal"]:
         print("FAIL: tensor and reference equilibrium sets differ", file=sys.stderr)
+        return 1
+    if not meta["dynamics_fixed_points_identical"]:
+        print("FAIL: tensor and reference dynamics fixed points differ", file=sys.stderr)
         return 1
     if not meta["backends_identical"]:
         print("FAIL: backends disagree on cell rows", file=sys.stderr)
@@ -147,8 +232,16 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    if meta["dynamics_speedup"] < DYNAMICS_TARGET_SPEEDUP:
+        print(
+            f"FAIL: dynamics speedup {meta['dynamics_speedup']}x below "
+            f"target {DYNAMICS_TARGET_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"OK: {meta['speedup']}x equilibrium speedup, "
+        f"{meta['dynamics_speedup']}x dynamics speedup, "
         "backends byte-identical"
     )
     return 0

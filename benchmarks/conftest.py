@@ -18,6 +18,16 @@ from repro.runtime.artifacts import ArtifactStore
 _CELLS = []
 
 
+def pytest_collection_modifyitems(items):
+    """Every test collected from this directory is a benchmark: tag it
+    with the ``bench`` marker (registered in the root ``pytest.ini``) so
+    marker expressions can select or exclude the whole family."""
+    here = str(pathlib.Path(__file__).parent.resolve())
+    for item in items:
+        if str(item.path).startswith(here):
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def record():
     """Benchmarks call ``record(cells)`` with their reproduced rows."""

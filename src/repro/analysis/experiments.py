@@ -51,6 +51,11 @@ from ..constructions.gworst import (
     build_gworst_low_ratio_game,
 )
 from ..constructions.random_games import random_bayesian_ncs
+from ..core.equilibrium import (
+    bayesian_best_response_dynamics,
+    bayesian_equilibrium_extreme_costs,
+    is_bayesian_equilibrium,
+)
 from ..core.measures import IgnoranceReport
 from ..embeddings.frt import average_stretch, frt_embedding
 from ..embeddings.metric import FiniteMetric
@@ -245,6 +250,38 @@ def unit_frt_stretch(n: int, trees_per_n: int = 12) -> float:
     metric = FiniteMetric.from_graph(graph)
     trees = [frt_embedding(metric, rng) for _ in range(trees_per_n)]
     return average_stretch(metric, trees)
+
+
+def unit_dynamics_fixed_point(
+    k: int,
+    seed: int,
+    directed: bool,
+    num_nodes: int = 5,
+    extra_edges: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, float]:
+    """Interim best-response dynamics on one random Bayesian NCS game.
+
+    Runs the greedy-seeded dynamics (the tensor fast path whenever the
+    game lowers; ``engine`` pins a path explicitly, with the same
+    semantics as in :func:`unit_ncs_report`), asserts the fixed point is
+    a pure Bayesian equilibrium, and returns its social cost next to the
+    exact equilibrium extremes so the reducer can check the sandwich
+    ``best-eqP <= K(fixed point) <= worst-eqP`` on every instance.
+    """
+    if extra_edges is None:
+        extra_edges = num_nodes if directed else 2
+    rng = np.random.default_rng(10_000 * k + seed)
+    game = random_bayesian_ncs(
+        k, num_nodes, rng, directed=directed, extra_edges=extra_edges
+    )
+    context = tensor_engine_override(engine) if engine else nullcontext()
+    with context:
+        fixed_point = bayesian_best_response_dynamics(game.game)
+        assert is_bayesian_equilibrium(game.game, fixed_point)
+        cost = game.social_cost(fixed_point)
+        best, worst = bayesian_equilibrium_extreme_costs(game.game)
+    return {"dynamics": cost, "best_eq": best, "worst_eq": worst}
 
 
 def unit_online_steiner(level: int, samples: int = 12) -> Dict[str, float]:
@@ -608,6 +645,40 @@ def reduce_online_steiner(spec, results) -> List[CellResult]:
     ]
 
 
+def reduce_aux_dynamics(spec, results) -> List[CellResult]:
+    per_k: Dict[int, float] = {}
+    flat: List[Tuple[int, float]] = []
+    holds = True
+    for result in results:
+        k = result.params["k"]
+        values = result.value
+        holds &= (
+            values["best_eq"] - 1e-9
+            <= values["dynamics"]
+            <= values["worst_eq"] + 1e-9
+        )
+        ratio = (
+            1.0
+            if values["worst_eq"] == 0.0
+            else values["dynamics"] / values["worst_eq"]
+        )
+        flat.append((k, ratio))
+        per_k[k] = max(per_k.get(k, 0.0), ratio)
+    series = [SeriesPoint(k, per_k[k]) for k in sorted(per_k)]
+    return [
+        CellResult(
+            "AUX-DYN", "directed", "K(dynamics)/worst-eqP", "universal",
+            "best-eqP <= K(fixed point) <= worst-eqP  [Obs 2.1]",
+            series, expected_shape="constant", bound_check=holds,
+            notes=(
+                f"{len(flat)} random instances; greedy-seeded interim "
+                "best-response dynamics, fixed point verified as an "
+                "equilibrium in-task"
+            ),
+        )
+    ]
+
+
 # ----------------------------------------------------------------------
 # spec factories: one sweep per experiment id
 # ----------------------------------------------------------------------
@@ -965,6 +1036,25 @@ def sweep_aux_online_steiner(
     )
 
 
+def sweep_aux_dynamics(
+    ks: Sequence[int] = DEFAULT_KS, seeds: Sequence[int] = DEFAULT_SEEDS
+) -> SweepSpec:
+    return SweepSpec(
+        "AUX-DYN",
+        (
+            ScenarioSpec(
+                scenario_id="AUX-DYN",
+                task=f"{_HERE}:unit_dynamics_fixed_point",
+                reducer=f"{_HERE}:reduce_aux_dynamics",
+                grid={"k": ks, "seed": seeds},
+                fixed={"directed": True, "num_nodes": 5, "extra_edges": 5},
+                description="greedy-seeded dynamics fixed points vs exact extremes",
+            ),
+        ),
+        description="best-response dynamics land between the equilibrium extremes",
+    )
+
+
 #: Sweep factories in reporting order (one per experiment id).
 SWEEP_FACTORIES = (
     sweep_t1_directed_opt_universal,
@@ -984,6 +1074,7 @@ SWEEP_FACTORIES = (
     sweep_sec4,
     sweep_aux_frt_stretch,
     sweep_aux_online_steiner,
+    sweep_aux_dynamics,
 )
 
 #: Default-size sweeps keyed by experiment id, in reporting order.
@@ -1124,6 +1215,13 @@ def aux_online_steiner(
     return sweep_cells(sweep_aux_online_steiner(levels, samples))
 
 
+def aux_dynamics(
+    ks: Sequence[int] = DEFAULT_KS, seeds: Sequence[int] = DEFAULT_SEEDS
+) -> List[CellResult]:
+    """Best-response dynamics fixed points sit between the eq extremes."""
+    return sweep_cells(sweep_aux_dynamics(ks, seeds))
+
+
 #: Every experiment function, in reporting order.
 ALL_EXPERIMENTS = (
     t1_directed_opt_universal,
@@ -1143,6 +1241,7 @@ ALL_EXPERIMENTS = (
     sec4_public_randomness,
     aux_frt_stretch,
     aux_online_steiner,
+    aux_dynamics,
 )
 
 

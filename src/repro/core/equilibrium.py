@@ -142,11 +142,24 @@ def complete_best_response_dynamics(
 
     Converges whenever the game admits an (exact) potential; raises
     ``RuntimeError`` after ``max_rounds`` full sweeps without convergence.
+
+    On lowerable games each sweep step is a vectorized argmin over the
+    tabulated deviation row (:meth:`StateTensor.best_response_dynamics`),
+    visiting the identical profile sequence as the reference loop below
+    — same sweep order, tie-breaks, and convergence/cycle behavior.
     """
     if initial is None:
         actions = tuple(game.actions(agent)[0] for agent in range(game.num_agents))
     else:
         actions = tuple(initial)
+    lowered = tensor.maybe_state_tensor(game)
+    if lowered is not None:
+        flat = lowered.encode(actions)
+        if flat is not None:
+            fixed_point = lowered.best_response_dynamics(flat, max_rounds)
+            if fixed_point is None:
+                raise RuntimeError("best-response dynamics did not converge")
+            return lowered.decode(fixed_point)
     for _ in range(max_rounds):
         changed = False
         for agent in range(game.num_agents):
@@ -172,7 +185,19 @@ def interim_best_response(
     ti,
     strategies: StrategyProfile,
 ) -> Tuple[Action, float]:
-    """Best action of ``agent`` at type ``ti`` against ``strategies``."""
+    """Best action of ``agent`` at type ``ti`` against ``strategies``.
+
+    Dispatches to the tensor engine's precomputed conditional
+    expected-cost tables when the game lowers and the inputs encode
+    (positive type, cataloged actions); the candidate scan below is the
+    reference semantics either way — same values, same first-feasible
+    tie-break.
+    """
+    lowered = tensor.maybe_lower(game)
+    if lowered is not None:
+        result = lowered.interim_best_response(agent, ti, strategies)
+        if result is not None:
+            return result
     best_action: Optional[Action] = None
     best_cost = float("inf")
     for candidate in game.feasible_actions(agent, ti):
@@ -247,8 +272,19 @@ def bayesian_best_response_dynamics(
     Sweeps over (agent, positive type) pairs applying strict improvements.
     Converges whenever the game admits a Bayesian potential (Observation
     2.1); raises ``RuntimeError`` otherwise after ``max_rounds`` sweeps.
+
+    On lowerable games the whole loop runs on the tensor engine — one
+    vectorized argmin over each type's feasible-action axis per step,
+    against precomputed conditional expected-cost tables — and visits the
+    identical profile sequence as the reference sweep below (bit-equal
+    interim costs, same tie-breaks, same cycle/non-convergence behavior).
     """
     strategies = initial if initial is not None else greedy_strategy_profile(game)
+    lowered = tensor.maybe_lower(game)
+    if lowered is not None:
+        result = lowered.best_response_dynamics(strategies, max_rounds)
+        if result is not None:
+            return result
     for _ in range(max_rounds):
         changed = False
         for agent in range(game.num_agents):

@@ -54,7 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .._util import TOLERANCE, ExplosionError, product_size
+from .._util import TOLERANCE, ExplosionError, lt, product_size
 from .game import (
     Action,
     ActionProfile,
@@ -222,13 +222,76 @@ class StateTensor:
             for space, stride, n in zip(self.actions, self.strides, self.shape)
         )
 
+    def encode(self, actions: ActionProfile) -> Optional[int]:
+        """Flat index of ``actions``, or ``None`` if any entry is not in
+        the agent's feasible list (callers then keep the reference path,
+        whose cost callbacks accept arbitrary actions)."""
+        if len(actions) != len(self.actions):
+            return None
+        flat = 0
+        for space, stride, action in zip(self.actions, self.strides, actions):
+            try:
+                position = space.index(action)
+            except ValueError:
+                return None
+            flat += stride * position
+        return flat
+
+    def best_response_dynamics(
+        self, initial: int, max_rounds: int
+    ) -> Optional[int]:
+        """Iterated strict best responses from flat index ``initial``.
+
+        One deviation row per (sweep, agent) — a gather into the
+        tabulated cost matrix — replaces the reference's per-candidate
+        cost callbacks.  Sweep order, the first-feasible ``argmin``
+        tie-break, and the tolerant improvement test reproduce the
+        reference loop step for step, so the visited profile sequence
+        (and hence the fixed point, or the failure to converge) is
+        identical.  Returns the fixed point's flat index, or ``None``
+        after ``max_rounds`` sweeps (the caller raises, preserving the
+        reference error message).
+        """
+        flat = initial
+        deviations = [
+            stride * np.arange(n, dtype=np.int64)
+            for stride, n in zip(self.strides, self.shape)
+        ]
+        for _ in range(max_rounds):
+            changed = False
+            for agent in range(self.num_agents):
+                stride = self.strides[agent]
+                own = (flat // stride) % self.shape[agent]
+                others = flat - stride * own
+                row = self.costs[agent][others + deviations[agent]]
+                best_position = int(row.argmin())
+                if not row[best_position] < float("inf"):
+                    # The reference selects only candidates of finite cost
+                    # and raises when the whole row is +inf.
+                    raise RuntimeError("agent has no actions")
+                if lt(float(row[best_position]), float(row[own])):
+                    flat = others + stride * best_position
+                    changed = True
+            if not changed:
+                return flat
+        return None
+
     def nash_mask(self) -> np.ndarray:
-        """Boolean mask (flat, C-order) of pure Nash equilibria."""
+        """Boolean mask (flat, C-order) of pure Nash equilibria.
+
+        Mirrors the reference scan exactly, including its error path: the
+        reference checks agents in order and selects best responses only
+        among candidates of finite cost, so a profile whose deviation row
+        is all ``+inf`` raises — unless an earlier agent already had a
+        strict improvement there (the per-profile check early-returns).
+        """
         cube = self.costs.reshape((self.num_agents,) + self.shape)
         mask = np.ones(self.shape, dtype=bool)
         for agent in range(self.num_agents):
             costs_i = cube[agent]
             best = costs_i.min(axis=agent, keepdims=True)
+            if np.logical_and(mask, ~(best < np.inf)).any():
+                raise RuntimeError("agent has no actions")
             mask &= ~lt_array(best, costs_i)
         return mask.reshape(-1)
 
@@ -362,10 +425,14 @@ class TensorGame:
         # is her strategy digit at the state type's position.
         self._digit_stride: List[List[int]] = []
         self._digit_radix: List[List[int]] = []
+        self._state_pos: List[List[int]] = []
+        self._used_positions: List[List[int]] = []
         for i in range(game.num_agents):
             pos = [game.type_position(i, profile[i]) for profile in states]
             self._digit_stride.append([agents[i].strides[p] for p in pos])
             self._digit_radix.append([agents[i].radix[p] for p in pos])
+            self._state_pos.append(pos)
+            self._used_positions.append(sorted(set(pos)))
         # Interim structure: per (agent, positive type): the conditional
         # state indices with posterior weights (prior-support order) and
         # the type's position / deviation count.
@@ -387,6 +454,12 @@ class TensorGame:
                     )
                 )
             self._cond.append(rows)
+        # Positive types in reference sweep order, keyed for the interim
+        # entry points; the expected-cost tables are built lazily.
+        self._cond_types: List[List] = [
+            list(game.prior.positive_types(i)) for i in range(game.num_agents)
+        ]
+        self._interim_tables: Optional[List[List[Tuple]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -485,6 +558,11 @@ class TensorGame:
                         ]
                     current = interim[np.arange(hi - lo), own]
                     best = interim.min(axis=1)
+                    # Reference error path: a type whose whole interim row
+                    # is +inf has no selectable best response — it raises,
+                    # unless an earlier (agent, type) already improved.
+                    if np.logical_and(ok, ~(best < np.inf)).any():
+                        raise RuntimeError("agent has no feasible actions")
                     ok &= ~lt_array(best, current)
 
             if ok.any():
@@ -545,6 +623,202 @@ class TensorGame:
             best_total += float(prob) * best
             worst_total += float(prob) * worst
         return best_total, worst_total
+
+    # ------------------------------------------------------------------
+    # dynamics kernels: interim best responses over precomputed
+    # conditional expected-cost tables
+    # ------------------------------------------------------------------
+    def encode_strategies(self, strategies: StrategyProfile) -> Optional[List[List[int]]]:
+        """Per-agent digit lists for a tuple-encoded strategy profile.
+
+        Only positions that appear in some support state are encoded (the
+        rest never enter a cost and keep digit 0 — :meth:`decode_digits`
+        patches the caller's original actions back there).  Returns
+        ``None`` when an action at a used position is not in that type's
+        enumerated choice list; callers then keep the reference path.
+        """
+        if len(strategies) != len(self.agents):
+            return None
+        digits: List[List[int]] = []
+        for i, agent in enumerate(self.agents):
+            strategy = strategies[i]
+            if len(strategy) != len(agent.choices):
+                return None
+            row = [0] * len(agent.choices)
+            for position in self._used_positions[i]:
+                try:
+                    row[position] = agent.choices[position].index(strategy[position])
+                except ValueError:
+                    return None
+            digits.append(row)
+        return digits
+
+    def decode_digits(
+        self, template: StrategyProfile, digits: List[List[int]]
+    ) -> StrategyProfile:
+        """The profile ``digits`` encodes, with ``template``'s actions kept
+        verbatim at positions no support state uses (mirroring the
+        reference dynamics, which never rewrites those entries)."""
+        decoded = []
+        for i, agent in enumerate(self.agents):
+            strategy = list(template[i])
+            for position in self._used_positions[i]:
+                strategy[position] = agent.choices[position][digits[i][position]]
+            decoded.append(tuple(strategy))
+        return tuple(decoded)
+
+    def _interim_rows(self) -> List[List[Tuple]]:
+        """Per (agent, positive type): the conditional expected-cost table.
+
+        Each row is ``(tpos, n_dev, entries)`` where every entry
+        ``(state_index, weight, costs_row, dev_offsets)`` carries the
+        state's tabulated cost matrix row for the agent plus the
+        precomputed deviation offsets ``stride_i * arange(n_dev)``, so one
+        interim cost vector is a gather-and-accumulate per conditional
+        state — no per-candidate cost callbacks.  Built lazily: profile
+        sweeps never need it.
+        """
+        if self._interim_tables is None:
+            tables: List[List[Tuple]] = []
+            for i in range(self.num_agents):
+                rows = []
+                for tpos, cond_states, weights, n_dev in self._cond[i]:
+                    entries = []
+                    for s, weight in zip(cond_states, weights):
+                        state = self.state_tensors[s]
+                        entries.append(
+                            (
+                                s,
+                                float(weight),
+                                state.costs[i],
+                                state.strides[i] * np.arange(n_dev, dtype=np.int64),
+                            )
+                        )
+                    rows.append((tpos, n_dev, entries))
+                tables.append(rows)
+            self._interim_tables = tables
+        return self._interim_tables
+
+    def _interim_vector(
+        self, agent: int, n_dev: int, entries: List[Tuple], digits: List[List[int]]
+    ) -> np.ndarray:
+        """Interim expected cost of every feasible deviation of ``agent``
+        at one positive type, against the profile ``digits``.
+
+        The accumulation (conditional states in prior-support order, one
+        ``+= weight * costs`` per state) reproduces the reference scalar
+        fold entrywise, so the vector is bit-identical to per-candidate
+        ``interim_cost_of_action`` calls.
+        """
+        interim = np.zeros(n_dev, dtype=float)
+        for s, weight, costs_row, dev_offsets in entries:
+            state = self.state_tensors[s]
+            base = 0
+            for j in range(self.num_agents):
+                if j != agent:
+                    base += state.strides[j] * digits[j][self._state_pos[j][s]]
+            interim += weight * costs_row[base + dev_offsets]
+        return interim
+
+    def interim_best_response(
+        self, agent: int, ti, strategies: StrategyProfile
+    ) -> Optional[Tuple[Action, float]]:
+        """``(best_action, best_cost)`` of ``agent`` at positive type
+        ``ti`` — the vectorized form of the reference candidate scan,
+        with the same first-feasible tie-break.  Returns ``None`` when
+        ``ti`` has zero probability or ``strategies`` does not encode
+        (callers fall back to the reference path, which also owns the
+        error semantics for those inputs)."""
+        try:
+            row_index = self._cond_types[agent].index(ti)
+        except ValueError:
+            return None
+        digits = self.encode_strategies(strategies)
+        if digits is None:
+            return None
+        tpos, n_dev, entries = self._interim_rows()[agent][row_index]
+        interim = self._interim_vector(agent, n_dev, entries, digits)
+        best_position = int(interim.argmin())
+        if not interim[best_position] < float("inf"):
+            # Reference semantics: only candidates of finite interim cost
+            # are ever selected; an all-inf row raises there.
+            raise RuntimeError("agent has no feasible actions")
+        return (
+            self.agents[agent].choices[tpos][best_position],
+            float(interim[best_position]),
+        )
+
+    def best_response_dynamics(
+        self, initial: StrategyProfile, max_rounds: int
+    ) -> Optional[StrategyProfile]:
+        """Interim best-response dynamics, one argmin per (agent, type).
+
+        Visits exactly the profile sequence of the reference loop — same
+        (agent, positive-type) sweep order, bit-identical interim costs,
+        first-feasible ``argmin`` tie-break, tolerant improvement test —
+        so fixed points, cycles, and the non-convergence ``RuntimeError``
+        (same message) all coincide with the reference.  Returns ``None``
+        when ``initial`` does not encode; callers then keep the
+        reference path.
+        """
+        digits = self.encode_strategies(initial)
+        if digits is None:
+            return None
+        tables = self._interim_rows()
+        for _ in range(max_rounds):
+            changed = False
+            for agent in range(self.num_agents):
+                for tpos, n_dev, entries in tables[agent]:
+                    interim = self._interim_vector(agent, n_dev, entries, digits)
+                    best_position = int(interim.argmin())
+                    if not interim[best_position] < float("inf"):
+                        raise RuntimeError("agent has no feasible actions")
+                    if lt(float(interim[best_position]), float(interim[digits[agent][tpos]])):
+                        digits[agent][tpos] = best_position
+                        changed = True
+            if not changed:
+                return self.decode_digits(initial, digits)
+        raise RuntimeError("Bayesian best-response dynamics did not converge")
+
+    # ------------------------------------------------------------------
+    # benevolent (social-cost) kernels for the NCS coordinate descent
+    # ------------------------------------------------------------------
+    def social_cost_of_digits(self, digits: List[List[int]]) -> float:
+        """``K(s)`` for an encoded profile, folded in prior-support order
+        (bit-identical to ``BayesianGame.social_cost``)."""
+        total = 0.0
+        for s, state in enumerate(self.state_tensors):
+            flat = 0
+            for j in range(self.num_agents):
+                flat += state.strides[j] * digits[j][self._state_pos[j][s]]
+            total += float(self.probs[s]) * float(state.social[flat])
+        return total
+
+    def social_cost_vector(
+        self, agent: int, tpos: int, digits: List[List[int]]
+    ) -> np.ndarray:
+        """``K(s)`` for every candidate action of ``agent`` at the
+        positive type in position ``tpos``, everything else fixed.
+
+        States whose type for ``agent`` is not at ``tpos`` contribute a
+        constant (broadcast) term; the fold order over support states is
+        the reference's, so each entry matches a full
+        ``BayesianGame.social_cost`` evaluation of that candidate.
+        """
+        n = self.agents[agent].radix[tpos]
+        candidates = np.arange(n, dtype=np.int64)
+        vector = np.zeros(n, dtype=float)
+        for s, state in enumerate(self.state_tensors):
+            base = 0
+            for j in range(self.num_agents):
+                if j != agent:
+                    base += state.strides[j] * digits[j][self._state_pos[j][s]]
+            if self._state_pos[agent][s] == tpos:
+                index = base + state.strides[agent] * candidates
+            else:
+                index = base + state.strides[agent] * digits[agent][self._state_pos[agent][s]]
+            vector += float(self.probs[s]) * state.social[index]
+        return vector
 
     def __repr__(self) -> str:
         return (

@@ -249,8 +249,34 @@ class BayesianNCSGame:
 
         Convergence is guaranteed by the Bayesian Rosenthal potential
         (Observation 2.1): every strict improvement strictly decreases it.
+
+        When the game lowers to the tensor engine, the whole loop runs as
+        vectorized argmins over precomputed conditional expected-cost
+        tables (:meth:`repro.core.tensor.TensorGame.best_response_dynamics`)
+        — the same fixed-point semantics over the cataloged simple-path
+        actions, but without per-step Dijkstra runs or Python cost
+        callbacks.  The Dijkstra sweep below remains the scalable path
+        for games beyond the lowering guards (and the reference when
+        ``REPRO_ENGINE=reference`` is pinned); on exact-tie steps the two
+        paths may select different — equally cheap — equilibria.
         """
         strategies = initial if initial is not None else self.greedy_profile()
+        lowered = self.lowered()
+        if lowered is not None:
+            try:
+                result = lowered.best_response_dynamics(strategies, max_rounds)
+            except RuntimeError as error:
+                if "did not converge" not in str(error):
+                    raise
+                # Re-raise the round-budget error under this class's own
+                # message, so callers see identical text on both paths.
+                raise RuntimeError(
+                    "Bayesian best-response dynamics did not converge "
+                    "(should be impossible given the Bayesian Rosenthal "
+                    "potential)"
+                ) from None
+            if result is not None:
+                return result
         for _ in range(max_rounds):
             changed = False
             for agent in range(self.num_agents):

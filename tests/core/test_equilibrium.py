@@ -3,9 +3,13 @@
 import pytest
 
 from repro.core import (
+    BayesianGame,
+    CommonPrior,
     bayesian_best_response_dynamics,
     bayesian_equilibrium_extreme_costs,
     complete_best_response_dynamics,
+    complete_information_game,
+    engine_override,
     enumerate_bayesian_equilibria,
     enumerate_nash_equilibria,
     interim_best_response,
@@ -20,6 +24,8 @@ from canonical_games import (
     matching_state_game,
     prisoners_dilemma,
 )
+
+ENGINES = ("reference", "auto")
 
 
 class TestNashComplete:
@@ -110,6 +116,119 @@ class TestBayesianEquilibria:
         bayesian = prisoners_dilemma().to_bayesian()
         equilibria = enumerate_bayesian_equilibria(bayesian)
         assert [tuple(s[0] for s in eq) for eq in equilibria] == [(1, 1)]
+
+
+class TestDynamicsNonConvergence:
+    """Cycle and round-budget semantics, pinned on both engines."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_matching_pennies_cycles_forever(self, engine):
+        with engine_override(engine):
+            game = matching_pennies().to_bayesian().underlying_game((0, 0))
+            with pytest.raises(
+                RuntimeError, match="best-response dynamics did not converge"
+            ):
+                complete_best_response_dynamics(game, max_rounds=25)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_round_budget_counts_full_sweeps(self, engine):
+        """PD from (C, C): sweep 1 moves both agents, sweep 2 certifies the
+        fixed point — so max_rounds=1 must raise and max_rounds=2 pass."""
+        with engine_override(engine):
+            game = prisoners_dilemma().to_bayesian().underlying_game((0, 0))
+            with pytest.raises(RuntimeError):
+                complete_best_response_dynamics(game, initial=(0, 0), max_rounds=1)
+            game = prisoners_dilemma().to_bayesian().underlying_game((0, 0))
+            assert complete_best_response_dynamics(
+                game, initial=(0, 0), max_rounds=2
+            ) == (1, 1)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bayesian_cycle_detected(self, engine):
+        """The degenerate Bayesian wrap of matching pennies cycles too."""
+        with engine_override(engine):
+            game = matching_pennies().to_bayesian()
+            with pytest.raises(
+                RuntimeError,
+                match="Bayesian best-response dynamics did not converge",
+            ):
+                bayesian_best_response_dynamics(game, max_rounds=25)
+
+    def test_infeasible_initial_falls_back_to_reference(self):
+        """An initial profile outside the feasible catalog cannot be
+        tensor-encoded; the dispatch must quietly keep the reference loop
+        (whose cost callbacks accept arbitrary actions)."""
+
+        def cost(agent, actions):
+            return float(actions[agent] != 1) + 2.0 * float(actions[agent] == 9)
+
+        game = complete_information_game([[0, 1], [0, 1]], cost)
+        underlying = game.underlying_game((0, 0))
+        # Action 9 is not in any action space; the first sweep replaces it.
+        assert complete_best_response_dynamics(underlying, initial=(9, 0)) == (1, 1)
+
+
+class TestTieBreaking:
+    """Exact ties must resolve to the *first* feasible candidate, and a
+    tie with the current action must not count as an improvement —
+    identically on both engines."""
+
+    @staticmethod
+    def _tied_complete_game():
+        costs = {0: 2.0, 1: 1.0, 2: 1.0}
+
+        def cost(agent, actions):
+            return costs[actions[0]] if agent == 0 else 0.0
+
+        return complete_information_game([[0, 1, 2], [0]], cost)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_complete_dynamics_picks_first_of_tied_best(self, engine):
+        with engine_override(engine):
+            underlying = self._tied_complete_game().underlying_game((0, 0))
+            assert complete_best_response_dynamics(underlying, initial=(0, 0)) == (1, 0)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_complete_dynamics_keeps_current_on_tie(self, engine):
+        """Starting *on* one of the tied minima, nothing may move — not
+        even to the other, equally cheap, minimum."""
+        with engine_override(engine):
+            underlying = self._tied_complete_game().underlying_game((0, 0))
+            assert complete_best_response_dynamics(underlying, initial=(2, 0)) == (2, 0)
+
+    @staticmethod
+    def _tied_bayesian_game():
+        prior = CommonPrior({(0, 0): 0.5, (1, 0): 0.5})
+
+        def cost(agent, profile, actions):
+            if agent == 1:
+                return 0.0
+            return 3.0 if actions[0] == 0 else 1.0  # actions 1 and 2 tie
+
+        return BayesianGame(
+            [[0, 1, 2], [0]], [[0, 1], [0]], prior, cost, name="tied-interim"
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_interim_best_response_tie_break(self, engine):
+        with engine_override(engine):
+            game = self._tied_bayesian_game()
+            strategies = ((0, 0), (0,))
+            for ti in (0, 1):
+                action, value = interim_best_response(game, 0, ti, strategies)
+                assert action == 1  # first of the tied pair {1, 2}
+                assert value == 1.0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bayesian_dynamics_resolves_ties_identically(self, engine):
+        with engine_override(engine):
+            game = self._tied_bayesian_game()
+            result = bayesian_best_response_dynamics(game, initial=((0, 0), (0,)))
+            assert result == ((1, 1), (0,))
+            # Already sitting on the *other* tied optimum: stay there.
+            game = self._tied_bayesian_game()
+            result = bayesian_best_response_dynamics(game, initial=((2, 2), (0,)))
+            assert result == ((2, 2), (0,))
 
 
 class TestBayesianDynamics:

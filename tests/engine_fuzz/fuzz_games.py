@@ -1,0 +1,305 @@
+"""Seeded random Bayesian games for the cross-engine differential fuzzer.
+
+Two instance families feed ``fuzz_harness``:
+
+* **Tabular games** (:func:`random_tabular_spec`): explicit cost tables
+  over randomly sampled support structures, priors, feasible-action
+  subsets, and cost scales.  Half the draws use small-integer costs so
+  best responses and equilibrium conditions are riddled with exact ties
+  (the regime where tie-break order matters); occasional ``+inf`` cells
+  exercise the infeasible/no-best-response paths.
+* **NCS games** (:func:`random_ncs_spec`): tiny instances of the paper's
+  network cost-sharing constructions, reusing
+  :mod:`repro.constructions.random_games` (correlated scenario priors
+  and independent per-agent priors, directed and undirected).
+
+Every game is a :class:`TabularGameSpec` — NCS instances are tabulated
+into one via :func:`tabularize` — so the harness can *shrink* failing
+games structurally (drop support states, actions, unused types) and
+pretty-print a self-contained repro.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.core import BayesianGame, CommonPrior
+
+Profile = Tuple[Hashable, ...]
+CostKey = Tuple[int, Profile, Tuple[Hashable, ...]]
+
+
+@dataclass
+class TabularGameSpec:
+    """A fully explicit finite Bayesian game, ready to (re)build."""
+
+    action_spaces: List[List[Hashable]]
+    type_spaces: List[List[Hashable]]
+    support: List[Tuple[Profile, float]]
+    feasible: Dict[Tuple[int, Hashable], List[Hashable]]
+    costs: Dict[CostKey, float]
+    name: str = "fuzz"
+    meta: str = field(default="")
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.action_spaces)
+
+    def build(self) -> BayesianGame:
+        prior = CommonPrior(dict(self.support))
+        costs = self.costs
+
+        def cost_fn(agent: int, profile: Profile, actions) -> float:
+            return costs[(agent, tuple(profile), tuple(actions))]
+
+        feasible = self.feasible
+
+        def feasible_fn(agent: int, ti: Hashable):
+            return feasible[(agent, ti)]
+
+        return BayesianGame(
+            [list(space) for space in self.action_spaces],
+            [list(space) for space in self.type_spaces],
+            prior,
+            cost_fn,
+            feasible_fn=feasible_fn,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """A self-contained, eyeball-able dump of the game."""
+        lines = [f"TabularGameSpec {self.name!r} (k={self.num_agents})"]
+        if self.meta:
+            lines.append(f"  origin:   {self.meta}")
+        lines.append(f"  actions:  {self.action_spaces}")
+        lines.append(f"  types:    {self.type_spaces}")
+        lines.append("  prior:")
+        for profile, prob in self.support:
+            lines.append(f"    p{profile!r} = {prob!r}")
+        lines.append("  feasible:")
+        for (agent, ti), actions in sorted(
+            self.feasible.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            lines.append(f"    agent {agent}, type {ti!r}: {actions!r}")
+        lines.append("  costs (agent, state, actions) -> cost:")
+        for (agent, profile, actions), value in sorted(
+            self.costs.items(), key=repr
+        ):
+            lines.append(f"    ({agent}, {profile!r}, {actions!r}) = {value!r}")
+        return "\n".join(lines)
+
+
+def tabularize(game: BayesianGame, name: str = "", meta: str = "") -> TabularGameSpec:
+    """Freeze any (small) core game into an explicit cost table.
+
+    Tabulates exactly the cells the reference enumeration can touch: for
+    every support state, the product of the agents' feasible-action
+    lists.  Cost floats are copied verbatim, so the tabular rebuild is
+    cost-for-cost identical to the original.
+    """
+    k = game.num_agents
+    support = [(tuple(profile), prob) for profile, prob in game.prior.support()]
+    feasible: Dict[Tuple[int, Hashable], List[Hashable]] = {}
+    for agent in range(k):
+        for ti in game.types(agent):
+            feasible[(agent, ti)] = list(game.feasible_actions(agent, ti))
+    costs: Dict[CostKey, float] = {}
+    for profile, _ in support:
+        spaces = [feasible[(agent, profile[agent])] for agent in range(k)]
+        for actions in product(*spaces):
+            for agent in range(k):
+                costs[(agent, profile, actions)] = game.cost(agent, profile, actions)
+    return TabularGameSpec(
+        action_spaces=[game.actions(agent) for agent in range(k)],
+        type_spaces=[game.types(agent) for agent in range(k)],
+        support=support,
+        feasible=feasible,
+        costs=costs,
+        name=name or game.name or "tabularized",
+        meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# random tabular instances
+# ----------------------------------------------------------------------
+
+def _sample_costs(rng: np.random.Generator, cells: int) -> List[float]:
+    """Cost values in one of several regimes (ties, scales, infinities)."""
+    mode = int(rng.integers(4))
+    if mode == 0:
+        # Small integers: dense exact ties.
+        values = [float(v) for v in rng.integers(0, 4, size=cells)]
+    elif mode == 1:
+        # Tiny integer grid scaled: ties at a non-unit scale.
+        scale = float(10.0 ** rng.integers(-2, 3))
+        values = [scale * float(v) for v in rng.integers(0, 3, size=cells)]
+    else:
+        # Continuous costs across widely varying magnitudes.
+        scale = float(10.0 ** rng.uniform(-2.0, 3.0))
+        values = [scale * float(v) for v in rng.uniform(0.0, 1.0, size=cells)]
+    if mode == 3:
+        # Sprinkle +inf cells (infeasible outcomes) over the float draw.
+        values = [
+            math.inf if rng.uniform() < 0.08 else value for value in values
+        ]
+    return values
+
+
+def random_tabular_spec(seed: int) -> TabularGameSpec:
+    """One seeded random tabular game (support, prior, feasibility, costs)."""
+    rng = np.random.default_rng((0xFA22, 1, seed))
+    k = int(rng.integers(2, 4))
+    type_spaces = [
+        list(range(int(rng.integers(1, 4)))) for _ in range(k)
+    ]
+    action_spaces = [
+        list(range(int(rng.integers(2, 5)))) for _ in range(k)
+    ]
+    feasible: Dict[Tuple[int, Hashable], List[Hashable]] = {}
+    for agent in range(k):
+        for ti in type_spaces[agent]:
+            space = action_spaces[agent]
+            size = int(rng.integers(1, len(space) + 1))
+            chosen = sorted(
+                int(a) for a in rng.choice(space, size=size, replace=False)
+            )
+            feasible[(agent, ti)] = chosen
+
+    profiles = list(product(*type_spaces))
+    support_size = int(rng.integers(1, min(4, len(profiles)) + 1))
+    picked = [
+        profiles[int(i)]
+        for i in rng.choice(len(profiles), size=support_size, replace=False)
+    ]
+    prior_mode = int(rng.integers(3))
+    if prior_mode == 0:
+        probs = [1.0 / support_size] * support_size
+    elif prior_mode == 1:
+        weights = rng.integers(1, 5, size=support_size)
+        probs = [float(w) / float(weights.sum()) for w in weights]
+    else:
+        probs = [float(p) for p in rng.dirichlet(np.ones(support_size))]
+    support = list(zip(picked, probs))
+
+    costs: Dict[CostKey, float] = {}
+    for profile, _ in support:
+        spaces = [feasible[(agent, profile[agent])] for agent in range(k)]
+        combos = list(product(*spaces))
+        values = _sample_costs(rng, len(combos) * k)
+        flat = 0
+        for actions in combos:
+            for agent in range(k):
+                costs[(agent, profile, actions)] = values[flat]
+                flat += 1
+    return TabularGameSpec(
+        action_spaces=action_spaces,
+        type_spaces=type_spaces,
+        support=support,
+        feasible=feasible,
+        costs=costs,
+        name=f"fuzz-tabular-{seed}",
+        meta=f"random_tabular_spec(seed={seed})",
+    )
+
+
+# ----------------------------------------------------------------------
+# random NCS instances (tabulated)
+# ----------------------------------------------------------------------
+
+def random_ncs_spec(seed: int) -> TabularGameSpec:
+    """One seeded random NCS game, frozen to a tabular spec.
+
+    Tabulating keeps the differential battery and the shrinker uniform
+    across families; the cost floats are the NCS callback's, verbatim.
+    """
+    from repro.constructions.random_games import (
+        random_bayesian_ncs,
+        random_independent_bayesian_ncs,
+    )
+
+    rng = np.random.default_rng((0xFA22, 2, seed))
+    k = int(rng.integers(2, 4))
+    nodes = int(rng.integers(4, 6))
+    if rng.uniform() < 0.5:
+        game = random_bayesian_ncs(
+            k,
+            nodes,
+            rng,
+            directed=bool(rng.uniform() < 0.5),
+            scenarios=int(rng.integers(2, 4)),
+            extra_edges=int(rng.integers(2, 5)),
+            allow_trivial=bool(rng.uniform() < 0.7),
+        )
+    else:
+        game = random_independent_bayesian_ncs(
+            k, nodes, rng, types_per_agent=2,
+            directed=bool(rng.uniform() < 0.5),
+        )
+    return tabularize(
+        game.game,
+        name=f"fuzz-ncs-{seed}",
+        meta=f"random_ncs_spec(seed={seed})",
+    )
+
+
+def spec_for_seed(seed: int) -> TabularGameSpec:
+    """The fuzzer's seed-to-game map: two tabular draws per NCS draw."""
+    if seed % 3 == 2:
+        return random_ncs_spec(seed)
+    return random_tabular_spec(seed)
+
+
+# ----------------------------------------------------------------------
+# shrinking candidates
+# ----------------------------------------------------------------------
+
+def shrink_candidates(spec: TabularGameSpec) -> List[TabularGameSpec]:
+    """Structurally smaller variants of ``spec``, most aggressive first.
+
+    Candidates: drop one support state (renormalizing the prior), drop
+    one action from a multi-action feasible list, drop a type that no
+    support state mentions.  Cost tables are carried over unchanged —
+    extra entries are harmless — so every candidate rebuilds instantly.
+    """
+    candidates: List[TabularGameSpec] = []
+    if len(spec.support) > 1:
+        for drop in range(len(spec.support)):
+            kept = [
+                (profile, prob)
+                for index, (profile, prob) in enumerate(spec.support)
+                if index != drop
+            ]
+            total = sum(prob for _, prob in kept)
+            candidates.append(
+                replace(
+                    spec,
+                    support=[(profile, prob / total) for profile, prob in kept],
+                )
+            )
+    for key, actions in spec.feasible.items():
+        if len(actions) <= 1:
+            continue
+        for drop in range(len(actions)):
+            feasible = dict(spec.feasible)
+            feasible[key] = actions[:drop] + actions[drop + 1:]
+            candidates.append(replace(spec, feasible=feasible))
+    used_types = [
+        {profile[agent] for profile, _ in spec.support}
+        for agent in range(spec.num_agents)
+    ]
+    for agent, space in enumerate(spec.type_spaces):
+        if len(space) <= 1:
+            continue
+        for ti in space:
+            if ti in used_types[agent]:
+                continue
+            type_spaces = [list(s) for s in spec.type_spaces]
+            type_spaces[agent] = [t for t in space if t != ti]
+            candidates.append(replace(spec, type_spaces=type_spaces))
+    return candidates

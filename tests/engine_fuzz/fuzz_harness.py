@@ -1,0 +1,219 @@
+"""Differential harness: every public measure under both engines.
+
+``run_battery`` evaluates one game through the complete public surface —
+Bayesian equilibrium enumeration and extreme costs, ``optP``/``optC``,
+``eq_c``, the full ignorance report, per-state Nash analysis and
+complete-information dynamics, interim best responses, and the interim
+best-response dynamics — capturing values *and* raised exceptions.
+``check_spec`` runs the battery once with the engine pinned to
+``reference`` and once with the tensor engine and demands **exact**
+agreement: identical equilibrium sets and profiles, bit-equal floats,
+matching exception types and messages (the tensor kernels replay the
+reference fold order, so nothing weaker is needed).
+
+On a mismatch, :func:`minimize` greedily shrinks the game (drop support
+states / actions / unused types) while the disagreement persists, and
+:func:`format_failure` renders the minimized game as a self-contained
+repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util import ExplosionError
+from repro.core import (
+    BayesianGame,
+    bayesian_best_response_dynamics,
+    bayesian_equilibrium_extreme_costs,
+    complete_best_response_dynamics,
+    engine_override,
+    enumerate_bayesian_equilibria,
+    enumerate_nash_equilibria,
+    eq_c,
+    ignorance_report,
+    interim_best_response,
+    nash_extreme_costs,
+    opt_c,
+    opt_p,
+    state_optimum,
+)
+from repro.core.strategy import greedy_strategy_profile
+
+from fuzz_games import TabularGameSpec, shrink_candidates
+
+#: Sweep cap for the dynamics probes: bounds cycling games while leaving
+#: plenty of room for genuine convergence on these tiny instances.
+DYNAMICS_MAX_ROUNDS = 60
+
+Outcome = Tuple[str, object]
+
+
+def _outcome(fn: Callable[[], object]) -> Outcome:
+    """Run ``fn``, folding raised exceptions into the comparable result."""
+    try:
+        return ("ok", fn())
+    except ExplosionError as error:
+        return ("explosion", str(error))
+    except RuntimeError as error:
+        return ("runtime-error", str(error))
+    except AssertionError as error:
+        return ("assertion", str(error))
+    except ValueError as error:
+        return ("value-error", str(error))
+
+
+def random_profiles(spec: TabularGameSpec, seed: int = 0):
+    """Deterministic extra starting points, shared by both engine runs.
+
+    One random strategy profile (actions drawn from each type's feasible
+    list) plus one random per-state action profile — the seeds for the
+    non-default dynamics and best-response probes.
+    """
+    rng = np.random.default_rng((0xFA22, 3, seed))
+    strategy_profile = []
+    for agent in range(spec.num_agents):
+        per_type = []
+        for ti in spec.type_spaces[agent]:
+            feasible = spec.feasible[(agent, ti)]
+            per_type.append(feasible[int(rng.integers(len(feasible)))])
+        strategy_profile.append(tuple(per_type))
+    state_initials = []
+    for profile, _ in spec.support:
+        actions = []
+        for agent in range(spec.num_agents):
+            feasible = spec.feasible[(agent, profile[agent])]
+            actions.append(feasible[int(rng.integers(len(feasible)))])
+        state_initials.append(tuple(actions))
+    return tuple(strategy_profile), state_initials
+
+
+def run_battery(spec: TabularGameSpec, game: BayesianGame) -> Dict[str, Outcome]:
+    """Every public measure of ``game``, keyed for comparison."""
+    results: Dict[str, Outcome] = {}
+    results["equilibria"] = _outcome(lambda: enumerate_bayesian_equilibria(game))
+    results["eq_extremes"] = _outcome(
+        lambda: bayesian_equilibrium_extreme_costs(game)
+    )
+    results["opt_p"] = _outcome(lambda: opt_p(game))
+    results["opt_c"] = _outcome(lambda: opt_c(game))
+    results["eq_c"] = _outcome(lambda: eq_c(game))
+    results["report"] = _outcome(lambda: ignorance_report(game).as_dict())
+
+    random_strategies, state_initials = random_profiles(spec)
+    results["bayes_dynamics"] = _outcome(
+        lambda: bayesian_best_response_dynamics(
+            game, max_rounds=DYNAMICS_MAX_ROUNDS
+        )
+    )
+    results["bayes_dynamics_random"] = _outcome(
+        lambda: bayesian_best_response_dynamics(
+            game, initial=random_strategies, max_rounds=DYNAMICS_MAX_ROUNDS
+        )
+    )
+
+    greedy = greedy_strategy_profile(game)
+    for agent in range(game.num_agents):
+        for ti in game.prior.positive_types(agent):
+            results[f"interim_br[{agent},{ti!r},greedy]"] = _outcome(
+                lambda a=agent, t=ti: interim_best_response(game, a, t, greedy)
+            )
+            results[f"interim_br[{agent},{ti!r},random]"] = _outcome(
+                lambda a=agent, t=ti: interim_best_response(
+                    game, a, t, random_strategies
+                )
+            )
+
+    for index, (profile, _) in enumerate(spec.support):
+        underlying = game.underlying_game(profile)
+        results[f"nash[{index}]"] = _outcome(
+            lambda g=underlying: enumerate_nash_equilibria(g)
+        )
+        results[f"nash_extremes[{index}]"] = _outcome(
+            lambda g=underlying: nash_extreme_costs(g)
+        )
+        results[f"state_opt[{index}]"] = _outcome(
+            lambda p=profile: state_optimum(game, p)
+        )
+        results[f"complete_dynamics[{index}]"] = _outcome(
+            lambda g=underlying: complete_best_response_dynamics(
+                g, max_rounds=DYNAMICS_MAX_ROUNDS
+            )
+        )
+        results[f"complete_dynamics_random[{index}]"] = _outcome(
+            lambda g=underlying, a=state_initials[index]: (
+                complete_best_response_dynamics(
+                    g, initial=a, max_rounds=DYNAMICS_MAX_ROUNDS
+                )
+            )
+        )
+    return results
+
+
+@dataclass
+class Mismatch:
+    """One differential failure: the keys the engines disagree on."""
+
+    spec: TabularGameSpec
+    disagreements: List[Tuple[str, Outcome, Outcome]]
+
+    def keys(self) -> List[str]:
+        return [key for key, _, _ in self.disagreements]
+
+
+def check_spec(spec: TabularGameSpec) -> Optional[Mismatch]:
+    """Run the battery under both engines on fresh builds; compare exactly."""
+    with engine_override("reference"):
+        reference = run_battery(spec, spec.build())
+    with engine_override("auto"):
+        tensorized = run_battery(spec, spec.build())
+    disagreements = [
+        (key, reference[key], tensorized[key])
+        for key in reference
+        if reference[key] != tensorized[key]
+    ]
+    if disagreements:
+        return Mismatch(spec=spec, disagreements=disagreements)
+    return None
+
+
+def minimize(mismatch: Mismatch, max_steps: int = 200) -> Mismatch:
+    """Greedy structural shrink of a failing game.
+
+    Repeatedly applies the first candidate from
+    :func:`fuzz_games.shrink_candidates` that still disagrees, until no
+    candidate does (a local minimum) or ``max_steps`` shrinks happened.
+    """
+    current = mismatch
+    for _ in range(max_steps):
+        for candidate in shrink_candidates(current.spec):
+            smaller = check_spec(candidate)
+            if smaller is not None:
+                current = smaller
+                break
+        else:
+            return current
+    return current
+
+
+def format_failure(seed: int, original: Mismatch, minimized: Mismatch) -> str:
+    """A report with the disagreeing measures and a minimized repro."""
+    lines = [
+        f"engine parity mismatch for fuzz seed {seed}",
+        f"original game: {original.spec.meta or original.spec.name} — "
+        f"disagreeing measures: {original.keys()}",
+        "",
+        "minimized repro "
+        f"({len(minimized.spec.support)} support state(s)):",
+        minimized.spec.describe(),
+        "",
+        "disagreements on the minimized game:",
+    ]
+    for key, reference, tensorized in minimized.disagreements:
+        lines.append(f"  {key}:")
+        lines.append(f"    reference: {reference!r}")
+        lines.append(f"    tensor:    {tensorized!r}")
+    return "\n".join(lines)

@@ -74,6 +74,7 @@ class TestProposition42:
         K = rng.uniform(0.3, 3.0, size=(m, n))
         assert proposition_4_2_gap(K, K.min(axis=0)) <= 1e-5
 
+    @pytest.mark.slow
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=0, max_value=100_000))
     def test_gap_vanishes_property(self, seed):

@@ -1,5 +1,7 @@
 """Engine tests: ordering, dedup, cache integration, and pool parity."""
 
+import pytest
+
 from repro.analysis.experiments import (
     sweep_aux_online_steiner,
     sweep_t1_directed_opt_universal,
@@ -64,6 +66,7 @@ class TestSweepExecution:
 
 
 class TestPoolParity:
+    @pytest.mark.slow
     def test_serial_and_parallel_rows_identical(self, tmp_path):
         """jobs=1 and jobs=2 produce identical CellResult rows."""
         sweep = sweep_t1_directed_opt_universal(ks=(2, 3), seeds=(0, 1))
@@ -74,6 +77,7 @@ class TestPoolParity:
         parallel_rows = [cell_to_dict(cell) for cell in parallel_run.cells]
         assert serial_rows == parallel_rows
 
+    @pytest.mark.slow
     def test_all_backends_produce_identical_rows(self, tmp_path):
         """serial, thread, and process backends agree byte-for-byte."""
         import json
@@ -131,6 +135,7 @@ class TestPoolParity:
         _, warm = run_units(units, jobs=1, cache=cache)
         assert warm.cache_hits == 1
 
+    @pytest.mark.slow
     def test_parallel_populates_cache_for_serial(self, tmp_path):
         cache = ResultCache(root=tmp_path / "cache")
         sweep = sweep_aux_online_steiner(levels=(1, 2), samples=4)

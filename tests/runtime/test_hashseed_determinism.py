@@ -1,0 +1,68 @@
+"""Hash-seed determinism: sweep rows must not depend on ``PYTHONHASHSEED``.
+
+Python randomizes ``str``/``bytes`` hashing per process, so any code path
+that iterates a set (or relies on dict ordering built from one) can leak
+the interpreter's hash seed into results.  That happened once already:
+``GreedyOnlineSteiner`` seeded its multi-source Dijkstra in set-iteration
+order, so equal-cost tie-breaks — and AUX-3.5 rows — varied between spawn
+workers until PR 3 sorted the seeds.  This test regresses the whole
+pipeline: the same small sweeps are executed in two subprocesses pinned
+to *different* hash seeds and the serialized rows are diffed byte for
+byte.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Runs one AUX-3.5 sweep (the historical offender: greedy online Steiner
+#: tie-breaks) and one T1 NCS sweep (equilibrium sets through the tensor
+#: engine) serially, then prints every cell row as canonical JSON.
+_SCRIPT = """
+import json
+
+from repro.runtime.artifacts import cell_to_dict
+from repro.runtime.executor import run_sweeps
+from repro.analysis.experiments import (
+    sweep_aux_online_steiner,
+    sweep_t1_directed_opt_universal,
+)
+
+sweeps = [
+    sweep_aux_online_steiner(levels=(1, 2), samples=4),
+    sweep_t1_directed_opt_universal(ks=(2,), seeds=(0, 1)),
+]
+runs, _ = run_sweeps(sweeps, jobs=1, cache=None)
+rows = [cell_to_dict(cell) for run in runs for cell in run.cells]
+print(json.dumps(rows, sort_keys=True))
+"""
+
+
+def _rows_under_hash_seed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.slow
+def test_sweep_rows_identical_across_hash_seeds():
+    baseline = _rows_under_hash_seed("0")
+    assert baseline.strip(), "sweep produced no rows"
+    assert baseline == _rows_under_hash_seed("4242")

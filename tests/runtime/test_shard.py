@@ -309,6 +309,7 @@ class TestMergeParity:
 
 
 class TestAdaptiveChunking:
+    @pytest.mark.slow
     def test_cost_model_never_changes_rows(self):
         sweep = small_sweep()
         uniform_runs, _ = run_sweeps([sweep], jobs=2)
