@@ -1,7 +1,8 @@
-"""Engine benchmark: tensor lowering vs. reference enumeration, and
-backend parity through the runtime.
+"""Engine benchmark: tensor lowering vs. reference enumeration, session
+reuse vs. cold free-function calls, and backend parity through the
+runtime.
 
-Three claims, checked on every run (pytest *or* ``python
+Four claims, checked on every run (pytest *or* ``python
 benchmarks/bench_engine.py``, the CI smoke step):
 
 1. **Speedup.**  On a representative mid-size Bayesian game (one
@@ -15,7 +16,16 @@ benchmarks/bench_engine.py``, the CI smoke step):
    least :data:`DYNAMICS_TARGET_SPEEDUP` times faster on the tensor
    engine — end to end, lowering included — with the *identical* list
    of fixed points.
-3. **Backend parity.**  One mid-size sweep executed through the runtime
+3. **Session reuse.**  A six-measure bundle (full ignorance report,
+   ``optP``, both equilibrium extremes, ``eq_C``, the equilibrium set)
+   plus a :data:`SESSION_DYNAMICS_RESTARTS`-restart dynamics batch on
+   one ~500k-profile Bayesian NCS game runs at least
+   :data:`SESSION_TARGET_SPEEDUP` times faster through a single
+   :class:`repro.core.session.GameSession` than as independent
+   free-function calls — with bit-identical values.  The gap is pure
+   lowering/equilibrium *reuse*: the free path re-lowers and re-sweeps
+   per call, the session does each once.
+4. **Backend parity.**  One mid-size sweep executed through the runtime
    on the ``serial``, ``thread``, and ``process`` backends yields
    byte-identical cell rows (the thread backend exists because the
    tensor kernels release the GIL).
@@ -33,11 +43,18 @@ import numpy as np
 from repro.analysis.experiments import sweep_t1_directed_opt_universal
 from repro.constructions.random_games import random_bayesian_ncs
 from repro.core import (
+    GameSession,
     bayesian_best_response_dynamics,
+    bayesian_equilibrium_extreme_costs,
     engine_override,
     enumerate_bayesian_equilibria,
+    eq_c,
+    ignorance_report,
+    opt_p,
+    query,
 )
 from repro.core.matrix_game import MatrixGame, bayesian_game_from_state_games
+from repro.core.strategy import per_type_choices
 from repro.runtime.artifacts import ArtifactStore, cell_to_dict
 from repro.runtime.executor import run_sweep
 
@@ -49,6 +66,12 @@ DYNAMICS_TARGET_SPEEDUP = 3.0
 
 #: Starting profiles per dynamics batch (one greedy + seeded random).
 DYNAMICS_RESTARTS = 64
+
+#: Acceptance floor for the session-vs-free-functions bundle speedup.
+SESSION_TARGET_SPEEDUP = 2.0
+
+#: Seeded dynamics restarts inside the session bundle.
+SESSION_DYNAMICS_RESTARTS = 16
 
 BACKEND_JOBS = 2
 
@@ -155,6 +178,84 @@ def measure_dynamics_speedup():
     return reference_seconds, tensor_seconds, reference == tensorized
 
 
+def session_bundle_game():
+    """A random directed NCS game sized for the session bundle.
+
+    ~500k strategy profiles: the blocked equilibrium sweep dominates, so
+    the free-function path pays it once per equilibrium-backed measure
+    while the session pays it once per *game* — exactly the reuse the
+    gate quantifies.  An NCS game (unlike the matrix `midsize_game`)
+    guarantees pure equilibria in every state and convergent dynamics
+    via the Bayesian Rosenthal potential, so the full report and the
+    restart batch are well defined.
+    """
+    rng = np.random.default_rng(20_300)
+    return random_bayesian_ncs(
+        3, 7, rng, directed=True, extra_edges=12, scenarios=4,
+        name="bench-session",
+    ).game
+
+
+def session_bundle_initials(game, count=SESSION_DYNAMICS_RESTARTS):
+    """Seeded random starting profiles for the bundle's dynamics batch."""
+    rng = np.random.default_rng(99)
+    profiles = []
+    for _ in range(count):
+        profile = []
+        for agent in range(game.num_agents):
+            per_type = []
+            for choices in per_type_choices(game, agent):
+                per_type.append(choices[int(rng.integers(len(choices)))])
+            profile.append(tuple(per_type))
+        profiles.append(tuple(profile))
+    return profiles
+
+
+def measure_session_speedup():
+    """(free_seconds, session_seconds, identical_values).
+
+    Both paths compute the same bundle — the six-measure ignorance
+    report, ``optP``, the equilibrium extremes, ``eq_C``, the
+    equilibrium set, and the dynamics restart batch — on fresh game
+    builds per call (a cold stateless service), best-of-N timed.  The
+    free path rebuilds the game per call so every call re-lowers and
+    re-enumerates, which is exactly how the pre-session API was
+    consumed; the session path lowers once and plans the bundle.
+    """
+    initials = session_bundle_initials(session_bundle_game())
+
+    def free_bundle():
+        values = [ignorance_report(session_bundle_game()).as_dict()]
+        values.append(opt_p(session_bundle_game()))
+        values.append(bayesian_equilibrium_extreme_costs(session_bundle_game()))
+        values.append(eq_c(session_bundle_game()))
+        values.append(enumerate_bayesian_equilibria(session_bundle_game()))
+        game = session_bundle_game()
+        values.extend(
+            bayesian_best_response_dynamics(game, initial=initial)
+            for initial in initials
+        )
+        return values
+
+    def session_bundle():
+        session = GameSession(session_bundle_game())
+        values = session.evaluate(
+            [
+                query("ignorance_report"),
+                query("opt_p"),
+                query("eq_p"),
+                query("eq_c"),
+                query("equilibria"),
+            ]
+            + [query("dynamics", initial=initial) for initial in initials]
+        )
+        return [values[0].as_dict()] + values[1:]
+
+    free_seconds, free_values = _best_of(REFERENCE_REPEATS, free_bundle)
+    session_seconds, session_values = _best_of(TENSOR_REPEATS, session_bundle)
+    return free_seconds, session_seconds, free_values == session_values
+
+
 def measure_backend_parity():
     """Run one mid-size sweep on all backends; return rows + timings."""
     sweep = sweep_t1_directed_opt_universal(ks=(2, 3, 4), seeds=(0, 1, 2, 3))
@@ -177,6 +278,8 @@ def run_benchmark():
     speedup = reference_seconds / max(tensor_seconds, 1e-9)
     dyn_reference, dyn_tensor, dyn_identical = measure_dynamics_speedup()
     dynamics_speedup = dyn_reference / max(dyn_tensor, 1e-9)
+    free_seconds, session_seconds, session_identical = measure_session_speedup()
+    session_speedup = free_seconds / max(session_seconds, 1e-9)
     cells, encoded, backend_seconds = measure_backend_parity()
     backends_identical = (
         encoded["thread"] == encoded["process"] == encoded["serial"]
@@ -193,6 +296,12 @@ def run_benchmark():
         "dynamics_target_speedup": DYNAMICS_TARGET_SPEEDUP,
         "dynamics_restarts": DYNAMICS_RESTARTS,
         "dynamics_fixed_points_identical": dyn_identical,
+        "session_free_seconds": round(free_seconds, 3),
+        "session_seconds": round(session_seconds, 3),
+        "session_speedup": round(session_speedup, 2),
+        "session_target_speedup": SESSION_TARGET_SPEEDUP,
+        "session_dynamics_restarts": SESSION_DYNAMICS_RESTARTS,
+        "session_values_identical": session_identical,
         "backend_jobs": BACKEND_JOBS,
         "backend_seconds": {
             backend: round(value, 3) for backend, value in backend_seconds.items()
@@ -209,9 +318,11 @@ def test_engine_speedup_and_backend_parity(record):
     record(cells)
     assert meta["equilibrium_sets_equal"]
     assert meta["dynamics_fixed_points_identical"]
+    assert meta["session_values_identical"]
     assert meta["backends_identical"]
     assert meta["speedup"] >= TARGET_SPEEDUP, meta
     assert meta["dynamics_speedup"] >= DYNAMICS_TARGET_SPEEDUP, meta
+    assert meta["session_speedup"] >= SESSION_TARGET_SPEEDUP, meta
 
 
 def main() -> int:
@@ -222,6 +333,9 @@ def main() -> int:
         return 1
     if not meta["dynamics_fixed_points_identical"]:
         print("FAIL: tensor and reference dynamics fixed points differ", file=sys.stderr)
+        return 1
+    if not meta["session_values_identical"]:
+        print("FAIL: session bundle and free-function values differ", file=sys.stderr)
         return 1
     if not meta["backends_identical"]:
         print("FAIL: backends disagree on cell rows", file=sys.stderr)
@@ -239,9 +353,17 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    if meta["session_speedup"] < SESSION_TARGET_SPEEDUP:
+        print(
+            f"FAIL: session bundle speedup {meta['session_speedup']}x below "
+            f"target {SESSION_TARGET_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"OK: {meta['speedup']}x equilibrium speedup, "
         f"{meta['dynamics_speedup']}x dynamics speedup, "
+        f"{meta['session_speedup']}x session-bundle speedup, "
         "backends byte-identical"
     )
     return 0

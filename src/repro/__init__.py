@@ -36,28 +36,38 @@ Subpackages
 
 from ._util import ExplosionError, TOLERANCE, harmonic
 from .core import (
+    BatchSession,
     BayesianGame,
     CommonPrior,
+    GameSession,
     IgnoranceReport,
     MatrixGame,
+    Query,
     complete_information_game,
+    evaluate,
     ignorance_report,
+    query,
 )
 from .graphs import Graph
 from .ncs import BayesianNCSGame, NCSGame
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExplosionError",
     "TOLERANCE",
     "harmonic",
+    "BatchSession",
     "BayesianGame",
     "CommonPrior",
+    "GameSession",
     "IgnoranceReport",
     "MatrixGame",
+    "Query",
     "complete_information_game",
+    "evaluate",
     "ignorance_report",
+    "query",
     "Graph",
     "BayesianNCSGame",
     "NCSGame",

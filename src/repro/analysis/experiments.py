@@ -30,6 +30,11 @@ Conventions
   (:mod:`repro.core.tensor`) by default; ``unit_ncs_report`` exposes an
   ``engine`` parameter so benches and parity checks can pin the
   reference path through the same runtime.
+* Measure-bundle unit tasks state *queries* against a per-game
+  :class:`~repro.core.session.GameSession` rather than hand-ordered
+  free-function calls: the session lowers the game once and its planner
+  shares the equilibrium enumeration across the bundle (values are
+  identical to the free functions — the engine-fuzz suite enforces it).
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._util import harmonic
+from ..core.session import GameSession, query
 from ..core.tensor import engine_override as tensor_engine_override
 from ..constructions.affine_game import build_affine_plane_game
 from ..constructions.anshelevich import build_anshelevich_game
@@ -51,11 +57,7 @@ from ..constructions.gworst import (
     build_gworst_low_ratio_game,
 )
 from ..constructions.random_games import random_bayesian_ncs
-from ..core.equilibrium import (
-    bayesian_best_response_dynamics,
-    bayesian_equilibrium_extreme_costs,
-    is_bayesian_equilibrium,
-)
+from ..core.equilibrium import is_bayesian_equilibrium
 from ..core.measures import IgnoranceReport
 from ..embeddings.frt import average_stretch, frt_embedding
 from ..embeddings.metric import FiniteMetric
@@ -115,7 +117,8 @@ def unit_ncs_report(
     )
     context = tensor_engine_override(engine) if engine else nullcontext()
     with context:
-        return game.ignorance_report().as_dict()
+        (report,) = game.session().evaluate([query("ignorance_report")])
+    return report.as_dict()
 
 
 def unit_affine_ratio(m: int, mc_samples: int = 0) -> Dict[str, float]:
@@ -268,6 +271,10 @@ def unit_dynamics_fixed_point(
     a pure Bayesian equilibrium, and returns its social cost next to the
     exact equilibrium extremes so the reducer can check the sandwich
     ``best-eqP <= K(fixed point) <= worst-eqP`` on every instance.
+
+    The dynamics and the exact extremes are one query bundle on a shared
+    :class:`~repro.core.session.GameSession`, so the game lowers once
+    and the interim tables feed both the dynamics and the sweep.
     """
     if extra_edges is None:
         extra_edges = num_nodes if directed else 2
@@ -277,10 +284,12 @@ def unit_dynamics_fixed_point(
     )
     context = tensor_engine_override(engine) if engine else nullcontext()
     with context:
-        fixed_point = bayesian_best_response_dynamics(game.game)
+        session = GameSession(game.game)
+        fixed_point, (best, worst) = session.evaluate(
+            [query("dynamics"), query("eq_p")]
+        )
         assert is_bayesian_equilibrium(game.game, fixed_point)
         cost = game.social_cost(fixed_point)
-        best, worst = bayesian_equilibrium_extreme_costs(game.game)
     return {"dynamics": cost, "best_eq": best, "worst_eq": worst}
 
 

@@ -71,6 +71,9 @@ def resolve_sweeps(tokens: Iterable[str]) -> List["SweepSpec"]:
     """Match each token against sweep ids, exactly or as a prefix.
 
     ``T1`` selects every Table-1 sweep; ``FIG1`` selects just Fig. 1.
+    The special token ``report`` selects the *entire* default suite in
+    reporting order — it is how ``python -m repro report --shard K/N``
+    and ``shard plan/run/merge report`` name the full-suite split.
     Matching is case-insensitive; order follows the registry (reporting
     order), with duplicates dropped.  Unknown tokens raise ``KeyError``.
     """
@@ -79,6 +82,10 @@ def resolve_sweeps(tokens: Iterable[str]) -> List["SweepSpec"]:
     selected: Dict[str, "SweepSpec"] = {}
     for token in tokens:
         upper = token.upper()
+        if upper == "REPORT":
+            for sweep_id, spec in specs.items():
+                selected.setdefault(sweep_id, spec)
+            continue
         matches = (
             [by_upper[upper]]
             if upper in by_upper

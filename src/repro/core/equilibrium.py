@@ -7,8 +7,13 @@ potential games, hence for all NCS games).
 
 Enumeration entry points dispatch to the tensorized engine
 (:mod:`repro.core.tensor`) whenever the game lowers to dense index form;
-the per-profile Python path below remains the reference semantics (and
-the parity oracle — see ``tests/core/test_tensor_parity.py``).
+the per-profile Python path remains the reference semantics (and the
+parity oracle — see ``tests/core/test_tensor_parity.py``).  The
+Bayesian-level entry points are thin wrappers over one-shot
+:class:`~repro.core.session.GameSession` objects, which is where the
+lowering/enumeration sharing now lives — hold a session (or use
+:func:`repro.core.session.evaluate`) when computing several measures of
+one game.
 """
 
 from __future__ import annotations
@@ -25,12 +30,7 @@ from .game import (
     StrategyProfile,
     UnderlyingGame,
 )
-from .strategy import (
-    DEFAULT_MAX_PROFILES,
-    enumerate_strategy_profiles,
-    greedy_strategy_profile,
-    replace_strategy_action,
-)
+from .strategy import DEFAULT_MAX_PROFILES
 
 #: Guard on the number of action profiles enumerated in an underlying game
 #: (defined next to the lowering guards; value unchanged).
@@ -187,27 +187,15 @@ def interim_best_response(
 ) -> Tuple[Action, float]:
     """Best action of ``agent`` at type ``ti`` against ``strategies``.
 
-    Dispatches to the tensor engine's precomputed conditional
-    expected-cost tables when the game lowers and the inputs encode
-    (positive type, cataloged actions); the candidate scan below is the
-    reference semantics either way — same values, same first-feasible
-    tie-break.
+    A one-shot session call: dispatches to the tensor engine's
+    precomputed conditional expected-cost tables when the game lowers
+    and the inputs encode (positive type, cataloged actions), with the
+    reference candidate scan — same values, same first-feasible
+    tie-break — as the fallback.
     """
-    lowered = tensor.maybe_lower(game)
-    if lowered is not None:
-        result = lowered.interim_best_response(agent, ti, strategies)
-        if result is not None:
-            return result
-    best_action: Optional[Action] = None
-    best_cost = float("inf")
-    for candidate in game.feasible_actions(agent, ti):
-        cost = game.interim_cost_of_action(agent, ti, candidate, strategies)
-        if cost < best_cost:
-            best_cost = cost
-            best_action = candidate
-    if best_action is None:  # pragma: no cover - feasible sets are non-empty
-        raise RuntimeError("agent has no feasible actions")
-    return best_action, best_cost
+    from .session import GameSession
+
+    return GameSession(game).interim_best_response(agent, ti, strategies)
 
 
 def is_bayesian_equilibrium(game: BayesianGame, strategies: StrategyProfile) -> bool:
@@ -229,15 +217,15 @@ def enumerate_bayesian_equilibria(
     game: BayesianGame,
     max_profiles: int = DEFAULT_MAX_PROFILES,
 ) -> List[StrategyProfile]:
-    """All pure Bayesian equilibria (over the restricted strategy space)."""
-    lowered = tensor.maybe_lower(game)
-    if lowered is not None:
-        return lowered.enumerate_bayesian_equilibria(max_profiles)
-    return [
-        strategies
-        for strategies in enumerate_strategy_profiles(game, max_profiles)
-        if is_bayesian_equilibrium(game, strategies)
-    ]
+    """All pure Bayesian equilibria (over the restricted strategy space).
+
+    A one-shot session call; hold a
+    :class:`~repro.core.session.GameSession` to share the enumeration
+    with other measures of the same game.
+    """
+    from .session import GameSession
+
+    return GameSession(game, max_strategy_profiles=max_profiles).bayesian_equilibria()
 
 
 def bayesian_equilibrium_extreme_costs(
@@ -245,21 +233,11 @@ def bayesian_equilibrium_extreme_costs(
     max_profiles: int = DEFAULT_MAX_PROFILES,
 ) -> Tuple[float, float]:
     """``(best-eqP, worst-eqP)``: extreme social costs over Bayesian equilibria."""
-    lowered = tensor.maybe_lower(game)
-    if lowered is not None:
-        return lowered.bayesian_equilibrium_extreme_costs(max_profiles)
-    best = float("inf")
-    worst = float("-inf")
-    found = False
-    for strategies in enumerate_strategy_profiles(game, max_profiles):
-        if is_bayesian_equilibrium(game, strategies):
-            cost = game.social_cost(strategies)
-            best = min(best, cost)
-            worst = max(worst, cost)
-            found = True
-    if not found:
-        raise RuntimeError(f"{game!r} has no pure Bayesian equilibrium")
-    return best, worst
+    from .session import GameSession
+
+    return GameSession(
+        game, max_strategy_profiles=max_profiles
+    ).equilibrium_extreme_costs()
 
 
 def bayesian_best_response_dynamics(
@@ -276,28 +254,13 @@ def bayesian_best_response_dynamics(
     On lowerable games the whole loop runs on the tensor engine — one
     vectorized argmin over each type's feasible-action axis per step,
     against precomputed conditional expected-cost tables — and visits the
-    identical profile sequence as the reference sweep below (bit-equal
-    interim costs, same tie-breaks, same cycle/non-convergence behavior).
+    identical profile sequence as the reference sweep (bit-equal interim
+    costs, same tie-breaks, same cycle/non-convergence behavior).  A
+    one-shot session call; sessions share the lowering and the
+    conditional tables with the other measures.
     """
-    strategies = initial if initial is not None else greedy_strategy_profile(game)
-    lowered = tensor.maybe_lower(game)
-    if lowered is not None:
-        result = lowered.best_response_dynamics(strategies, max_rounds)
-        if result is not None:
-            return result
-    for _ in range(max_rounds):
-        changed = False
-        for agent in range(game.num_agents):
-            for ti in game.prior.positive_types(agent):
-                current = game.interim_cost(agent, ti, strategies)
-                best_action, best_cost = interim_best_response(
-                    game, agent, ti, strategies
-                )
-                if lt(best_cost, current):
-                    strategies = replace_strategy_action(
-                        game, strategies, agent, ti, best_action
-                    )
-                    changed = True
-        if not changed:
-            return strategies
-    raise RuntimeError("Bayesian best-response dynamics did not converge")
+    from .session import GameSession
+
+    return GameSession(game).best_response_dynamics(
+        initial=initial, max_rounds=max_rounds
+    )

@@ -15,42 +15,35 @@ Denominators (complete information, averaged over the prior):
 :func:`ignorance_report` computes all six by exact (guarded) enumeration
 and packages them with the nine ratios.  Specialized game classes (NCS)
 can pass solver overrides for the per-state optimum.
+
+Every free function below is a thin wrapper over a one-shot
+:class:`~repro.core.session.GameSession` — same signatures, same values,
+same errors.  Callers computing *several* measures of one game should
+hold a session (or use :func:`repro.core.session.evaluate`) so the
+lowering and the equilibrium enumeration are shared instead of redone
+per call; see ``docs/API.md``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .._util import leq
-from . import tensor
-from .equilibrium import (
-    DEFAULT_MAX_ACTION_PROFILES,
-    bayesian_equilibrium_extreme_costs,
-    enumerate_action_profiles,
-    nash_extreme_costs,
-)
+from .equilibrium import DEFAULT_MAX_ACTION_PROFILES
 from .game import BayesianGame
 from .prior import TypeProfile
-from .strategy import DEFAULT_MAX_PROFILES, enumerate_strategy_profiles
+from .session import GameSession, StateOptSolver
+from .strategy import DEFAULT_MAX_PROFILES
 
 #: Numerator / denominator labels accepted by :meth:`IgnoranceReport.ratio`.
 NUMERATORS = ("optP", "best-eqP", "worst-eqP")
 DENOMINATORS = ("optC", "best-eqC", "worst-eqC")
 
-StateOptSolver = Callable[[TypeProfile], float]
-
-
 def opt_p(game: BayesianGame, max_profiles: int = DEFAULT_MAX_PROFILES) -> float:
     """``optP``: the cheapest strategy profile's social cost."""
-    lowered = tensor.maybe_lower(game)
-    if lowered is not None:
-        return lowered.opt_p(max_profiles)
-    return min(
-        game.social_cost(strategies)
-        for strategies in enumerate_strategy_profiles(game, max_profiles)
-    )
+    return GameSession(game, max_strategy_profiles=max_profiles).opt_p()
 
 
 def state_optimum(
@@ -59,13 +52,8 @@ def state_optimum(
     max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
 ) -> float:
     """``min_a K_t(a)`` for one type profile, by enumeration."""
-    underlying = game.underlying_game(profile)
-    lowered = tensor.maybe_state_tensor(underlying, max_profiles)
-    if lowered is not None:
-        return lowered.optimum()
-    return min(
-        underlying.social_cost(actions)
-        for actions in enumerate_action_profiles(underlying, max_profiles)
+    return GameSession(game, max_action_profiles=max_profiles).state_optimum(
+        profile
     )
 
 
@@ -79,8 +67,9 @@ def opt_c(
     ``state_solver`` may replace the per-state enumeration (e.g. an exact
     Steiner-forest solver for NCS games).
     """
-    solver = state_solver or (lambda t: state_optimum(game, t, max_profiles))
-    return game.prior.expect(solver)
+    return GameSession(
+        game, state_solver=state_solver, max_action_profiles=max_profiles
+    ).opt_c()
 
 
 def eq_c(
@@ -88,16 +77,7 @@ def eq_c(
     max_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
 ) -> Tuple[float, float]:
     """``(best-eqC, worst-eqC)``: expected extreme Nash costs."""
-    lowered = tensor.maybe_lower(game, max_profiles)
-    if lowered is not None:
-        return lowered.eq_c()
-    best_total = 0.0
-    worst_total = 0.0
-    for profile, prob in game.prior.support():
-        best, worst = nash_extreme_costs(game.underlying_game(profile), max_profiles)
-        best_total += prob * best
-        worst_total += prob * worst
-    return best_total, worst_total
+    return GameSession(game, max_action_profiles=max_profiles).eq_c()
 
 
 @dataclass(frozen=True)
@@ -199,37 +179,9 @@ def ignorance_report(
     blocked tensor sweep yields ``optP`` and both equilibrium extremes
     (the reference path enumerates the profile space three times).
     """
-    lowered = tensor.maybe_lower(game, max_action_profiles)
-    if lowered is not None:
-        sweep = lowered.sweep_profiles(max_strategy_profiles)
-        if not sweep.eq_found:
-            raise RuntimeError(f"{game!r} has no pure Bayesian equilibrium")
-        if state_opt_solver is not None:
-            opt_c_value = game.prior.expect(state_opt_solver)
-        else:
-            opt_c_value = lowered.opt_c()
-        best_c, worst_c = lowered.eq_c()
-        report = IgnoranceReport(
-            opt_p=sweep.opt_p,
-            best_eq_p=sweep.best_eq,
-            worst_eq_p=sweep.worst_eq,
-            opt_c=opt_c_value,
-            best_eq_c=best_c,
-            worst_eq_c=worst_c,
-            name=game.name,
-        )
-        report.verify_observation_2_2()
-        return report
-    best_p, worst_p = bayesian_equilibrium_extreme_costs(game, max_strategy_profiles)
-    best_c, worst_c = eq_c(game, max_action_profiles)
-    report = IgnoranceReport(
-        opt_p=opt_p(game, max_strategy_profiles),
-        best_eq_p=best_p,
-        worst_eq_p=worst_p,
-        opt_c=opt_c(game, state_opt_solver, max_action_profiles),
-        best_eq_c=best_c,
-        worst_eq_c=worst_c,
-        name=game.name,
-    )
-    report.verify_observation_2_2()
-    return report
+    return GameSession(
+        game,
+        state_solver=state_opt_solver,
+        max_strategy_profiles=max_strategy_profiles,
+        max_action_profiles=max_action_profiles,
+    ).ignorance_report()

@@ -1,0 +1,708 @@
+"""Session-and-query evaluation facade: lower once, share, batch.
+
+The paper studies a *bundle* of quantities over one game — ``optP`` /
+``eq_P`` numerators against ``optC`` / ``eq_C`` denominators and their
+nine ratios — yet the historical entry points were independent free
+functions that each re-lowered the game and re-enumerated equilibria
+from scratch.  This module is the shape the workload actually has:
+
+* :class:`GameSession` wraps one :class:`~repro.core.game.BayesianGame`,
+  captures the effective evaluation engine at construction
+  (context-scoped, see :mod:`repro.core.tensor`), lowers the game **at
+  most once**, and memoizes every expensive shared artifact across
+  calls: the blocked strategy-profile sweep (``optP`` + the Bayesian
+  equilibrium extremes + optionally the equilibrium set), per-state
+  Nash analyses, per-state optima, and the expected complete-information
+  quantities.  Raised errors are memoized too, so a session re-raises
+  exactly what the corresponding free function would.
+* :class:`Query` / :func:`query` name one measure declaratively;
+  :meth:`GameSession.evaluate` runs a bundle of queries through a tiny
+  planner that computes the *union* of their sweep requirements first,
+  so e.g. ``ignorance_report`` + ``eq_c(kind="worst")`` + ``opt_p``
+  share **one** profile sweep (equilibrium enumeration) instead of
+  three.  :func:`evaluate` is the one-shot module-level convenience.
+* :class:`BatchSession` holds one session per game for multi-game
+  batches: one planning pass, one lowering per game, uniform results
+  (``evaluate_many`` returns one value row per game).
+
+Specialized game classes plug their exact per-state solvers in as
+*session plugins* via ``state_solver`` (e.g.
+:meth:`repro.ncs.bayesian.BayesianNCSGame.session` installs the exact
+Steiner solver for ``optC``).
+
+Every pre-existing free function in :mod:`repro.core.measures`,
+:mod:`repro.core.equilibrium`, and :mod:`repro.ncs.opt` is now a thin
+wrapper over a one-shot session; their signatures, values, fold orders,
+and error semantics are unchanged (the engine-fuzz suite asserts exact
+agreement).  See ``docs/API.md`` for the lifecycle and a migration
+table.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .._util import ExplosionError, lt
+from . import tensor
+from .equilibrium import enumerate_action_profiles, nash_extreme_costs
+from .game import Action, BayesianGame, StrategyProfile
+from .prior import TypeProfile
+from .strategy import (
+    DEFAULT_MAX_PROFILES,
+    enumerate_strategy_profiles,
+    greedy_strategy_profile,
+    replace_strategy_action,
+)
+
+#: Guard on per-state action-profile enumeration (shared value).
+DEFAULT_MAX_ACTION_PROFILES = tensor.DEFAULT_MAX_ACTION_PROFILES
+
+#: A session plugin replacing the per-state optimum enumeration.
+StateOptSolver = Callable[[TypeProfile], float]
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Query:
+    """One declarative measure request: a name plus frozen parameters.
+
+    Build with :func:`query`; accepted measures and their parameters are
+    listed in :data:`MEASURES` (and documented in ``docs/API.md``).
+    """
+
+    measure: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+def query(measure: str, **params: Any) -> Query:
+    """``query("eq_c", kind="worst")`` → a frozen :class:`Query`."""
+    return Query(measure=measure, params=tuple(sorted(params.items())))
+
+
+#: measure name -> (sweep needed, needs equilibrium check, needs the
+#: collected equilibrium set).  The planner unions these over a bundle.
+MEASURES: Dict[str, Tuple[bool, bool, bool]] = {
+    "opt_p": (True, False, False),
+    "optimal_profile": (True, False, False),
+    "eq_p": (True, True, False),
+    "equilibria": (True, True, True),
+    "ignorance_report": (True, True, False),
+    "ratio": (True, True, False),
+    "opt_c": (False, False, False),
+    "eq_c": (False, False, False),
+    "state_optimum": (False, False, False),
+    "dynamics": (False, False, False),
+}
+
+
+def _component(pair: Tuple[float, float], kind: str, what: str):
+    if kind == "both":
+        return pair
+    if kind == "best":
+        return pair[0]
+    if kind == "worst":
+        return pair[1]
+    raise ValueError(
+        f"unknown {what} kind {kind!r}; expected 'best', 'worst', or 'both'"
+    )
+
+
+# ----------------------------------------------------------------------
+# memoized scan results
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Scan:
+    """Aggregates of one reference-path strategy-profile enumeration.
+
+    ``equilibria`` is populated only when the scan was asked to collect
+    (mirroring the tensor sweep's ``collect_equilibria``); the extremes
+    are running folds either way, so an extremes-only scan stays O(1)
+    in memory like the free reference path.
+    """
+
+    opt_p: float
+    argmin: Optional[StrategyProfile]
+    best_eq: float
+    worst_eq: float
+    eq_found: bool
+    equilibria: Optional[List[StrategyProfile]] = None
+
+
+def _raise_memoized(error: BaseException, traceback) -> None:
+    """Re-raise a memoized error from its *original* traceback.
+
+    A bare ``raise error`` would keep appending the current frames to
+    the one cached exception object on every repeat query; resetting to
+    the capture-time traceback keeps the cached error's memory bounded
+    and its stack trace meaningful in long-lived sessions.
+    """
+    raise error.with_traceback(traceback)
+
+
+class GameSession:
+    """One game, lowered at most once, every shared artifact memoized.
+
+    Parameters
+    ----------
+    game:
+        The Bayesian game to serve queries over.
+    engine:
+        Evaluation engine for every call made through this session
+        (``auto`` / ``tensor`` / ``reference``).  Defaults to the
+        *effective engine at construction time* — the context-scoped
+        override if one is active, else the process default — and stays
+        pinned for the session's lifetime, so concurrent sessions on
+        different engines cannot race each other.
+    state_solver:
+        Optional session plugin replacing the per-state optimum
+        enumeration inside ``optC`` (e.g. an exact Steiner solver).
+    max_strategy_profiles / max_action_profiles:
+        The usual explosion guards, applied exactly as the free
+        functions apply them.
+
+    Memoization covers values *and* raised errors: asking twice
+    re-raises the same error the matching free function raises, and a
+    failed equilibrium sweep never poisons sweep-free measures (e.g.
+    ``opt_p`` falls back to its own cheaper sweep, like the free
+    function it replaces).
+    """
+
+    def __init__(
+        self,
+        game: BayesianGame,
+        *,
+        engine: Optional[str] = None,
+        state_solver: Optional[StateOptSolver] = None,
+        max_strategy_profiles: int = DEFAULT_MAX_PROFILES,
+        max_action_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
+    ) -> None:
+        if engine is not None:
+            tensor._check_engine(engine)
+        self.game = game
+        self.engine = engine if engine is not None else tensor.get_engine()
+        self.state_solver = state_solver
+        self.max_strategy_profiles = max_strategy_profiles
+        self.max_action_profiles = max_action_profiles
+        self._lowered_entry: Optional[Tuple[Optional[tensor.TensorGame]]] = None
+        #: (need_eq, collect) -> ("ok", ProfileSweep) | ("err", (error, tb))
+        self._sweeps: Dict[Tuple[bool, bool], Tuple[str, Any]] = {}
+        #: (need_eq, collect) -> ("ok", _Scan) | ("err", (error, tb))
+        self._scans: Dict[Tuple[bool, bool], Tuple[str, Any]] = {}
+        #: everything else: key -> ("ok", value) | ("err", (error, tb))
+        self._memo: Dict[Any, Tuple[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _scope(self):
+        """All session work runs under the session's pinned engine."""
+        with tensor.engine_override(self.engine):
+            yield
+
+    def _memoized(self, key: Any, compute: Callable[[], Any]) -> Any:
+        entry = self._memo.get(key)
+        if entry is None:
+            try:
+                entry = ("ok", compute())
+            except Exception as error:
+                entry = ("err", (error, error.__traceback__))
+            self._memo[key] = entry
+        kind, payload = entry
+        if kind == "err":
+            _raise_memoized(*payload)
+        return payload
+
+    def lowered(self) -> Optional[tensor.TensorGame]:
+        """The game's tensor form, computed (at most) once per session."""
+        if self._lowered_entry is None:
+            with self._scope():
+                self._lowered_entry = (
+                    tensor.maybe_lower(self.game, self.max_action_profiles),
+                )
+        return self._lowered_entry[0]
+
+    # ------------------------------------------------------------------
+    # the two shared enumeration primitives
+    # ------------------------------------------------------------------
+    def _profile_sweep(self, need_eq: bool, collect: bool) -> tensor.ProfileSweep:
+        """Memoized blocked sweep at (at least) the given capability.
+
+        A cached sweep serves any request it subsumes; a cached *error*
+        is re-raised only where the matching free function would raise
+        it (an :class:`ExplosionError` hits every capability level, an
+        equilibrium-check error only equilibrium-needing requests — a
+        plain ``opt_p`` then runs its own check-free sweep, exactly like
+        the free function).
+        """
+        need_eq = need_eq or collect
+        for (eq, col), (kind, payload) in self._sweeps.items():
+            if kind == "ok" and (eq or not need_eq) and (col or not collect):
+                return payload
+        for (eq, _), (kind, payload) in self._sweeps.items():
+            # A check-free sweep's work is a prefix of every sweep, and the
+            # explosion guard trips identically at every capability level,
+            # so those errors serve all requests.  An equilibrium-check
+            # error serves only equilibrium-needing requests — a plain
+            # ``opt_p`` still gets its own check-free sweep below.
+            if kind == "err" and (
+                not eq or need_eq or isinstance(payload[0], ExplosionError)
+            ):
+                _raise_memoized(*payload)
+        lowered = self.lowered()
+        assert lowered is not None, "profile sweep needs a lowered game"
+        try:
+            with self._scope():
+                sweep = lowered.sweep_profiles(
+                    self.max_strategy_profiles,
+                    collect_equilibria=collect,
+                    check_equilibria=need_eq,
+                )
+        except Exception as error:
+            self._sweeps[(need_eq, collect)] = (
+                "err", (error, error.__traceback__)
+            )
+            raise
+        self._sweeps[(need_eq, collect)] = ("ok", sweep)
+        return sweep
+
+    def _reference_scan(self, need_eq: bool, collect: bool = False) -> _Scan:
+        """Memoized reference-path enumeration (one pass, all aggregates).
+
+        Folds run in the exact free-function order — profiles in
+        ``enumerate_strategy_profiles`` order, running ``min``/``max``
+        updates — so every value is bit-identical to the corresponding
+        free function's own enumeration.  The same capability lattice as
+        :meth:`_profile_sweep` applies: a cached scan serves requests it
+        subsumes, a check-free scan's errors (its work is a prefix of
+        every scan) and the explosion guard serve all requests, and an
+        equilibrium-check error serves only equilibrium-needing ones.
+        """
+        need_eq = need_eq or collect
+        for (eq, col), (kind, payload) in self._scans.items():
+            if kind == "ok" and (eq or not need_eq) and (col or not collect):
+                return payload
+        for (eq, _), (kind, payload) in self._scans.items():
+            if kind == "err" and (
+                not eq or need_eq or isinstance(payload[0], ExplosionError)
+            ):
+                _raise_memoized(*payload)
+        try:
+            with self._scope():
+                scan = self._run_reference_scan(need_eq, collect)
+        except Exception as error:
+            self._scans[(need_eq, collect)] = (
+                "err", (error, error.__traceback__)
+            )
+            raise
+        self._scans[(need_eq, collect)] = ("ok", scan)
+        return scan
+
+    def _run_reference_scan(self, need_eq: bool, collect: bool) -> _Scan:
+        opt = float("inf")
+        argmin: Optional[StrategyProfile] = None
+        best_eq = float("inf")
+        worst_eq = float("-inf")
+        eq_found = False
+        equilibria: Optional[List[StrategyProfile]] = [] if collect else None
+        for strategies in enumerate_strategy_profiles(
+            self.game, self.max_strategy_profiles
+        ):
+            cost = self.game.social_cost(strategies)
+            if cost < opt:
+                opt = cost
+                argmin = strategies
+            if need_eq and self._is_bayesian_equilibrium(strategies):
+                if equilibria is not None:
+                    equilibria.append(strategies)
+                best_eq = min(best_eq, cost)
+                worst_eq = max(worst_eq, cost)
+                eq_found = True
+        return _Scan(
+            opt_p=opt,
+            argmin=argmin,
+            best_eq=best_eq,
+            worst_eq=worst_eq,
+            eq_found=eq_found,
+            equilibria=equilibria,
+        )
+
+    # ------------------------------------------------------------------
+    # measures (each mirrors its free function exactly)
+    # ------------------------------------------------------------------
+    def opt_p(self) -> float:
+        """``optP``; shares the session's profile sweep when one exists."""
+        if self.lowered() is not None:
+            return self._profile_sweep(need_eq=False, collect=False).opt_p
+        return self._reference_scan(need_eq=False).opt_p
+
+    def optimal_profile(self) -> Tuple[StrategyProfile, float]:
+        """An ``optP``-achieving profile (first minimizer) and its cost."""
+        lowered = self.lowered()
+        if lowered is not None:
+            sweep = self._profile_sweep(need_eq=False, collect=False)
+            assert sweep.argmin_index >= 0
+            return lowered.decode_profile(sweep.argmin_index), sweep.opt_p
+        scan = self._reference_scan(need_eq=False)
+        assert scan.argmin is not None
+        return scan.argmin, scan.opt_p
+
+    def equilibrium_extreme_costs(self) -> Tuple[float, float]:
+        """``(best-eqP, worst-eqP)`` over all pure Bayesian equilibria."""
+        if self.lowered() is not None:
+            sweep = self._profile_sweep(need_eq=True, collect=False)
+            if not sweep.eq_found:
+                raise RuntimeError(
+                    f"{self.game!r} has no pure Bayesian equilibrium"
+                )
+            return sweep.best_eq, sweep.worst_eq
+        scan = self._reference_scan(need_eq=True)
+        if not scan.eq_found:
+            raise RuntimeError(f"{self.game!r} has no pure Bayesian equilibrium")
+        return scan.best_eq, scan.worst_eq
+
+    def bayesian_equilibria(self) -> List[StrategyProfile]:
+        """All pure Bayesian equilibria (collected once, copied out)."""
+        lowered = self.lowered()
+        if lowered is not None:
+            def decode() -> List[StrategyProfile]:
+                sweep = self._profile_sweep(need_eq=True, collect=True)
+                assert sweep.eq_indices is not None
+                return [lowered.decode_profile(index) for index in sweep.eq_indices]
+
+            return list(self._memoized(("equilibria",), decode))
+        scan = self._reference_scan(need_eq=True, collect=True)
+        assert scan.equilibria is not None
+        return list(scan.equilibria)
+
+    def state_optimum(self, profile: TypeProfile) -> float:
+        """``min_a K_t(a)`` for one type profile (memoized per state)."""
+        profile = tuple(profile)
+
+        def compute() -> float:
+            with self._scope():
+                underlying = self.game.underlying_game(profile)
+                lowered = tensor.maybe_state_tensor(
+                    underlying, self.max_action_profiles
+                )
+                if lowered is not None:
+                    return lowered.optimum()
+                return min(
+                    underlying.social_cost(actions)
+                    for actions in enumerate_action_profiles(
+                        underlying, self.max_action_profiles
+                    )
+                )
+
+        return self._memoized(("state_opt", profile), compute)
+
+    def _nash_extreme_costs(self, profile: TypeProfile) -> Tuple[float, float]:
+        """Per-state Nash extremes (memoized; reference ``eq_c`` path)."""
+        profile = tuple(profile)
+
+        def compute() -> Tuple[float, float]:
+            with self._scope():
+                return nash_extreme_costs(
+                    self.game.underlying_game(profile), self.max_action_profiles
+                )
+
+        return self._memoized(("nash_extremes", profile), compute)
+
+    def opt_c(self) -> float:
+        """``optC = E_t[min_a K_t(a)]`` (session plugin or enumeration)."""
+
+        def compute() -> float:
+            solver = self.state_solver or self.state_optimum
+            with self._scope():
+                return self.game.prior.expect(solver)
+
+        return self._memoized(("opt_c",), compute)
+
+    def _lowered_opt_c(self) -> float:
+        """``optC`` via the lowered per-state tables (the tensor report
+        path; bit-identical to :meth:`opt_c` on lowerable games)."""
+
+        def compute() -> float:
+            lowered = self.lowered()
+            assert lowered is not None
+            with self._scope():
+                return lowered.opt_c()
+
+        return self._memoized(("opt_c_lowered",), compute)
+
+    def eq_c(self) -> Tuple[float, float]:
+        """``(best-eqC, worst-eqC)``: expected extreme Nash costs."""
+
+        def compute() -> Tuple[float, float]:
+            with self._scope():
+                lowered = self.lowered()
+                if lowered is not None:
+                    return lowered.eq_c()
+                best_total = 0.0
+                worst_total = 0.0
+                for profile, prob in self.game.prior.support():
+                    best, worst = self._nash_extreme_costs(profile)
+                    best_total += prob * best
+                    worst_total += prob * worst
+                return best_total, worst_total
+
+        return self._memoized(("eq_c",), compute)
+
+    def ignorance_report(self):
+        """All six quantities packaged as an ``IgnoranceReport``."""
+        return self._memoized(("report",), self._compute_report)
+
+    def _compute_report(self):
+        from .measures import IgnoranceReport
+
+        lowered = self.lowered()
+        if lowered is not None:
+            sweep = self._profile_sweep(need_eq=True, collect=False)
+            if not sweep.eq_found:
+                raise RuntimeError(
+                    f"{self.game!r} has no pure Bayesian equilibrium"
+                )
+            if self.state_solver is not None:
+                opt_c_value = self.opt_c()
+            else:
+                opt_c_value = self._lowered_opt_c()
+            best_c, worst_c = self.eq_c()
+            report = IgnoranceReport(
+                opt_p=sweep.opt_p,
+                best_eq_p=sweep.best_eq,
+                worst_eq_p=sweep.worst_eq,
+                opt_c=opt_c_value,
+                best_eq_c=best_c,
+                worst_eq_c=worst_c,
+                name=self.game.name,
+            )
+            report.verify_observation_2_2()
+            return report
+        best_p, worst_p = self.equilibrium_extreme_costs()
+        best_c, worst_c = self.eq_c()
+        report = IgnoranceReport(
+            opt_p=self.opt_p(),
+            best_eq_p=best_p,
+            worst_eq_p=worst_p,
+            opt_c=self.opt_c(),
+            best_eq_c=best_c,
+            worst_eq_c=worst_c,
+            name=self.game.name,
+        )
+        report.verify_observation_2_2()
+        return report
+
+    def _is_bayesian_equilibrium(self, strategies: StrategyProfile) -> bool:
+        """The interim characterization, over the session's own interim
+        machinery (identical dispatch, values, and error path as the
+        free :func:`repro.core.equilibrium.is_bayesian_equilibrium`)."""
+        for agent in range(self.game.num_agents):
+            for ti in self.game.prior.positive_types(agent):
+                current = self.game.interim_cost(agent, ti, strategies)
+                _, best = self.interim_best_response(agent, ti, strategies)
+                if lt(best, current):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # interim machinery and dynamics
+    # ------------------------------------------------------------------
+    def interim_best_response(
+        self, agent: int, ti, strategies: StrategyProfile
+    ) -> Tuple[Action, float]:
+        """Best action of ``agent`` at type ``ti`` against ``strategies``
+        (shares the session's lowering; not memoized — profiles vary)."""
+        with self._scope():
+            lowered = self.lowered()
+            if lowered is not None:
+                result = lowered.interim_best_response(agent, ti, strategies)
+                if result is not None:
+                    return result
+            best_action: Optional[Action] = None
+            best_cost = float("inf")
+            for candidate in self.game.feasible_actions(agent, ti):
+                cost = self.game.interim_cost_of_action(
+                    agent, ti, candidate, strategies
+                )
+                if cost < best_cost:
+                    best_cost = cost
+                    best_action = candidate
+            if best_action is None:  # pragma: no cover - feasible sets non-empty
+                raise RuntimeError("agent has no feasible actions")
+            return best_action, best_cost
+
+    def best_response_dynamics(
+        self,
+        initial: Optional[StrategyProfile] = None,
+        max_rounds: int = 10_000,
+    ) -> StrategyProfile:
+        """Interim best-response dynamics to a pure Bayesian equilibrium.
+
+        Same semantics as the free function (tensor kernel when the game
+        lowers and the initial profile encodes, reference sweep
+        otherwise), but the lowering and the conditional expected-cost
+        tables are the session's shared copies.
+        """
+        with self._scope():
+            strategies = (
+                initial if initial is not None else greedy_strategy_profile(self.game)
+            )
+            lowered = self.lowered()
+            if lowered is not None:
+                result = lowered.best_response_dynamics(strategies, max_rounds)
+                if result is not None:
+                    return result
+            for _ in range(max_rounds):
+                changed = False
+                for agent in range(self.game.num_agents):
+                    for ti in self.game.prior.positive_types(agent):
+                        current = self.game.interim_cost(agent, ti, strategies)
+                        best_action, best_cost = self.interim_best_response(
+                            agent, ti, strategies
+                        )
+                        if lt(best_cost, current):
+                            strategies = replace_strategy_action(
+                                self.game, strategies, agent, ti, best_action
+                            )
+                            changed = True
+                if not changed:
+                    return strategies
+            raise RuntimeError("Bayesian best-response dynamics did not converge")
+
+    # ------------------------------------------------------------------
+    # the query planner
+    # ------------------------------------------------------------------
+    def plan(self, queries: Sequence[Query]) -> None:
+        """Pre-compute the union of the bundle's shared requirements.
+
+        One profile sweep (or reference scan) at the union capability
+        serves every sweep-backed query in the bundle; errors are
+        memoized here and re-raised by exactly the queries whose free
+        function would raise them.
+        """
+        need_sweep = False
+        need_eq = False
+        collect = False
+        for item in queries:
+            try:
+                sweep, eq, col = MEASURES[item.measure]
+            except KeyError:
+                raise ValueError(
+                    f"unknown measure {item.measure!r}; "
+                    f"expected one of {sorted(MEASURES)}"
+                ) from None
+            need_sweep = need_sweep or sweep
+            need_eq = need_eq or eq
+            collect = collect or col
+        if not need_sweep:
+            return
+        try:
+            if self.lowered() is not None:
+                self._profile_sweep(need_eq, collect)
+            else:
+                self._reference_scan(need_eq, collect)
+        except Exception:
+            pass  # memoized; re-raised by the queries that depend on it
+
+    def _answer(self, item: Query) -> Any:
+        kwargs = item.kwargs
+        measure = item.measure
+        if measure == "opt_p":
+            return self.opt_p()
+        if measure == "optimal_profile":
+            return self.optimal_profile()
+        if measure == "opt_c":
+            return self.opt_c()
+        if measure == "eq_p":
+            pair = self.equilibrium_extreme_costs()
+            return _component(pair, kwargs.get("kind", "both"), "eq_p")
+        if measure == "eq_c":
+            pair = self.eq_c()
+            return _component(pair, kwargs.get("kind", "both"), "eq_c")
+        if measure == "equilibria":
+            return self.bayesian_equilibria()
+        if measure == "ignorance_report":
+            return self.ignorance_report()
+        if measure == "ratio":
+            report = self.ignorance_report()
+            return report.ratio(kwargs["numerator"], kwargs["denominator"])
+        if measure == "state_optimum":
+            return self.state_optimum(tuple(kwargs["profile"]))
+        if measure == "dynamics":
+            return self.best_response_dynamics(
+                initial=kwargs.get("initial"),
+                max_rounds=kwargs.get("max_rounds", 10_000),
+            )
+        raise ValueError(
+            f"unknown measure {measure!r}; expected one of {sorted(MEASURES)}"
+        )
+
+    def evaluate(self, queries: Iterable[Any]) -> List[Any]:
+        """Answer a bundle of queries, sharing subcomputations.
+
+        ``queries`` may mix :class:`Query` objects and bare measure
+        names; results align with the input order.
+        """
+        normalized = [
+            item if isinstance(item, Query) else query(str(item))
+            for item in queries
+        ]
+        self.plan(normalized)
+        return [self._answer(item) for item in normalized]
+
+    def __repr__(self) -> str:
+        label = f" {self.game.name!r}" if self.game.name else ""
+        return (
+            f"<GameSession{label} engine={self.engine!r} "
+            f"k={self.game.num_agents} memo={len(self._memo)}>"
+        )
+
+
+class BatchSession:
+    """Sessions over many games, evaluated with one shared query plan.
+
+    ``evaluate_many`` answers the same bundle for every game and returns
+    one result row per game.  Each game still lowers independently (the
+    per-game action spaces differ), but the bundle is normalized and
+    planned once, and every session reuses its own artifacts across the
+    bundle — the batched analogue of calling :func:`evaluate` per game.
+    """
+
+    def __init__(self, games: Sequence[BayesianGame], **config: Any) -> None:
+        self.sessions = [GameSession(game, **config) for game in games]
+
+    @classmethod
+    def of(cls, sessions: Sequence[GameSession]) -> "BatchSession":
+        """Wrap pre-built sessions (e.g. NCS sessions with solvers)."""
+        batch = cls.__new__(cls)
+        batch.sessions = list(sessions)
+        return batch
+
+    def evaluate_many(self, queries: Iterable[Any]) -> List[List[Any]]:
+        normalized = [
+            item if isinstance(item, Query) else query(str(item))
+            for item in queries
+        ]
+        rows: List[List[Any]] = []
+        for session in self.sessions:
+            session.plan(normalized)
+            rows.append([session._answer(item) for item in normalized])
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+
+def evaluate(game: BayesianGame, queries: Iterable[Any], **config: Any) -> List[Any]:
+    """One-shot convenience: ``GameSession(game, **config).evaluate(...)``."""
+    return GameSession(game, **config).evaluate(queries)

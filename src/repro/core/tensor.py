@@ -34,19 +34,25 @@ prior-support order, conditional states in support order), so interim
 costs — and hence equilibrium *sets* — are bit-identical to the
 reference path, which remains available as the parity oracle.
 
-Engine selection: the ``REPRO_ENGINE`` environment variable or
-:func:`set_engine` chooses ``"auto"`` (lower when possible, the default),
-``"tensor"`` (alias of ``auto``), or ``"reference"`` (never lower).
-:func:`set_engine` changes the process-wide default;
-:func:`engine_override` is a *thread-local* scope on top of it, so
-concurrently running thread-backend unit tasks can pin different
-engines without racing each other.
+Engine selection: the ``REPRO_ENGINE`` environment variable chooses the
+default — ``"auto"`` (lower when possible), ``"tensor"`` (alias of
+``auto``), or ``"reference"`` (never lower) — and :func:`engine_override`
+scopes a different engine over the *current context* only.  The override
+is backed by :mod:`contextvars`, so concurrently running thread-backend
+unit tasks (and async tasks) each see only their own pin: nothing is
+shared, nothing races, nothing leaks out of the ``with`` block.  Session
+objects (:mod:`repro.core.session`) capture the effective engine at
+construction, which is the recommended way to hold an engine across many
+calls.  :func:`set_engine` — the old *mutable process-global* default,
+which thread-backend workers could race — still works but is deprecated
+in favor of those two scoped mechanisms.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
-import threading
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from itertools import product
@@ -98,20 +104,38 @@ def _check_engine(name: str) -> None:
 
 
 _default_engine = _initial_engine()
-_engine_local = threading.local()
+
+#: Context-scoped engine pin.  New threads (and spawn workers) start with
+#: a fresh context, so a pin never crosses an execution-context boundary
+#: by accident; the executor forwards the submitting caller's engine to
+#: its workers explicitly.
+_engine_var: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_engine", default=None
+)
 
 
 def get_engine() -> str:
-    """The effective engine: the thread's override, else the default."""
-    return getattr(_engine_local, "engine", None) or _default_engine
+    """The effective engine: the context's override, else the default."""
+    return _engine_var.get() or _default_engine
 
 
 def set_engine(name: str) -> None:
-    """Set the process-wide default engine (``tensor`` aliases ``auto``).
+    """Deprecated: set the mutable process-wide default engine.
 
-    Threads inside an :func:`engine_override` scope keep their override.
+    The process-global default is shared by every thread, so flipping it
+    while thread-backend unit tasks run is a race.  Pin engines with the
+    context-scoped :func:`engine_override` or per-session config
+    (``GameSession(engine=...)``) instead; contexts inside an override
+    keep their pin regardless of this default.
     """
     _check_engine(name)
+    warnings.warn(
+        "set_engine() mutates a process-wide global shared across threads; "
+        "use engine_override(...) or session-scoped config "
+        "(repro.core.session.GameSession(engine=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     global _default_engine
     _default_engine = name
 
@@ -122,19 +146,20 @@ def tensor_enabled() -> bool:
 
 @contextmanager
 def engine_override(name: str):
-    """Temporarily select an engine for the *current thread* only.
+    """Temporarily select an engine for the *current context* only.
 
-    Thread-local scoping means concurrently running thread-backend unit
-    tasks (``--backend thread``) can each pin an engine without racing:
-    nothing leaks to other threads or survives the ``with`` block.
+    Backed by :mod:`contextvars`: concurrently running thread-backend
+    unit tasks (``--backend thread``) and async tasks each see only
+    their own pin, so engine flips in two concurrent threads cannot race
+    each other, and nothing leaks to other contexts or survives the
+    ``with`` block.
     """
     _check_engine(name)
-    previous = getattr(_engine_local, "engine", None)
-    _engine_local.engine = name
+    token = _engine_var.set(name)
     try:
         yield
     finally:
-        _engine_local.engine = previous
+        _engine_var.reset(token)
 
 
 # ----------------------------------------------------------------------

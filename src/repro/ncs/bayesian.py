@@ -23,7 +23,7 @@ compiled form.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .._util import lt
 from ..core.game import BayesianGame, StrategyProfile
@@ -35,6 +35,9 @@ from ..graphs.shortest_path import dijkstra
 from ..graphs.steiner import minimum_connection_cost
 from .actions import EMPTY_ACTION, ActionCatalog, NCSAction, NCSType, edge_loads
 from .game import NCSGame
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..core.session import GameSession
 
 
 class BayesianNCSGame:
@@ -299,8 +302,23 @@ class BayesianNCSGame:
         )
 
     # ------------------------------------------------------------------
-    # reports
+    # reports and sessions
     # ------------------------------------------------------------------
+    def session(self, **config) -> "GameSession":
+        """A query session over this game with the NCS solver plugged in.
+
+        The exact Steiner per-state solver rides along as the session's
+        ``state_solver`` plugin, so ``optC`` (and the report) use it just
+        like :meth:`ignorance_report` does, while lowering and
+        equilibrium enumeration are shared across every query.  Sessions
+        capture the effective engine at construction; build a fresh one
+        to pick up a new ambient engine pin.
+        """
+        from ..core.session import GameSession
+
+        config.setdefault("state_solver", self.state_optimum)
+        return GameSession(self.game, **config)
+
     def ignorance_report(
         self,
         max_strategy_profiles: int = 2_000_000,

@@ -10,14 +10,14 @@ converges because the social cost strictly decreases.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from .._util import lt
 from ..core import tensor
 from ..core.game import StrategyProfile
 from ..core.measures import opt_p as core_opt_p
-from ..core.strategy import DEFAULT_MAX_PROFILES, enumerate_strategy_profiles
+from ..core.session import GameSession
+from ..core.strategy import DEFAULT_MAX_PROFILES
 from .bayesian import BayesianNCSGame
 
 
@@ -31,23 +31,13 @@ def optimal_strategy_profile(
 ) -> Tuple[StrategyProfile, float]:
     """An ``optP``-achieving strategy profile and its social cost.
 
-    The tensor path returns the *first* minimizer in enumeration order —
-    the same profile the reference scan below selects.
+    A one-shot session call; both engines return the *first* minimizer
+    in enumeration order.  Prefer :meth:`BayesianNCSGame.session` when
+    combining this with other measures of the same game.
     """
-    lowered = tensor.maybe_lower(game.game)
-    if lowered is not None:
-        sweep = lowered.sweep_profiles(max_profiles, check_equilibria=False)
-        assert sweep.argmin_index >= 0
-        return lowered.decode_profile(sweep.argmin_index), sweep.opt_p
-    best_profile: Optional[StrategyProfile] = None
-    best_cost = math.inf
-    for strategies in enumerate_strategy_profiles(game.game, max_profiles):
-        cost = game.social_cost(strategies)
-        if cost < best_cost:
-            best_cost = cost
-            best_profile = strategies
-    assert best_profile is not None
-    return best_profile, best_cost
+    return GameSession(
+        game.game, max_strategy_profiles=max_profiles
+    ).optimal_profile()
 
 
 def benevolent_descent(

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro sweep T1 --shard 1/4  # run one shard of a split sweep
     python -m repro report                # the full suite, like the old
                                           #   python -m repro.analysis.report
+    python -m repro report --shard 1/4    # one shard of the full suite
+    python -m repro shard merge report    # complete the sharded report
     python -m repro shard plan T1 -n 4    # preview the shard partition
     python -m repro shard run T1 --shard 2/4   # same engine as sweep --shard
     python -m repro shard merge T1        # merge manifests -> unified report
@@ -32,6 +34,9 @@ deterministic shards for independent machines (docs/SHARDING.md):
 ``shard run`` writes a per-shard manifest under
 ``results/<name>/shards/``, and ``shard merge`` reduces the collected
 manifests into the same unified report an unsharded run would write.
+The special id ``report`` names the entire default suite, so ``report
+--shard K/N`` + ``shard merge report`` reproduce the full ``report``
+artifact byte-identically across machines.
 
 Exit codes: 0 all claims pass (shard runs: shard completed), 1 a cell
 failed its claim, 2 usage error.
@@ -217,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_options(report_parser)
     _add_artifact_options(report_parser)
     _add_timings_option(report_parser)
+    _add_set_option(report_parser)
+    report_parser.add_argument(
+        "--shard", type=parse_shard_option, default=None, metavar="K/N",
+        help="run only shard K of a deterministic N-way split of the "
+        "full suite (writes a manifest under results/report/shards/; "
+        "'shard merge report' completes the report)",
+    )
 
     shard_parser = subparsers.add_parser(
         "shard", help="plan, run, and merge cross-machine sweep shards"
@@ -471,8 +483,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if getattr(args, "shard", None) is not None:
+        # One shard of the full suite: same engine as `sweep --shard`,
+        # under the `report` work-unit identity, so collected manifests
+        # merge into the exact unsharded report artifact.
+        args.ids = ["report"]
+        return _cmd_shard_run(args)
     sweeps = list(registry.sweep_specs().values())
-    args.overrides = []
     return _run_and_report(args, sweeps, "report", show_series=True)
 
 

@@ -100,10 +100,13 @@ def _execute_unit(job: Tuple[UnitTask, str]) -> Tuple[Any, float]:
     """Top-level worker entry point (picklable under ``spawn``).
 
     The submitting caller's effective evaluation engine rides along and
-    is applied around the task, so thread workers (which would not
-    inherit a thread-local override) and spawn workers (which would
-    only see the environment variable) compute exactly what ``jobs=1``
-    in the caller's thread would.
+    is applied around the task as a context-scoped override (the same
+    session-scoped mechanism :mod:`repro.core.session` uses), so thread
+    workers (whose fresh contexts would not inherit the caller's
+    override) and spawn workers (which would only see the environment
+    variable) compute exactly what ``jobs=1`` in the caller's context
+    would — and concurrent thread workers pinning different engines
+    cannot race each other.
     """
     unit, engine = job
     start = time.perf_counter()

@@ -99,6 +99,64 @@ class TestEngineSelection:
         assert seen == {"reference": "reference", "auto": "auto"}
         assert get_engine() == before
 
+    def test_concurrent_engine_flips_do_not_race(self):
+        """Regression: two threads flipping engines concurrently.
+
+        The pre-contextvars ``set_engine`` mutated a plain module global,
+        so one thread's flip could leak into the other mid-evaluation
+        under ``--backend thread``.  With context-scoped overrides every
+        flip — including nested ones and actual lowering decisions — is
+        observable only inside its own thread.
+        """
+        import threading
+
+        flips = 200
+        errors = []
+        start = threading.Barrier(2)
+
+        def flip(name, other):
+            try:
+                start.wait(timeout=10)
+                for _ in range(flips):
+                    with engine_override(name):
+                        if get_engine() != name:
+                            errors.append(f"{name}: saw {get_engine()}")
+                        # Lowering honors this thread's pin, not the
+                        # other thread's concurrent flips.
+                        lowered = maybe_lower(matching_state_game())
+                        if (lowered is None) != (name == "reference"):
+                            errors.append(f"{name}: lowering raced")
+                        with engine_override(other):
+                            if get_engine() != other:
+                                errors.append(f"{name}: nested flip lost")
+                        if get_engine() != name:
+                            errors.append(f"{name}: outer pin not restored")
+            except Exception as error:  # pragma: no cover - debug aid
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=flip, args=("reference", "auto")),
+            threading.Thread(target=flip, args=("auto", "reference")),
+        ]
+        before = get_engine()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert get_engine() == before
+
+    def test_set_engine_is_deprecated_but_functional(self):
+        import repro.core.tensor as tensor_module
+
+        before = tensor_module._default_engine
+        try:
+            with pytest.warns(DeprecationWarning, match="engine_override"):
+                set_engine("reference")
+            assert get_engine() == "reference"
+        finally:
+            tensor_module._default_engine = before
+
     def test_reference_engine_disables_lowering(self, matching_state):
         with engine_override("reference"):
             assert maybe_lower(matching_state) is None

@@ -15,6 +15,13 @@ On a mismatch, :func:`minimize` greedily shrinks the game (drop support
 states / actions / unused types) while the disagreement persists, and
 :func:`format_failure` renders the minimized game as a self-contained
 repro.
+
+:func:`check_session_spec` is the facade-level analogue: the same game
+evaluated once through the free functions and once through a *single
+shared* :class:`~repro.core.session.GameSession` (every measure a
+``session.evaluate`` query, so memoized sweeps/lowerings actually get
+reused across the battery), under both engines, demanding the same
+exact agreement — values and exceptions alike.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.core import (
     opt_p,
     state_optimum,
 )
+from repro.core.session import GameSession, query
 from repro.core.strategy import greedy_strategy_profile
 
 from fuzz_games import TabularGameSpec, shrink_candidates
@@ -151,6 +159,97 @@ def run_battery(spec: TabularGameSpec, game: BayesianGame) -> Dict[str, Outcome]
             )
         )
     return results
+
+
+def run_session_battery(
+    spec: TabularGameSpec, game: BayesianGame
+) -> Dict[str, Outcome]:
+    """The session-facade slice of :func:`run_battery`, same keys.
+
+    One shared :class:`GameSession` answers everything — measure values
+    as ``evaluate`` queries (so the planner and the memoized sweep are
+    in play), interim/dynamics probes as session methods — which is
+    exactly the reuse the free-function battery never exercises.
+    """
+    session = GameSession(game)
+
+    def outcome(measure: str, **params) -> Outcome:
+        return _outcome(lambda: session.evaluate([query(measure, **params)])[0])
+
+    results: Dict[str, Outcome] = {}
+    results["equilibria"] = outcome("equilibria")
+    results["eq_extremes"] = outcome("eq_p")
+    results["opt_p"] = outcome("opt_p")
+    results["opt_c"] = outcome("opt_c")
+    results["eq_c"] = outcome("eq_c")
+    results["report"] = _outcome(
+        lambda: session.evaluate([query("ignorance_report")])[0].as_dict()
+    )
+
+    random_strategies, _ = random_profiles(spec)
+    results["bayes_dynamics"] = outcome("dynamics", max_rounds=DYNAMICS_MAX_ROUNDS)
+    results["bayes_dynamics_random"] = outcome(
+        "dynamics", initial=random_strategies, max_rounds=DYNAMICS_MAX_ROUNDS
+    )
+
+    greedy = greedy_strategy_profile(game)
+    for agent in range(game.num_agents):
+        for ti in game.prior.positive_types(agent):
+            results[f"interim_br[{agent},{ti!r},greedy]"] = _outcome(
+                lambda a=agent, t=ti: session.interim_best_response(a, t, greedy)
+            )
+            results[f"interim_br[{agent},{ti!r},random]"] = _outcome(
+                lambda a=agent, t=ti: session.interim_best_response(
+                    a, t, random_strategies
+                )
+            )
+
+    for index, (profile, _) in enumerate(spec.support):
+        results[f"state_opt[{index}]"] = outcome("state_optimum", profile=profile)
+    return results
+
+
+@dataclass
+class SessionMismatch:
+    """One facade disagreement: free functions vs the shared session."""
+
+    spec: TabularGameSpec
+    engine: str
+    disagreements: List[Tuple[str, Outcome, Outcome]]
+
+    def describe(self) -> str:
+        lines = [
+            f"session facade mismatch under engine {self.engine!r} on "
+            f"{self.spec.meta or self.spec.name}:",
+        ]
+        for key, free, session in self.disagreements:
+            lines.append(f"  {key}:")
+            lines.append(f"    free functions: {free!r}")
+            lines.append(f"    session:        {session!r}")
+        return "\n".join(lines)
+
+
+def check_session_spec(spec: TabularGameSpec) -> Optional[SessionMismatch]:
+    """Free-function battery vs one shared session, under both engines.
+
+    Fresh game builds per run keep cached lowerings from leaking between
+    the paths; agreement must be exact (bit-equal floats, identical
+    profiles, matching exception types and messages).
+    """
+    for engine in ("auto", "reference"):
+        with engine_override(engine):
+            free = run_battery(spec, spec.build())
+            session = run_session_battery(spec, spec.build())
+        disagreements = [
+            (key, free[key], session[key])
+            for key in session
+            if free[key] != session[key]
+        ]
+        if disagreements:
+            return SessionMismatch(
+                spec=spec, engine=engine, disagreements=disagreements
+            )
+    return None
 
 
 @dataclass

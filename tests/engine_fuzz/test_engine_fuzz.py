@@ -15,7 +15,12 @@ import pytest
 from repro.core import tensor
 
 from fuzz_games import spec_for_seed
-from fuzz_harness import check_spec, format_failure, minimize
+from fuzz_harness import (
+    check_session_spec,
+    check_spec,
+    format_failure,
+    minimize,
+)
 
 #: Total seeded games per full run (the CI gate demands >= 200).
 N_GAMES = 240
@@ -23,6 +28,11 @@ CHUNK = 24
 #: Chunks that stay in the fast inner loop (`pytest -m "not slow"`); the
 #: rest are marked ``slow`` and still run in CI / the full suite.
 FAST_CHUNKS = 2
+
+#: Seeded games the session facade replays against the free functions
+#: (each runs four batteries: two paths x two engines).
+N_SESSION_GAMES = 120
+SESSION_FAST_CHUNKS = 1
 
 
 def _run_seeds(seeds) -> None:
@@ -45,17 +55,49 @@ def test_engines_agree_on_random_games(chunk):
     _run_seeds(range(chunk * CHUNK, (chunk + 1) * CHUNK))
 
 
+@pytest.mark.parametrize(
+    "chunk",
+    [
+        pytest.param(
+            chunk,
+            marks=[pytest.mark.slow] if chunk >= SESSION_FAST_CHUNKS else [],
+        )
+        for chunk in range(N_SESSION_GAMES // CHUNK)
+    ],
+)
+def test_session_facade_agrees_with_free_functions(chunk):
+    """Every fuzzed game, replayed through one shared GameSession.
+
+    The memoized session — planner, shared sweep, cached state analyses
+    — must reproduce the free-function outcomes *exactly* (values and
+    exceptions) under both engines.
+    """
+    for seed in range(chunk * CHUNK, (chunk + 1) * CHUNK):
+        mismatch = check_session_spec(spec_for_seed(seed))
+        if mismatch is not None:
+            pytest.fail(mismatch.describe())
+
+
 class TestHarnessDetectsFaults:
     """The differential harness must not be vacuous: an injected engine
     bug has to surface as a mismatch and survive minimization."""
 
     def test_injected_tensor_fault_is_caught_and_minimized(self, monkeypatch):
-        original = tensor.TensorGame.opt_p
+        # Skew the blocked profile sweep — the one shared kernel behind
+        # optP and the equilibrium extremes on the session facade.
+        original = tensor.TensorGame.sweep_profiles
 
-        def skewed(self, max_profiles):
-            return original(self, max_profiles) + 0.125
+        def skewed(self, max_profiles, collect_equilibria=False, check_equilibria=True):
+            sweep = original(
+                self,
+                max_profiles,
+                collect_equilibria=collect_equilibria,
+                check_equilibria=check_equilibria,
+            )
+            sweep.opt_p += 0.125
+            return sweep
 
-        monkeypatch.setattr(tensor.TensorGame, "opt_p", skewed)
+        monkeypatch.setattr(tensor.TensorGame, "sweep_profiles", skewed)
         spec = spec_for_seed(0)
         mismatch = check_spec(spec)
         assert mismatch is not None

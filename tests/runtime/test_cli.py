@@ -166,6 +166,67 @@ class TestBackendFlag:
             assert row["cached"] is False
 
 
+class TestShardedReport:
+    """`report --shard K/N` + `shard merge report` == unsharded `report`."""
+
+    @pytest.fixture
+    def tiny_suite(self, monkeypatch):
+        """Shrink the default suite so the full-report cycle stays fast."""
+        from repro.analysis import experiments
+
+        tiny = {
+            sweep.sweep_id: sweep
+            for sweep in (
+                experiments.sweep_fig1(ks=(4, 8, 16, 32), exact_k=4),
+                experiments.sweep_aux_online_steiner(levels=(1, 2), samples=4),
+            )
+        }
+        monkeypatch.setattr(experiments, "SWEEPS", tiny)
+        return tiny
+
+    def test_report_accepts_shard_and_merge_completes_it(
+        self, sandbox, capsys, tiny_suite
+    ):
+        # Unsharded baseline, into a separate results dir.
+        assert main(["report", "--jobs", "1", "--results-dir", "base"]) == 0
+        capsys.readouterr()
+
+        # Both shards, then the merge, into the default results dir.
+        assert main(["report", "--jobs", "1", "--shard", "1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2" in out
+        assert (sandbox / "results" / "report" / "shards").is_dir()
+        assert main(["report", "--jobs", "1", "--shard", "2/2"]) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shard manifest(s)" in out
+        assert "PASS" in out
+
+        # The merged data artifacts are byte-identical to the unsharded
+        # ones (summary.md embeds a timestamp and run stats by design).
+        for name in ("cells.json", "cells.csv"):
+            merged = (sandbox / "results" / "report" / name).read_bytes()
+            unsharded = (sandbox / "base" / "report" / name).read_bytes()
+            assert merged == unsharded, name
+
+    def test_report_shard_honors_set_overrides(self, sandbox, capsys, tiny_suite):
+        """Overridden grids shard and merge under matching spec hashes."""
+        override = ["--set", "k=4,8,16,32,64"]
+        assert main(["report", "--jobs", "1", "--shard", "1/2", *override]) == 0
+        assert main(["report", "--jobs", "1", "--shard", "2/2", *override]) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", "report", *override]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shard manifest(s)" in out
+
+    def test_report_token_resolves_full_suite(self, tiny_suite):
+        from repro.analysis import registry
+
+        sweeps = registry.resolve_sweeps(["report"])
+        assert [sweep.sweep_id for sweep in sweeps] == list(tiny_suite)
+
+
 class TestEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):
         """The real ``python -m repro`` entry point is wired up."""

@@ -1,0 +1,166 @@
+"""Runtime-layer mini-fuzz: random sweep specs through every transport.
+
+Seeded random :class:`~repro.runtime.spec.SweepSpec`s — built from cheap
+closed-form unit tasks over randomized grids — are driven through
+
+* the plain executor (the row oracle),
+* ``plan_shards`` → ``run_shard`` per shard → ``merge_shards``, and
+* result-cache round trips (warm re-runs and ``merge_from`` imports),
+
+asserting *byte-identical* cell rows everywhere.  This is the runtime
+analogue of ``tests/engine_fuzz/``: the specs vary in scenario count,
+grid shapes, shard counts, and cost models, so partition/merge/caching
+edge cases get coverage the hand-written tests do not reach.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.artifacts import cell_to_dict
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import run_sweeps
+from repro.runtime.shard import CostModel, merge_shards, plan_shards, run_shard
+from repro.runtime.spec import ScenarioSpec, SweepSpec
+
+_EXPERIMENTS = "repro.analysis.experiments"
+
+#: Cheap closed-form tasks and matching reducers, with the grid values a
+#: fuzzed scenario may sample (kept small: every value is milliseconds).
+_TEMPLATES = (
+    {
+        "task": f"{_EXPERIMENTS}:unit_anshelevich_bliss_ratio",
+        "reducer": f"{_EXPERIMENTS}:reduce_fig1",
+        "grid": {"k": (4, 8, 16, 32, 64)},
+        "fixed": {},
+    },
+    {
+        "task": f"{_EXPERIMENTS}:unit_gworst_ratio",
+        "reducer": f"{_EXPERIMENTS}:reduce_gworst",
+        "grid": {"k": (4, 8, 16, 32, 64), "regime": ("high", "low")},
+        "fixed": {"directed": True},
+    },
+    {
+        "task": f"{_EXPERIMENTS}:unit_affine_ratio",
+        "reducer": f"{_EXPERIMENTS}:reduce_t1_directed_opt_existential",
+        "grid": {"m": (2, 3, 4, 5)},
+        "fixed": {"mc_samples": 0},
+    },
+)
+
+
+def _subset(rng: np.random.Generator, values, at_least: int = 1):
+    count = int(rng.integers(at_least, len(values) + 1))
+    picks = rng.choice(len(values), size=count, replace=False)
+    return tuple(values[index] for index in sorted(picks))
+
+
+def sweep_for_seed(seed: int) -> SweepSpec:
+    """One deterministic random sweep: 1-3 scenarios, random grids."""
+    rng = np.random.default_rng((0xF022, seed))
+    scenarios = []
+    for index in range(int(rng.integers(1, 4))):
+        template = _TEMPLATES[int(rng.integers(len(_TEMPLATES)))]
+        grid = {
+            dim: _subset(rng, values)
+            for dim, values in template["grid"].items()
+        }
+        scenarios.append(
+            ScenarioSpec(
+                scenario_id=f"FUZZ-{seed}-{index}",
+                task=template["task"],
+                reducer=template["reducer"],
+                grid=grid,
+                fixed=template["fixed"],
+                description=f"runtime fuzz seed {seed} scenario {index}",
+            )
+        )
+    return SweepSpec(
+        f"FUZZ-{seed}", tuple(scenarios), description=f"runtime fuzz seed {seed}"
+    )
+
+
+def cost_model_for_seed(seed: int, sweep: SweepSpec) -> CostModel:
+    """A fabricated timing model covering a random subset of the units."""
+    rng = np.random.default_rng((0xC057, seed))
+    if rng.integers(2) == 0:
+        return CostModel.uniform()
+    rows = []
+    for unit in sweep.expand():
+        if rng.integers(2) == 0:
+            rows.append(
+                {
+                    "task": unit.task,
+                    "params": unit.kwargs,
+                    "seconds": float(rng.uniform(0.01, 2.0)),
+                    "cached": False,
+                }
+            )
+    return CostModel.from_unit_timings({"fuzz": rows}, source=f"fuzz-{seed}")
+
+
+def encoded_rows(sweep_runs) -> str:
+    return json.dumps(
+        [cell_to_dict(cell) for run in sweep_runs for cell in run.cells],
+        sort_keys=True,
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_plan_run_merge_matches_direct_execution(seed, tmp_path):
+    """Shard transport parity: merged rows == direct executor rows."""
+    sweep = sweep_for_seed(seed)
+    model = cost_model_for_seed(seed, sweep)
+    rng = np.random.default_rng((0x5A4D, seed))
+    n_shards = int(rng.integers(1, 5))
+
+    direct_runs, _ = run_sweeps([sweep], jobs=1, cache=None, backend="serial")
+    oracle = encoded_rows(direct_runs)
+
+    plan = plan_shards([sweep], n_shards, cost_model=model)
+    assert plan.plan_hash() == plan_shards(
+        [sweep], n_shards, cost_model=model
+    ).plan_hash(), "shard planning must be deterministic"
+    assert plan.total_units == len(set(sweep.expand()))
+
+    cache = ResultCache(root=tmp_path / "cache")
+    manifests = [
+        run_shard(
+            [sweep], index, n_shards, jobs=1, cache=cache, backend="serial",
+            cost_model=model,
+        ).manifest()
+        for index in range(n_shards)
+    ]
+    merged_runs, merged_stats, merge_meta = merge_shards([sweep], manifests)
+    assert merge_meta["manifests"] == n_shards
+    assert merged_stats.total_units == sum(
+        scenario.size for scenario in sweep.scenarios
+    )
+    assert encoded_rows(merged_runs) == oracle
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_cache_roundtrip_preserves_rows(seed, tmp_path):
+    """Cold run, warm run, and a merged-in cache all emit the same rows."""
+    sweep = sweep_for_seed(seed)
+    cache = ResultCache(root=tmp_path / "cache")
+
+    cold_runs, cold = run_sweeps([sweep], jobs=1, cache=cache, backend="serial")
+    assert cold.cache_hits == 0
+    assert cold.executed == cold.unique_units
+
+    warm_runs, warm = run_sweeps([sweep], jobs=1, cache=cache, backend="serial")
+    assert warm.executed == 0
+    assert warm.cache_hits == warm.unique_units
+    assert encoded_rows(warm_runs) == encoded_rows(cold_runs)
+
+    # Import the populated cache into a fresh one (the cross-machine
+    # `cache merge --from` path) and serve the sweep from it.
+    imported = ResultCache(root=tmp_path / "imported")
+    assert imported.merge_from(cache.root) == cold.executed
+    merged_runs, served = run_sweeps(
+        [sweep], jobs=1, cache=imported, backend="serial"
+    )
+    assert served.executed == 0
+    assert encoded_rows(merged_runs) == encoded_rows(cold_runs)
