@@ -1,0 +1,250 @@
+"""Service benchmark: warm-cache HTTP bundles vs cold free functions,
+plus a concurrent-client load test with latency/throughput artifacts.
+
+Three claims, checked on every run (pytest *or* ``python
+benchmarks/bench_service.py``, the CI smoke step):
+
+1. **Warm-cache speedup.**  A four-measure bundle (full ignorance
+   report, ``optP``, the equilibrium extremes, ``eq_C``) on a
+   ~500k-profile Bayesian NCS game answered by a *warm* service — the
+   session lowered, swept, and memoized in the server's LRU — is at
+   least :data:`TARGET_SPEEDUP` times faster than computing the same
+   bundle through cold free-function calls (fresh game build, fresh
+   lowering, fresh sweep per measure: the stateless-caller baseline),
+   HTTP round-trips included, with **identical** values.
+2. **Concurrent clients.**  :data:`LOAD_CLIENTS` clients (each its own
+   connection and thread) fire :data:`LOAD_REQUESTS` warm evaluate
+   requests apiece against one shared game.  Exact P50/P95 request
+   latencies and aggregate throughput land in the artifact meta; every
+   request must succeed and agree with the single-client answer.
+3. **Cache discipline.**  After the load run the server's own metrics
+   must show one miss (the submit that built the session), all evaluate
+   traffic as hits, and zero evictions — concurrency must not thrash
+   the LRU.
+
+Wall-clock numbers land in ``results/bench-service/meta.json``.
+"""
+
+import json
+import pathlib
+import statistics
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.constructions.random_games import random_bayesian_ncs
+from repro.core import (
+    bayesian_equilibrium_extreme_costs,
+    eq_c,
+    ignorance_report,
+    opt_p,
+    query,
+)
+from repro.runtime.artifacts import ArtifactStore
+from repro.service import ServiceClient, start_local_server
+
+#: Acceptance floor for the warm-service-vs-cold-free-functions speedup.
+TARGET_SPEEDUP = 5.0
+
+#: Concurrent clients in the load test (the gate demands >= 8).
+LOAD_CLIENTS = 8
+
+#: Warm evaluate requests each load client fires.
+LOAD_REQUESTS = 20
+
+#: Timing repetitions; best-of-N (min) filters scheduler noise on
+#: loaded shared CI runners so the speedup floor does not flake.
+COLD_REPEATS = 1
+WARM_REPEATS = 5
+
+#: The measure bundle both paths answer.
+BUNDLE = [
+    query("ignorance_report"),
+    query("opt_p"),
+    query("eq_p"),
+    query("eq_c"),
+]
+
+
+def service_game():
+    """The session-bundle NCS game from ``bench_engine`` (~500k strategy
+    profiles): big enough that one equilibrium sweep dominates, so the
+    warm path's advantage is pure cache reuse, not noise."""
+    rng = np.random.default_rng(20_300)
+    return random_bayesian_ncs(
+        3, 7, rng, directed=True, extra_edges=12, scenarios=4,
+        name="bench-service",
+    ).game
+
+
+def _best_of(repeats, run):
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+    return best_seconds, result
+
+
+def cold_free_bundle():
+    """The stateless baseline: every measure pays its own build + sweep."""
+    return [
+        ignorance_report(service_game()),
+        opt_p(service_game()),
+        bayesian_equilibrium_extreme_costs(service_game()),
+        eq_c(service_game()),
+    ]
+
+
+def measure_warm_speedup(client, game_key):
+    """(cold_seconds, warm_seconds, identical_values) for the bundle."""
+    client.evaluate(game_key, BUNDLE)  # warm the memo: pay the sweep once
+    warm_seconds, warm_values = _best_of(
+        WARM_REPEATS, lambda: client.evaluate(game_key, BUNDLE)
+    )
+    cold_seconds, cold_values = _best_of(COLD_REPEATS, cold_free_bundle)
+    return cold_seconds, warm_seconds, warm_values == cold_values
+
+
+def exact_quantile(sorted_values, q):
+    """The nearest-rank quantile of an ascending list (no interpolation)."""
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def measure_concurrent_load(server, game_key, expected):
+    """P50/P95 latency + throughput for LOAD_CLIENTS warm hammerers."""
+    latencies = [[] for _ in range(LOAD_CLIENTS)]
+    mismatches = []
+    errors = []
+    barrier = threading.Barrier(LOAD_CLIENTS + 1)
+
+    def worker(index):
+        try:
+            with ServiceClient(
+                server.host, server.port, client_id=f"load-{index}"
+            ) as client:
+                client.health()  # open the connection before the clock
+                barrier.wait(timeout=60)
+                for _ in range(LOAD_REQUESTS):
+                    start = time.perf_counter()
+                    values = client.evaluate(game_key, BUNDLE)
+                    latencies[index].append(time.perf_counter() - start)
+                    if values != expected:
+                        mismatches.append(index)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(repr(error))
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(LOAD_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall_seconds = time.perf_counter() - wall_start
+
+    flat = sorted(second for per_client in latencies for second in per_client)
+    return {
+        "clients": LOAD_CLIENTS,
+        "requests_per_client": LOAD_REQUESTS,
+        "total_requests": len(flat),
+        "errors": errors,
+        "value_mismatches": sorted(set(mismatches)),
+        "wall_seconds": round(wall_seconds, 4),
+        "throughput_rps": round(len(flat) / max(wall_seconds, 1e-9), 1),
+        "p50_seconds": round(exact_quantile(flat, 0.50), 6),
+        "p95_seconds": round(exact_quantile(flat, 0.95), 6),
+        "max_seconds": round(flat[-1], 6),
+        "mean_seconds": round(statistics.fmean(flat), 6),
+    }
+
+
+def run_benchmark():
+    server, _thread = start_local_server(capacity=8)
+    try:
+        with ServiceClient(server.host, server.port, client_id="bench") as client:
+            game_key = client.submit(service_game())
+            cold_seconds, warm_seconds, identical = measure_warm_speedup(
+                client, game_key
+            )
+            expected = client.evaluate(game_key, BUNDLE)
+            load = measure_concurrent_load(server, game_key, expected)
+            cache = client.metrics()["cache"]
+    finally:
+        server.shutdown()
+        server.server_close()
+    meta = {
+        "cold_free_seconds": round(cold_seconds, 3),
+        "warm_http_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "target_speedup": TARGET_SPEEDUP,
+        "values_identical": identical,
+        "load": load,
+        "cache": cache,
+    }
+    store = ArtifactStore(root=pathlib.Path(__file__).parent.parent / "results")
+    store.write("bench-service", [], meta=meta)
+    return meta
+
+
+def check_meta(meta):
+    """The gate, shared by the pytest wrapper and ``main()``."""
+    failures = []
+    if not meta["values_identical"]:
+        failures.append("warm HTTP bundle values differ from cold free functions")
+    if meta["speedup"] < meta["target_speedup"]:
+        failures.append(
+            f"warm-cache speedup {meta['speedup']}x below target "
+            f"{meta['target_speedup']}x"
+        )
+    load = meta["load"]
+    if load["errors"]:
+        failures.append(f"load-test request errors: {load['errors']}")
+    if load["value_mismatches"]:
+        failures.append(
+            f"load clients {load['value_mismatches']} saw divergent values"
+        )
+    if load["total_requests"] != LOAD_CLIENTS * LOAD_REQUESTS:
+        failures.append("load test lost requests")
+    if load["p50_seconds"] > load["p95_seconds"]:
+        failures.append("latency quantiles are inconsistent")
+    if meta["cache"]["misses"] != 1:
+        failures.append(f"expected exactly one cache miss, got {meta['cache']}")
+    if meta["cache"]["evictions"] != 0:
+        failures.append(f"load test evicted sessions: {meta['cache']}")
+    return failures
+
+
+def test_service_warm_cache_and_concurrent_load(record):
+    meta = run_benchmark()
+    record([])
+    assert not check_meta(meta), meta
+
+
+def main() -> int:
+    meta = run_benchmark()
+    print(json.dumps(meta, indent=2, sort_keys=True))
+    failures = check_meta(meta)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"OK: {meta['speedup']}x warm-cache speedup, "
+        f"{meta['load']['throughput_rps']} req/s from "
+        f"{LOAD_CLIENTS} concurrent clients "
+        f"(P50 {meta['load']['p50_seconds']}s, "
+        f"P95 {meta['load']['p95_seconds']}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Equilibrium-as-a-service tour: submit once, query hot, shut down.
+
+Spins up an in-process :class:`repro.service.ServiceServer` on an
+ephemeral localhost port (the exact server ``python -m repro serve``
+runs), then walks the whole client surface:
+
+1. ``/health`` — liveness, version, cache occupancy,
+2. submit a Bayesian NCS game (the client tabularizes + hashes it),
+3. evaluate a measure bundle twice — the second call answers from the
+   warm LRU session and must be both *much* cheaper server-side and
+   value-identical,
+4. run interim best-response dynamics on the cached session,
+5. read ``/metrics`` — per-client request counts, cache hit/miss
+   tallies, latency histograms,
+6. shut the server down cleanly.
+
+Every step asserts what it claims (non-zero exit on any failure), which
+is why CI runs this file as the service smoke test.
+
+Run:  PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro.constructions.random_games import random_bayesian_ncs
+from repro.core import GameSession, query
+from repro.service import ServiceClient, start_local_server
+
+BUNDLE = [
+    query("ignorance_report"),
+    query("opt_p"),
+    query("eq_c", kind="worst"),
+]
+
+
+def main() -> int:
+    rng = np.random.default_rng(17)
+    game = random_bayesian_ncs(
+        3, 6, rng, directed=True, extra_edges=8, name="service-demo"
+    )
+
+    server, _thread = start_local_server(capacity=8)
+    print(f"== server up at {server.url} ==")
+    try:
+        with ServiceClient(
+            server.host, server.port, client_id="quickstart"
+        ) as client:
+            health = client.health()
+            print(f"  health: {health}")
+            assert health["status"] == "ok", health
+
+            game_key = client.submit(game)
+            print(f"== submitted {game.name!r} as {game_key[:16]}… ==")
+
+            first = client.evaluate(game_key, BUNDLE)
+            second = client.evaluate(game_key, BUNDLE)
+            assert first == second, "warm evaluate changed the values"
+            report, optp, worst_c = second
+            print(f"  {report}")
+            print(f"  optP={optp:.4g}  worst-eqC={worst_c:.4g}")
+
+            expected = GameSession(game.game).evaluate(BUNDLE)
+            assert second == expected, "service disagrees with in-process"
+            print("  in-process parity: identical values")
+
+            fixed_point = client.dynamics(game_key, max_rounds=200)
+            print(f"  dynamics fixed point: {fixed_point}")
+
+            metrics = client.metrics()
+            cache = metrics["cache"]
+            print("== metrics ==")
+            print(f"  requests: {metrics['requests']['quickstart']}")
+            print(f"  cache: {cache}")
+            assert cache["misses"] == 1, cache  # only the submit built
+            assert cache["hits"] >= 3, cache  # every later call was warm
+            assert cache["evictions"] == 0, cache
+            evaluate_latency = metrics["latency"]["evaluate"]
+            assert evaluate_latency["count"] == 2, evaluate_latency
+    finally:
+        server.shutdown()
+        server.server_close()
+    print("== shut down cleanly ==")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ table.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -200,6 +201,12 @@ class GameSession:
         self._scans: Dict[Tuple[bool, bool], Tuple[str, Any]] = {}
         #: everything else: key -> ("ok", value) | ("err", (error, tb))
         self._memo: Dict[Any, Tuple[str, Any]] = {}
+        #: Reuse hook for long-lived, shared sessions: the memo dicts are
+        #: not themselves thread-safe, so callers sharing one session
+        #: across threads (e.g. :mod:`repro.service.registry`) hold this
+        #: reentrant lock around query work.  Single-threaded use never
+        #: touches it.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # plumbing

@@ -2,6 +2,7 @@
 
 Subcommands::
 
+    python -m repro --version             # print the package version
     python -m repro list                  # every experiment id + grid size
     python -m repro run FIG1 SEC4         # run experiments (cached)
     python -m repro sweep T1 --jobs 4     # prefix selection + grid overrides
@@ -16,6 +17,8 @@ Subcommands::
     python -m repro cache stats|clear     # inspect / empty .repro_cache
     python -m repro cache prune --max-size-mb 64 --max-age-days 30
     python -m repro cache merge --from DIR     # import another machine's cache
+    python -m repro serve --port 8350     # the equilibrium session server
+                                          #   (docs/SERVICE.md)
 
 ``run`` and ``sweep`` share the engine: ids match exactly or by prefix,
 unit tasks are served from the content-addressed cache (``--no-cache``
@@ -174,10 +177,15 @@ def _add_timings_option(sub: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .. import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the paper's tables and figures via the "
         "parallel experiment runtime.",
+    )
+    parser.add_argument(
+        "-V", "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -303,6 +311,32 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--from", dest="merge_source", type=Path, default=None, metavar="DIR",
         help="merge: cache directory to import entries from",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived equilibrium session server (docs/SERVICE.md)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 8350; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="LRU capacity: at most N lowered game sessions (default 64)",
+    )
+    serve_parser.add_argument(
+        "--engine", choices=("auto", "reference", "tensor"), default=None,
+        help="pin every served session to one evaluation engine "
+        "(default: the process default)",
+    )
+    serve_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log every request to stderr",
     )
     return parser
 
@@ -655,9 +689,62 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve until SIGINT/SIGTERM, then drain and exit 0.
+
+    ``serve_forever`` runs on a worker thread while the main thread waits
+    on a signal-set event — calling ``shutdown()`` from the thread that
+    is serving would deadlock.
+    """
+    import signal
+    import threading
+
+    from ..service import DEFAULT_CAPACITY, DEFAULT_PORT, ServiceServer
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    capacity = args.capacity if args.capacity is not None else DEFAULT_CAPACITY
+    if capacity < 1:
+        print("serve needs --capacity >= 1", file=sys.stderr)
+        return 2
+    try:
+        server = ServiceServer(
+            (args.host, port),
+            capacity=capacity,
+            engine=args.engine,
+            verbose=args.verbose,
+        )
+    except OSError as error:
+        print(f"cannot bind {args.host}:{port}: {error}", file=sys.stderr)
+        return 1
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    worker = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    worker.start()
+    print(f"serving on {server.url} (capacity {capacity})", flush=True)
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        worker.join()
+        server.server_close()
+    print("shut down cleanly", flush=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        args = parser.parse_args(list(argv) if argv is not None else None)
+    except SystemExit as exit_:
+        # argparse exits 0 for --help/--version and 2 for usage errors;
+        # normalize to a returned int so embedding callers (tests, other
+        # CLIs) never have to catch SystemExit.
+        code = exit_.code
+        return code if isinstance(code, int) else (0 if code is None else 2)
     try:
         if args.command == "list":
             return _cmd_list(args)
@@ -673,6 +760,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_shard_merge(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; exit quietly like any CLI.
         try:

@@ -1,0 +1,54 @@
+"""Equilibrium-as-a-service: serve lowered game sessions over HTTP.
+
+The subsystem the north star's "many users, one hot cache" shape calls
+for: a long-lived :class:`~repro.service.server.ServiceServer` holds a
+process-wide LRU of lowered :class:`~repro.core.session.GameSession`\\ s
+(:mod:`repro.service.registry`), speaks a canonical JSON game/result
+wire format (:mod:`repro.service.codec` — the same explicit
+:class:`~repro.service.codec.TabularGameSpec` the engine-fuzz
+generators build), and meters per-client usage
+(:mod:`repro.service.metrics`).  :mod:`repro.service.client` is the
+matching stdlib client; ``python -m repro serve`` is the CLI entry
+point.  See ``docs/SERVICE.md``.
+"""
+
+from .client import RemoteServiceError, ServiceClient
+from .codec import (
+    CodecError,
+    TabularGameSpec,
+    coerce_spec,
+    game_hash,
+    spec_from_wire,
+    spec_to_wire,
+    tabularize,
+)
+from .metrics import ServiceMetrics
+from .registry import (
+    DEFAULT_CAPACITY,
+    HashCollisionError,
+    SessionEntry,
+    SessionRegistry,
+    UnknownGameError,
+)
+from .server import DEFAULT_PORT, ServiceServer, start_local_server
+
+__all__ = [
+    "RemoteServiceError",
+    "ServiceClient",
+    "CodecError",
+    "TabularGameSpec",
+    "coerce_spec",
+    "game_hash",
+    "spec_from_wire",
+    "spec_to_wire",
+    "tabularize",
+    "ServiceMetrics",
+    "DEFAULT_CAPACITY",
+    "HashCollisionError",
+    "SessionEntry",
+    "SessionRegistry",
+    "UnknownGameError",
+    "DEFAULT_PORT",
+    "ServiceServer",
+    "start_local_server",
+]

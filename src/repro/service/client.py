@@ -1,0 +1,214 @@
+"""``repro.service.client`` — the stdlib HTTP client for the service.
+
+:class:`ServiceClient` mirrors the in-process session surface: submit a
+game once, then ``evaluate`` query bundles (the same
+:class:`~repro.core.session.Query` objects / bare measure names
+``GameSession.evaluate`` takes) and run ``dynamics`` against the
+server's cached, lowered session.
+
+Error fidelity is the point, not an afterthought: the server maps
+evaluation failures onto structured bodies whose codes are the fuzz
+harness's outcome tags, and this client re-raises them as the original
+exception types with the original messages (``ExplosionError`` is even
+rebuilt from its ``(what, size, limit)``), so a remote call and the
+equivalent in-process call are *indistinguishable* to error-handling
+code — the HTTP-vs-in-process differential parity suite asserts exactly
+this.
+
+Protocol-level problems (unreachable server, malformed frames, unknown
+hashes, collisions) raise :class:`RemoteServiceError` instead, which
+carries the HTTP status and the structured code.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .._util import ExplosionError
+from ..core.session import Query, query
+from .codec import coerce_spec, decode_result, encode_result, spec_to_wire
+
+#: Wire error codes that re-raise as the original in-process exception.
+_EVALUATION_ERRORS = {
+    "runtime-error": RuntimeError,
+    "value-error": ValueError,
+    "assertion": AssertionError,
+}
+
+
+class RemoteServiceError(RuntimeError):
+    """A protocol-level failure (not a mapped evaluation error)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.remote_message = message
+
+
+def _raise_mapped(status: int, error: Dict[str, Any]) -> None:
+    """Re-raise a structured error body as its in-process equivalent."""
+    code = error.get("code", "unknown")
+    message = error.get("message", "")
+    if code == "explosion":
+        data = error.get("data") or {}
+        if {"what", "size", "limit"} <= set(data):
+            raise ExplosionError(data["what"], data["size"], data["limit"])
+        rebuilt = ExplosionError.__new__(ExplosionError)
+        RuntimeError.__init__(rebuilt, message)
+        raise rebuilt
+    exception_type = _EVALUATION_ERRORS.get(code)
+    if exception_type is not None:
+        raise exception_type(message)
+    raise RemoteServiceError(status, code, message)
+
+
+def wire_query(item: Any) -> Dict[str, Any]:
+    """One :class:`Query` (or bare measure name) → its wire dict."""
+    normalized = item if isinstance(item, Query) else query(str(item))
+    return {
+        "measure": normalized.measure,
+        "params": {
+            name: encode_result(value)
+            for name, value in normalized.params
+        },
+    }
+
+
+class ServiceClient:
+    """A thread-safe client for one service endpoint.
+
+    One persistent keep-alive connection, guarded by a lock (load tests
+    wanting true request concurrency use one client per worker thread).
+    Stale connections (server restarted, keep-alive timeout) are retried
+    once on a fresh socket.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8350,
+        *,
+        timeout: float = 60.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id
+        self._lock = threading.Lock()
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        return headers
+
+    def _round_trip(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, bytes]:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        self._connection.request(method, path, body=body, headers=self._headers())
+        response = self._connection.getresponse()
+        return response.status, response.read()
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        with self._lock:
+            try:
+                status, raw = self._round_trip(method, path, body)
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # One retry on a fresh socket covers dropped keep-alives.
+                self.close(_locked=True)
+                status, raw = self._round_trip(method, path, body)
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RemoteServiceError(
+                status, "bad-frame", f"response is not JSON: {error}"
+            ) from None
+        return status, decoded
+
+    def _call(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, decoded = self._request(method, path, payload)
+        if status >= 400:
+            error = decoded.get("error") if isinstance(decoded, dict) else None
+            if isinstance(error, dict):
+                _raise_mapped(status, error)
+            raise RemoteServiceError(status, "unknown", repr(decoded))
+        return decoded
+
+    def close(self, _locked: bool = False) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the service surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/health")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("GET", "/metrics")
+
+    def submit(self, game: Any) -> str:
+        """Register a game (spec / core game / NCS wrapper); returns its hash.
+
+        Resubmitting the same game is cheap — the server answers from its
+        LRU without rebuilding anything.
+        """
+        spec = coerce_spec(game)
+        body = self._call("POST", "/v1/games", {"game": spec_to_wire(spec)})
+        return body["hash"]
+
+    def evaluate(self, game_hash: str, queries: Iterable[Any]) -> List[Any]:
+        """Answer a query bundle against the server's cached session.
+
+        Accepts exactly what :meth:`GameSession.evaluate` accepts —
+        :class:`Query` objects or bare measure names — and returns the
+        decoded values in input order.
+        """
+        body = self._call(
+            "POST",
+            f"/v1/games/{game_hash}/evaluate",
+            {"queries": [wire_query(item) for item in queries]},
+        )
+        return [decode_result(value) for value in body["values"]]
+
+    def dynamics(
+        self,
+        game_hash: str,
+        initial: Optional[Any] = None,
+        max_rounds: int = 10_000,
+    ) -> Any:
+        """Interim best-response dynamics on the cached session."""
+        payload: Dict[str, Any] = {"max_rounds": max_rounds}
+        if initial is not None:
+            payload["initial"] = encode_result(initial)
+        body = self._call(
+            "POST", f"/v1/games/{game_hash}/dynamics", payload
+        )
+        return decode_result(body["fixed_point"])

@@ -1,0 +1,390 @@
+"""Wire codec: explicit tabular game specs, JSON round-trips, hashing.
+
+The service speaks one canonical game representation:
+:class:`TabularGameSpec` — a fully explicit finite Bayesian game (action
+and type spaces, prior support, per-type feasible-action lists, a dense
+cost table).  It is the *same* spec form the cross-engine fuzz
+generators build (``tests/engine_fuzz/fuzz_games.py`` imports it from
+here), so every game the differential harness can produce is directly
+servable and vice versa.  Any small core game — including a tabulated
+:class:`~repro.ncs.bayesian.BayesianNCSGame` — freezes into a spec via
+:func:`tabularize`.
+
+Three layers:
+
+* **Value codec** (:func:`encode_value` / :func:`decode_value`): the
+  hashable atoms games are made of — ``None``, ``bool``, ``int``,
+  ``str``, finite ``float`` (plain JSON numbers; Python's shortest-repr
+  float serialization round-trips bit-exactly), non-finite floats,
+  tuples, and frozensets — as tagged JSON.  Frozensets serialize in a
+  canonical element order so equal values encode identically.
+* **Spec codec** (:func:`spec_to_wire` / :func:`spec_from_wire`):
+  the whole game.  Orders that carry semantics (prior support, action
+  and type spaces, feasible lists — enumeration fold order depends on
+  them, and bit-identical results depend on fold order) are preserved
+  verbatim; orders that do not (the ``feasible`` and ``costs`` lookup
+  tables) are canonically sorted, so harmless permutations of the same
+  game produce the same wire form.
+* **Result codec** (:func:`encode_result` / :func:`decode_result`): a
+  superset of the value codec for query answers — lists (equilibrium
+  sets), dicts, and :class:`~repro.core.measures.IgnoranceReport`.
+
+:func:`game_hash` is SHA-256 over the canonical wire JSON — the
+process-wide session key used by :mod:`repro.service.registry` and in
+every ``/v1/games/<hash>/...`` URL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Dict, Hashable, List, Tuple
+
+from ..core.game import BayesianGame
+from ..core.prior import CommonPrior
+
+#: Version tag on every serialized game; bump on incompatible changes.
+WIRE_FORMAT = "repro.tabular-game/1"
+
+Profile = Tuple[Hashable, ...]
+CostKey = Tuple[int, Profile, Tuple[Hashable, ...]]
+
+
+class CodecError(ValueError):
+    """A payload that cannot be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# the explicit game spec
+# ----------------------------------------------------------------------
+
+@dataclass
+class TabularGameSpec:
+    """A fully explicit finite Bayesian game, ready to (re)build."""
+
+    action_spaces: List[List[Hashable]]
+    type_spaces: List[List[Hashable]]
+    support: List[Tuple[Profile, float]]
+    feasible: Dict[Tuple[int, Hashable], List[Hashable]]
+    costs: Dict[CostKey, float]
+    name: str = "fuzz"
+    meta: str = field(default="")
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.action_spaces)
+
+    def build(self) -> BayesianGame:
+        prior = CommonPrior(dict(self.support))
+        costs = self.costs
+
+        def cost_fn(agent: int, profile: Profile, actions) -> float:
+            return costs[(agent, tuple(profile), tuple(actions))]
+
+        feasible = self.feasible
+
+        def feasible_fn(agent: int, ti: Hashable):
+            return feasible[(agent, ti)]
+
+        return BayesianGame(
+            [list(space) for space in self.action_spaces],
+            [list(space) for space in self.type_spaces],
+            prior,
+            cost_fn,
+            feasible_fn=feasible_fn,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """A self-contained, eyeball-able dump of the game."""
+        lines = [f"TabularGameSpec {self.name!r} (k={self.num_agents})"]
+        if self.meta:
+            lines.append(f"  origin:   {self.meta}")
+        lines.append(f"  actions:  {self.action_spaces}")
+        lines.append(f"  types:    {self.type_spaces}")
+        lines.append("  prior:")
+        for profile, prob in self.support:
+            lines.append(f"    p{profile!r} = {prob!r}")
+        lines.append("  feasible:")
+        for (agent, ti), actions in sorted(
+            self.feasible.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            lines.append(f"    agent {agent}, type {ti!r}: {actions!r}")
+        lines.append("  costs (agent, state, actions) -> cost:")
+        for (agent, profile, actions), value in sorted(
+            self.costs.items(), key=repr
+        ):
+            lines.append(f"    ({agent}, {profile!r}, {actions!r}) = {value!r}")
+        return "\n".join(lines)
+
+
+def tabularize(game: BayesianGame, name: str = "", meta: str = "") -> TabularGameSpec:
+    """Freeze any (small) core game into an explicit cost table.
+
+    Tabulates exactly the cells the reference enumeration can touch: for
+    every support state, the product of the agents' feasible-action
+    lists.  Cost floats are copied verbatim, so the tabular rebuild is
+    cost-for-cost identical to the original.
+    """
+    k = game.num_agents
+    support = [(tuple(profile), prob) for profile, prob in game.prior.support()]
+    feasible: Dict[Tuple[int, Hashable], List[Hashable]] = {}
+    for agent in range(k):
+        for ti in game.types(agent):
+            feasible[(agent, ti)] = list(game.feasible_actions(agent, ti))
+    costs: Dict[CostKey, float] = {}
+    for profile, _ in support:
+        spaces = [feasible[(agent, profile[agent])] for agent in range(k)]
+        for actions in product(*spaces):
+            for agent in range(k):
+                costs[(agent, profile, actions)] = game.cost(agent, profile, actions)
+    return TabularGameSpec(
+        action_spaces=[game.actions(agent) for agent in range(k)],
+        type_spaces=[game.types(agent) for agent in range(k)],
+        support=support,
+        feasible=feasible,
+        costs=costs,
+        name=name or game.name or "tabularized",
+        meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# value codec
+# ----------------------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """One hashable game atom → JSON-safe form (tagged where needed)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        return {"t": "float", "v": repr(value)}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        encoded = [encode_value(item) for item in value]
+        encoded.sort(key=canonical_json)
+        return {"t": "frozenset", "v": encoded}
+    raise CodecError(f"cannot encode value of type {type(value).__name__}: {value!r}")
+
+
+def decode_value(payload: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    if isinstance(payload, dict):
+        tag = payload.get("t")
+        items = payload.get("v")
+        if tag == "float":
+            return float(items)
+        if tag == "tuple":
+            return tuple(decode_value(item) for item in items)
+        if tag == "frozenset":
+            return frozenset(decode_value(item) for item in items)
+        raise CodecError(f"unknown value tag {tag!r}")
+    raise CodecError(f"cannot decode payload of type {type(payload).__name__}")
+
+
+def canonical_json(payload: Any) -> str:
+    """The one canonical text form of a JSON-safe payload (hash input)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+# ----------------------------------------------------------------------
+# spec codec
+# ----------------------------------------------------------------------
+
+def spec_to_wire(spec: TabularGameSpec) -> Dict[str, Any]:
+    """The spec as a JSON-safe dict (see module docstring for ordering)."""
+    feasible = [
+        {
+            "agent": agent,
+            "type": encode_value(ti),
+            "actions": [encode_value(action) for action in actions],
+        }
+        for (agent, ti), actions in spec.feasible.items()
+    ]
+    feasible.sort(key=lambda entry: (entry["agent"], canonical_json(entry["type"])))
+    costs = [
+        {
+            "agent": agent,
+            "state": [encode_value(ti) for ti in profile],
+            "actions": [encode_value(action) for action in actions],
+            "cost": encode_value(value),
+        }
+        for (agent, profile, actions), value in spec.costs.items()
+    ]
+    costs.sort(
+        key=lambda entry: (
+            entry["agent"],
+            canonical_json(entry["state"]),
+            canonical_json(entry["actions"]),
+        )
+    )
+    return {
+        "format": WIRE_FORMAT,
+        "name": spec.name,
+        "meta": spec.meta,
+        "action_spaces": [
+            [encode_value(action) for action in space]
+            for space in spec.action_spaces
+        ],
+        "type_spaces": [
+            [encode_value(ti) for ti in space] for space in spec.type_spaces
+        ],
+        "support": [
+            {
+                "profile": [encode_value(ti) for ti in profile],
+                "prob": encode_value(prob),
+            }
+            for profile, prob in spec.support
+        ],
+        "feasible": feasible,
+        "costs": costs,
+    }
+
+
+def spec_from_wire(payload: Dict[str, Any]) -> TabularGameSpec:
+    """Rebuild a :class:`TabularGameSpec` from its wire dict."""
+    if not isinstance(payload, dict):
+        raise CodecError("game payload must be a JSON object")
+    declared = payload.get("format")
+    if declared != WIRE_FORMAT:
+        raise CodecError(
+            f"unsupported game format {declared!r}; expected {WIRE_FORMAT!r}"
+        )
+    try:
+        action_spaces = [
+            [decode_value(action) for action in space]
+            for space in payload["action_spaces"]
+        ]
+        type_spaces = [
+            [decode_value(ti) for ti in space] for space in payload["type_spaces"]
+        ]
+        support = [
+            (
+                tuple(decode_value(ti) for ti in entry["profile"]),
+                decode_value(entry["prob"]),
+            )
+            for entry in payload["support"]
+        ]
+        feasible = {
+            (entry["agent"], decode_value(entry["type"])): [
+                decode_value(action) for action in entry["actions"]
+            ]
+            for entry in payload["feasible"]
+        }
+        costs = {
+            (
+                entry["agent"],
+                tuple(decode_value(ti) for ti in entry["state"]),
+                tuple(decode_value(action) for action in entry["actions"]),
+            ): decode_value(entry["cost"])
+            for entry in payload["costs"]
+        }
+    except (KeyError, TypeError) as error:
+        raise CodecError(f"malformed game payload: {error!r}") from None
+    return TabularGameSpec(
+        action_spaces=action_spaces,
+        type_spaces=type_spaces,
+        support=support,
+        feasible=feasible,
+        costs=costs,
+        name=payload.get("name", ""),
+        meta=payload.get("meta", ""),
+    )
+
+
+def game_hash(spec: TabularGameSpec) -> str:
+    """SHA-256 (hex) of the canonical wire form — the session key."""
+    return hashlib.sha256(
+        canonical_json(spec_to_wire(spec)).encode("utf-8")
+    ).hexdigest()
+
+
+def coerce_spec(game: Any) -> TabularGameSpec:
+    """Anything game-shaped → a spec: specs pass through, wrapped games
+    (``.game``, e.g. :class:`~repro.ncs.bayesian.BayesianNCSGame`) unwrap,
+    core games tabularize."""
+    if isinstance(game, TabularGameSpec):
+        return game
+    if isinstance(game, BayesianGame):
+        return tabularize(game)
+    inner = getattr(game, "game", None)
+    if isinstance(inner, BayesianGame):
+        return tabularize(inner, name=getattr(game, "name", "") or inner.name)
+    raise CodecError(
+        f"cannot build a game spec from {type(game).__name__}; expected a "
+        f"TabularGameSpec, BayesianGame, or a wrapper with a .game attribute"
+    )
+
+
+# ----------------------------------------------------------------------
+# result codec
+# ----------------------------------------------------------------------
+
+def encode_result(value: Any) -> Any:
+    """A query answer → JSON-safe form (superset of the value codec)."""
+    from ..core.measures import IgnoranceReport
+
+    if isinstance(value, IgnoranceReport):
+        return {
+            "t": "ignorance_report",
+            "v": {
+                "opt_p": encode_value(value.opt_p),
+                "best_eq_p": encode_value(value.best_eq_p),
+                "worst_eq_p": encode_value(value.worst_eq_p),
+                "opt_c": encode_value(value.opt_c),
+                "best_eq_c": encode_value(value.best_eq_c),
+                "worst_eq_c": encode_value(value.worst_eq_c),
+                "name": value.name,
+            },
+        }
+    if isinstance(value, list):
+        return {"t": "list", "v": [encode_result(item) for item in value]}
+    if isinstance(value, dict):
+        return {
+            "t": "dict",
+            "v": [
+                [encode_value(key), encode_result(item)]
+                for key, item in value.items()
+            ],
+        }
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [encode_result(item) for item in value]}
+    return encode_value(value)
+
+
+def decode_result(payload: Any) -> Any:
+    """Inverse of :func:`encode_result`."""
+    from ..core.measures import IgnoranceReport
+
+    if isinstance(payload, dict):
+        tag = payload.get("t")
+        items = payload.get("v")
+        if tag == "ignorance_report":
+            return IgnoranceReport(
+                opt_p=decode_value(items["opt_p"]),
+                best_eq_p=decode_value(items["best_eq_p"]),
+                worst_eq_p=decode_value(items["worst_eq_p"]),
+                opt_c=decode_value(items["opt_c"]),
+                best_eq_c=decode_value(items["best_eq_c"]),
+                worst_eq_c=decode_value(items["worst_eq_c"]),
+                name=items.get("name", ""),
+            )
+        if tag == "list":
+            return [decode_result(item) for item in items]
+        if tag == "dict":
+            return {
+                decode_value(key): decode_result(item) for key, item in items
+            }
+        if tag == "tuple":
+            return tuple(decode_result(item) for item in items)
+    return decode_value(payload)

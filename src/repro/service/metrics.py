@@ -1,0 +1,146 @@
+"""Service metering: per-client request counts, cache stats, latencies.
+
+One :class:`ServiceMetrics` instance per server process, shared by the
+request handlers and the session registry.  Everything is guarded by a
+single lock — the recorded quantities are tiny counter bumps, far off
+any hot path (the hot path is the query evaluation itself, which runs
+outside the lock).
+
+Latency is tracked per endpoint in a fixed log-spaced
+:class:`LatencyHistogram` (powers of two from 0.1 ms up), which makes
+the ``GET /metrics`` snapshot O(1)-sized regardless of traffic and
+gives conservative P50/P95 estimates (each quantile reports its
+bucket's upper bound).  The load benchmark computes *exact* quantiles
+client-side from raw samples; the histogram is the always-on,
+server-side view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Histogram bucket upper bounds in seconds: 0.1ms, 0.2ms, ... ~105s,
+#: plus an implicit overflow bucket.
+BUCKET_BOUNDS = tuple(0.0001 * (2.0 ** i) for i in range(21))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency distribution with conservative quantiles."""
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        index = len(BUCKET_BOUNDS)
+        for position, bound in enumerate(BUCKET_BOUNDS):
+            if seconds <= bound:
+                index = position
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``q``-quantile sample."""
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for position, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if position < len(BUCKET_BOUNDS):
+                    return BUCKET_BOUNDS[position]
+                return self.max_seconds
+        return self.max_seconds  # pragma: no cover - cumulative covers all
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": self.counts[position]
+            for position, bound in enumerate(BUCKET_BOUNDS)
+            if self.counts[position]
+        }
+        if self.counts[-1]:
+            buckets["overflow"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 6),
+            "max_seconds": round(self.max_seconds, 6),
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters behind ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        #: client id -> endpoint -> request count
+        self.requests: Dict[str, Dict[str, int]] = {}
+        #: HTTP status -> count
+        self.statuses: Dict[int, int] = {}
+        #: endpoint -> latency histogram
+        self.latencies: Dict[str, LatencyHistogram] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, client_id: str, endpoint: str, status: int, seconds: float
+    ) -> None:
+        """Record one completed request."""
+        with self._lock:
+            per_client = self.requests.setdefault(client_id, {})
+            per_client[endpoint] = per_client.get(endpoint, 0) + 1
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            histogram = self.latencies.get(endpoint)
+            if histogram is None:
+                histogram = self.latencies[endpoint] = LatencyHistogram()
+            histogram.record(seconds)
+
+    def record_cache(self, event: str) -> None:
+        """``hit`` / ``miss`` / ``eviction`` on the session registry."""
+        with self._lock:
+            if event == "hit":
+                self.cache_hits += 1
+            elif event == "miss":
+                self.cache_misses += 1
+            elif event == "eviction":
+                self.cache_evictions += 1
+            else:
+                raise ValueError(f"unknown cache event {event!r}")
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The full JSON-safe metrics view (``GET /metrics``)."""
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests": {
+                    client: dict(per_client)
+                    for client, per_client in sorted(self.requests.items())
+                },
+                "statuses": {
+                    str(status): count
+                    for status, count in sorted(self.statuses.items())
+                },
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "evictions": self.cache_evictions,
+                },
+                "latency": {
+                    endpoint: histogram.snapshot()
+                    for endpoint, histogram in sorted(self.latencies.items())
+                },
+            }

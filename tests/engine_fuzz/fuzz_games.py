@@ -13,116 +13,32 @@ Two instance families feed ``fuzz_harness``:
   :mod:`repro.constructions.random_games` (correlated scenario priors
   and independent per-agent priors, directed and undirected).
 
-Every game is a :class:`TabularGameSpec` — NCS instances are tabulated
-into one via :func:`tabularize` — so the harness can *shrink* failing
-games structurally (drop support states, actions, unused types) and
-pretty-print a self-contained repro.
+Every game is a :class:`repro.service.codec.TabularGameSpec` — the
+*same* explicit spec the service wire codec serializes, so every fuzzed
+game is directly submittable to the session server (the HTTP-vs-
+in-process parity suite replays exactly these) — with NCS instances
+tabulated into one via :func:`~repro.service.codec.tabularize`.  The
+harness can *shrink* failing games structurally (drop support states,
+actions, unused types) and pretty-print a self-contained repro.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from itertools import product
 from typing import Dict, Hashable, List, Tuple
 
 import numpy as np
 
-from repro.core import BayesianGame, CommonPrior
-
-Profile = Tuple[Hashable, ...]
-CostKey = Tuple[int, Profile, Tuple[Hashable, ...]]
-
-
-@dataclass
-class TabularGameSpec:
-    """A fully explicit finite Bayesian game, ready to (re)build."""
-
-    action_spaces: List[List[Hashable]]
-    type_spaces: List[List[Hashable]]
-    support: List[Tuple[Profile, float]]
-    feasible: Dict[Tuple[int, Hashable], List[Hashable]]
-    costs: Dict[CostKey, float]
-    name: str = "fuzz"
-    meta: str = field(default="")
-
-    @property
-    def num_agents(self) -> int:
-        return len(self.action_spaces)
-
-    def build(self) -> BayesianGame:
-        prior = CommonPrior(dict(self.support))
-        costs = self.costs
-
-        def cost_fn(agent: int, profile: Profile, actions) -> float:
-            return costs[(agent, tuple(profile), tuple(actions))]
-
-        feasible = self.feasible
-
-        def feasible_fn(agent: int, ti: Hashable):
-            return feasible[(agent, ti)]
-
-        return BayesianGame(
-            [list(space) for space in self.action_spaces],
-            [list(space) for space in self.type_spaces],
-            prior,
-            cost_fn,
-            feasible_fn=feasible_fn,
-            name=self.name,
-        )
-
-    def describe(self) -> str:
-        """A self-contained, eyeball-able dump of the game."""
-        lines = [f"TabularGameSpec {self.name!r} (k={self.num_agents})"]
-        if self.meta:
-            lines.append(f"  origin:   {self.meta}")
-        lines.append(f"  actions:  {self.action_spaces}")
-        lines.append(f"  types:    {self.type_spaces}")
-        lines.append("  prior:")
-        for profile, prob in self.support:
-            lines.append(f"    p{profile!r} = {prob!r}")
-        lines.append("  feasible:")
-        for (agent, ti), actions in sorted(
-            self.feasible.items(), key=lambda item: (item[0][0], repr(item[0][1]))
-        ):
-            lines.append(f"    agent {agent}, type {ti!r}: {actions!r}")
-        lines.append("  costs (agent, state, actions) -> cost:")
-        for (agent, profile, actions), value in sorted(
-            self.costs.items(), key=repr
-        ):
-            lines.append(f"    ({agent}, {profile!r}, {actions!r}) = {value!r}")
-        return "\n".join(lines)
-
-
-def tabularize(game: BayesianGame, name: str = "", meta: str = "") -> TabularGameSpec:
-    """Freeze any (small) core game into an explicit cost table.
-
-    Tabulates exactly the cells the reference enumeration can touch: for
-    every support state, the product of the agents' feasible-action
-    lists.  Cost floats are copied verbatim, so the tabular rebuild is
-    cost-for-cost identical to the original.
-    """
-    k = game.num_agents
-    support = [(tuple(profile), prob) for profile, prob in game.prior.support()]
-    feasible: Dict[Tuple[int, Hashable], List[Hashable]] = {}
-    for agent in range(k):
-        for ti in game.types(agent):
-            feasible[(agent, ti)] = list(game.feasible_actions(agent, ti))
-    costs: Dict[CostKey, float] = {}
-    for profile, _ in support:
-        spaces = [feasible[(agent, profile[agent])] for agent in range(k)]
-        for actions in product(*spaces):
-            for agent in range(k):
-                costs[(agent, profile, actions)] = game.cost(agent, profile, actions)
-    return TabularGameSpec(
-        action_spaces=[game.actions(agent) for agent in range(k)],
-        type_spaces=[game.types(agent) for agent in range(k)],
-        support=support,
-        feasible=feasible,
-        costs=costs,
-        name=name or game.name or "tabularized",
-        meta=meta,
-    )
+# The canonical spec form lives in the service codec; re-exported here so
+# the harness and its tests keep one import site.
+from repro.service.codec import (  # noqa: F401 - re-exports
+    CostKey,
+    Profile,
+    TabularGameSpec,
+    tabularize,
+)
 
 
 # ----------------------------------------------------------------------

@@ -227,6 +227,49 @@ class TestShardedReport:
         assert [sweep.sweep_id for sweep in sweeps] == list(tiny_suite)
 
 
+class TestVersionAndExitCodes:
+    def test_version_flag_prints_version_and_returns_0(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_no_command_returns_2(self, capsys):
+        assert main([]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_unknown_subcommand_returns_2(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_nested_subcommands_return_2(self, capsys):
+        assert main(["shard", "bogus"]) == 2
+        assert main(["cache", "bogus"]) == 2
+        capsys.readouterr()
+
+    def test_help_returns_0(self, capsys):
+        assert main(["--help"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_version_subprocess_exit_code(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True, cwd=tmp_path, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.startswith("repro ")
+        bogus = subprocess.run(
+            [sys.executable, "-m", "repro", "bogus"],
+            capture_output=True, text=True, cwd=tmp_path, env=env, timeout=120,
+        )
+        assert bogus.returncode == 2
+
+
 class TestEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):
         """The real ``python -m repro`` entry point is wired up."""

@@ -1,0 +1,33 @@
+"""Shared fixtures for the service suite: a live server per test.
+
+The engine-fuzz generators (``fuzz_games``) double as the service's
+game corpus — same :class:`TabularGameSpec`, same seeds — so this
+conftest puts ``tests/engine_fuzz`` on ``sys.path`` exactly like the
+fuzz suite's own rootdir handling does.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "engine_fuzz")
+)
+
+from repro.service import ServiceClient, start_local_server  # noqa: E402
+
+
+@pytest.fixture
+def server():
+    """A live server on an ephemeral port with a small fresh registry."""
+    server, _thread = start_local_server(capacity=8)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.host, server.port, client_id="pytest") as client:
+        yield client

@@ -1,0 +1,183 @@
+"""Wire-codec round-trips, canonical hashing, and malformed payloads."""
+
+import json
+import math
+
+import pytest
+
+from repro.constructions.random_games import random_bayesian_ncs
+from repro.core.measures import IgnoranceReport
+from repro.service.codec import (
+    CodecError,
+    canonical_json,
+    coerce_spec,
+    decode_result,
+    decode_value,
+    encode_result,
+    encode_value,
+    game_hash,
+    spec_from_wire,
+    spec_to_wire,
+)
+
+import numpy as np
+
+from fuzz_games import spec_for_seed
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            "edge",
+            3.5,
+            0.1 + 0.2,  # not exactly 0.3; shortest-repr must round-trip it
+            math.inf,
+            -math.inf,
+            (1, "a", (2.5, None)),
+            frozenset({("e", 1), ("e", 2)}),
+            frozenset(),
+        ],
+    )
+    def test_round_trip(self, value):
+        encoded = encode_value(value)
+        json_safe = json.loads(json.dumps(encoded))
+        assert decode_value(json_safe) == value
+
+    def test_bool_survives_as_bool(self):
+        # bool is an int subclass; the codec must not flatten it.
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_nan_round_trips_as_nan(self):
+        decoded = decode_value(json.loads(json.dumps(encode_value(math.nan))))
+        assert math.isnan(decoded)
+
+    def test_nonfinite_floats_stay_out_of_plain_json(self):
+        # canonical_json uses allow_nan=False, so the tagged form is the
+        # only way non-finite floats reach the hash input.
+        canonical_json(encode_value(math.inf))
+        with pytest.raises(ValueError):
+            canonical_json(math.inf)
+
+    def test_frozensets_encode_canonically(self):
+        a = frozenset([("u", 1), ("v", 2), ("w", 3)])
+        b = frozenset(reversed(sorted(a)))
+        assert canonical_json(encode_value(a)) == canonical_json(encode_value(b))
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(CodecError):
+            decode_value({"t": "martian", "v": []})
+
+
+class TestSpecCodec:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_round_trip_both_families(self, seed):
+        # seeds 2, 5, 8, 11 are NCS games (frozenset edge-set actions,
+        # +inf unreachable costs); the rest are tabular.
+        spec = spec_for_seed(seed)
+        wire = json.loads(json.dumps(spec_to_wire(spec)))
+        rebuilt = spec_from_wire(wire)
+        assert rebuilt == spec
+        assert game_hash(rebuilt) == game_hash(spec)
+
+    def test_hashes_are_distinct_across_games(self):
+        hashes = {game_hash(spec_for_seed(seed)) for seed in range(24)}
+        assert len(hashes) == 24
+
+    def test_hash_ignores_lookup_table_ordering(self):
+        spec = spec_for_seed(0)
+        shuffled = spec_for_seed(0)
+        shuffled.costs = dict(reversed(list(shuffled.costs.items())))
+        shuffled.feasible = dict(reversed(list(shuffled.feasible.items())))
+        assert game_hash(shuffled) == game_hash(spec)
+
+    def test_hash_respects_support_order(self):
+        # Support order drives enumeration fold order, hence results;
+        # reordering it is a *different* game to the service.
+        spec = spec_for_seed(0)
+        assert len(spec.support) > 1
+        reordered = spec_for_seed(0)
+        reordered.support = list(reversed(reordered.support))
+        assert game_hash(reordered) != game_hash(spec)
+
+    def test_rebuilt_game_evaluates_identically(self):
+        from repro.core import ignorance_report
+
+        spec = spec_for_seed(2)  # NCS: the hairiest value types
+        original = ignorance_report(spec.build()).as_dict()
+        rebuilt = ignorance_report(
+            spec_from_wire(spec_to_wire(spec)).build()
+        ).as_dict()
+        assert rebuilt == original
+
+    def test_wrong_format_tag_raises(self):
+        wire = spec_to_wire(spec_for_seed(0))
+        wire["format"] = "repro.tabular-game/99"
+        with pytest.raises(CodecError):
+            spec_from_wire(wire)
+
+    @pytest.mark.parametrize("payload", [None, [], "x", {"format": None}, {}])
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(CodecError):
+            spec_from_wire(payload)
+
+    def test_missing_section_raises(self):
+        wire = spec_to_wire(spec_for_seed(0))
+        del wire["costs"]
+        with pytest.raises(CodecError):
+            spec_from_wire(wire)
+
+
+class TestCoerceSpec:
+    def test_spec_passes_through(self):
+        spec = spec_for_seed(0)
+        assert coerce_spec(spec) is spec
+
+    def test_core_game_tabularizes(self):
+        game = spec_for_seed(1).build()
+        assert game_hash(coerce_spec(game)) == game_hash(coerce_spec(game))
+
+    def test_ncs_wrapper_unwraps(self):
+        wrapped = random_bayesian_ncs(
+            2, 4, np.random.default_rng(7), scenarios=2, name="wrapped"
+        )
+        spec = coerce_spec(wrapped)
+        assert spec.num_agents == 2
+
+    def test_garbage_raises(self):
+        with pytest.raises(CodecError):
+            coerce_spec(42)
+
+
+class TestResultCodec:
+    def test_ignorance_report_round_trips(self):
+        report = IgnoranceReport(
+            opt_p=2.0,
+            best_eq_p=1.5,
+            worst_eq_p=math.inf,
+            opt_c=1.0,
+            best_eq_c=1.0,
+            worst_eq_c=3.25,
+            name="rt",
+        )
+        decoded = decode_result(json.loads(json.dumps(encode_result(report))))
+        assert decoded == report
+
+    def test_nested_containers_round_trip(self):
+        value = [
+            ((frozenset({("e", 0)}),), (0, 1)),
+            {"kind": "worst", "pair": (1.0, math.inf)},
+        ]
+        decoded = decode_result(json.loads(json.dumps(encode_result(value))))
+        assert decoded == value

@@ -1,0 +1,174 @@
+"""Session-LRU semantics: eviction order, collisions, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.core.session import GameSession, query
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import (
+    HashCollisionError,
+    SessionRegistry,
+    UnknownGameError,
+)
+
+from fuzz_games import spec_for_seed
+
+#: A query bundle touching sweep, equilibrium check, and per-state work.
+BUNDLE = [
+    query("ignorance_report"),
+    query("eq_c", kind="worst"),
+    query("opt_p"),
+]
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        SessionRegistry(0)
+
+
+def test_submit_then_get_shares_one_session():
+    registry = SessionRegistry(4)
+    spec = spec_for_seed(0)
+    entry, created = registry.submit(spec)
+    assert created
+    resubmitted, created_again = registry.submit(spec)
+    assert not created_again
+    assert resubmitted is entry
+    assert registry.get(entry.game_hash) is entry
+    assert entry.hits == 2
+
+
+def test_get_unknown_hash_raises_and_counts_a_miss():
+    registry = SessionRegistry(4)
+    with pytest.raises(UnknownGameError):
+        registry.get("0" * 64)
+    assert registry.metrics.cache_misses == 1
+
+
+def test_eviction_is_least_recently_used():
+    registry = SessionRegistry(2)
+    a, _ = registry.submit(spec_for_seed(0))
+    b, _ = registry.submit(spec_for_seed(1))
+    registry.get(a.game_hash)  # refresh a; b is now LRU
+    c, _ = registry.submit(spec_for_seed(3))
+    assert registry.hashes() == [a.game_hash, c.game_hash]
+    assert b.game_hash not in registry
+    assert registry.metrics.cache_evictions == 1
+    # Resubmitting the evicted game builds a fresh session.
+    b_again, created = registry.submit(spec_for_seed(1))
+    assert created
+    assert b_again is not b
+
+
+def test_hash_collision_is_detected_not_served():
+    registry = SessionRegistry(4, hash_fn=lambda spec: "deadbeef")
+    registry.submit(spec_for_seed(0))
+    with pytest.raises(HashCollisionError):
+        registry.submit(spec_for_seed(1))
+    # get() on the colliding key still serves the first game.
+    assert registry.get("deadbeef").spec == spec_for_seed(0)
+
+
+def test_build_race_serves_one_session_to_everyone():
+    built = []
+    barrier = threading.Barrier(4)
+
+    def factory(spec):
+        barrier.wait(timeout=10)  # force all threads past the first check
+        session = GameSession(spec.build())
+        built.append(session)
+        return session
+
+    registry = SessionRegistry(4, session_factory=factory)
+    spec = spec_for_seed(0)
+    entries = [None] * 4
+
+    def submit(index):
+        entries[index], _ = registry.submit(spec)
+
+    threads = [
+        threading.Thread(target=submit, args=(index,)) for index in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(built) == 4  # everyone built...
+    assert len({id(entry) for entry in entries}) == 1  # ...one entry won
+    assert len(registry) == 1
+
+
+def test_concurrent_evaluate_is_bit_identical_to_serial():
+    """8 threads hammering one shared session == a fresh serial session."""
+    registry = SessionRegistry(4)
+    spec = spec_for_seed(3)
+    entry, _ = registry.submit(spec)
+    expected = GameSession(spec.build()).evaluate(BUNDLE)
+
+    results = [None] * 8
+    errors = []
+
+    def worker(index):
+        try:
+            for _ in range(3):
+                with entry.session.lock:
+                    results[index] = entry.session.evaluate(BUNDLE)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    assert all(result == expected for result in results)
+
+
+def test_eviction_under_load_does_not_poison_inflight_queries():
+    """A resolved entry keeps working after the LRU drops it."""
+    registry = SessionRegistry(1)
+    spec = spec_for_seed(0)
+    entry, _ = registry.submit(spec)
+    expected = GameSession(spec.build()).evaluate(BUNDLE)
+
+    started = threading.Event()
+    proceed = threading.Event()
+    outcome = {}
+
+    def inflight():
+        with entry.session.lock:
+            started.set()
+            assert proceed.wait(timeout=30)
+            outcome["values"] = entry.session.evaluate(BUNDLE)
+
+    thread = threading.Thread(target=inflight)
+    thread.start()
+    assert started.wait(timeout=30)
+    # Evict the entry out from under the in-flight query.
+    registry.submit(spec_for_seed(1))
+    assert entry.game_hash not in registry
+    proceed.set()
+    thread.join(timeout=60)
+    assert outcome["values"] == expected
+
+
+def test_metrics_wiring_counts_hits_misses_evictions():
+    metrics = ServiceMetrics()
+    registry = SessionRegistry(1, metrics=metrics)
+    registry.submit(spec_for_seed(0))  # miss (build)
+    registry.submit(spec_for_seed(0))  # hit
+    registry.submit(spec_for_seed(1))  # miss + eviction
+    snapshot = metrics.snapshot()["cache"]
+    assert snapshot == {"hits": 1, "misses": 2, "evictions": 1}
+
+
+def test_clear_empties_the_registry():
+    registry = SessionRegistry(4)
+    registry.submit(spec_for_seed(0))
+    registry.submit(spec_for_seed(1))
+    assert registry.clear() == 2
+    assert len(registry) == 0
