@@ -1,0 +1,203 @@
+"""Same-shape game populations and their batched runtime unit tasks.
+
+The paper's experiments sweep *families* of structurally identical games
+(same agent count, type spaces, action spaces and prior support size) and
+evaluate the same measure bundle on every member.  Such populations are
+exactly what the structure-of-arrays batch engine is built for: every
+member lowers to the same tensor shape, so a whole family lands in one
+:class:`~repro.core.tensor.BatchTensorGame` bucket and each measure is a
+single NumPy sweep over the member axis.
+
+This module exposes the population in two runtime-compatible forms:
+
+``unit_population_cell``
+    A plain unit task (JSON-scalar params, JSON-safe values) evaluating one
+    member with :class:`~repro.core.session.GameSession`.
+
+``batch_population_cells``
+    The registered batch runner for the same task: it receives the kwargs
+    rows of many pending ``unit_population_cell`` tasks and answers them all
+    through :meth:`~repro.core.session.BatchSession.evaluate_many`.  The
+    executor requires batch runners to return values identical to per-row
+    unit execution (results are cached under the *unit* task's address), and
+    the engine guarantees exactly that: the SoA path is bit-identical to the
+    looped per-game path.
+
+Keep this module out of ``repro.analysis.__init__``: the runtime executor
+imports ``repro.analysis.table1`` for its own unit tasks, and re-exporting
+population here would close an import cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.game import BayesianGame
+from ..core.prior import CommonPrior
+from ..core.session import BatchSession, GameSession, Query, query
+from ..runtime.executor import register_batch_runner
+
+#: Named same-shape families.  Every member of a family lowers to the same
+#: tensor signature, so a population shares one SoA bucket.
+FAMILIES: Dict[str, Dict[str, int]] = {
+    # The CI benchmark family: 3 agents, binary types/actions, 4 support
+    # states -> 64 strategy profiles per member, cheap to lower but with
+    # enough interim conditioning to make per-game sweeps slow in a loop.
+    "bench-3x2x2s4": {"agents": 3, "types": 2, "actions": 2, "states": 4},
+    # A smaller family for fast tests.
+    "tiny-2x2x2s2": {"agents": 2, "types": 2, "actions": 2, "states": 2},
+}
+
+#: Measures a population cell understands, in canonical order.
+CELL_MEASURES: Tuple[str, ...] = (
+    "eq_c",
+    "opt_c",
+    "eq_p",
+    "opt_p",
+    "ratio",
+    "ignorance_report",
+)
+
+_SEED_SALT = 0xB47C
+
+
+def population_game(family: str, member: int) -> BayesianGame:
+    """Member ``member`` of the named same-shape ``family``.
+
+    Deterministic in ``(family, member)``: the prior support is the first
+    ``states`` type profiles in lexicographic order with random positive
+    weights, and costs are a dense random integer table over
+    ``(state, action profile, agent)``.
+    """
+    shape = FAMILIES.get(family)
+    if shape is None:
+        raise ValueError(
+            f"unknown population family {family!r}; "
+            f"expected one of {sorted(FAMILIES)}"
+        )
+    agents = shape["agents"]
+    types = shape["types"]
+    actions = shape["actions"]
+    states = shape["states"]
+    rng = np.random.default_rng(
+        (_SEED_SALT, zlib.crc32(family.encode("utf-8")), member)
+    )
+    support = list(itertools.product(range(types), repeat=agents))[:states]
+    weights = rng.uniform(0.2, 1.0, size=len(support))
+    weights = weights / weights.sum()
+    prior = CommonPrior(
+        {profile: float(w) for profile, w in zip(support, weights)}
+    )
+    table = rng.integers(
+        0, 12, size=(len(support),) + (actions,) * agents + (agents,)
+    ).astype(float)
+    index = {profile: s for s, profile in enumerate(support)}
+
+    def cost(i: int, t: Tuple[int, ...], a: Tuple[int, ...]) -> float:
+        s = index.get(tuple(t))
+        if s is None:
+            return 0.0
+        return float(table[(s,) + tuple(a) + (i,)])
+
+    return BayesianGame(
+        [list(range(actions))] * agents,
+        [list(range(types))] * agents,
+        prior,
+        cost,
+        name=f"pop-{family}-{member}",
+    )
+
+
+def _cell_queries(measures: str) -> List[Query]:
+    names = [name for name in measures.split(",") if name]
+    for name in names:
+        if name not in CELL_MEASURES:
+            raise ValueError(
+                f"unknown population measure {name!r}; "
+                f"expected a comma-joined subset of {list(CELL_MEASURES)}"
+            )
+    return [query(name) for name in names]
+
+
+def _json_safe(name: str, value: Any) -> Any:
+    if isinstance(value, Exception):
+        return {
+            "error": {
+                "type": type(value).__name__,
+                "message": str(value),
+            }
+        }
+    if name == "ignorance_report":
+        return value.as_dict()
+    if isinstance(value, tuple):
+        return [_json_safe(name, item) for item in value]
+    return value
+
+
+def _pack(measures: str, values: Sequence[Any]) -> Dict[str, Any]:
+    names = [name for name in measures.split(",") if name]
+    return {
+        name: _json_safe(name, value) for name, value in zip(names, values)
+    }
+
+
+def unit_population_cell(
+    *, family: str, member: int, measures: str
+) -> Dict[str, Any]:
+    """Evaluate one population member; ``measures`` is comma-joined names.
+
+    A measure that fails (say the member has no pure Bayesian equilibrium)
+    yields an ``{"error": {"type", "message"}}`` cell instead of aborting
+    the whole cell, mirroring ``evaluate_many(..., on_error="capture")``.
+    """
+    session = GameSession(population_game(family, member))
+    values: List[Any] = []
+    for item in _cell_queries(measures):
+        try:
+            values.append(session.evaluate([item])[0])
+        except Exception as error:
+            values.append(error)
+    return _pack(measures, values)
+
+
+def batch_population_cells(
+    rows: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Batch runner for ``unit_population_cell``: one SoA sweep per bundle.
+
+    Rows are grouped by their measure bundle; each group becomes one
+    :class:`BatchSession` call, which buckets the members by lowering shape
+    and runs the batched kernels.  Values must be (and are) identical to
+    per-row :func:`unit_population_cell` calls.
+    """
+    groups: Dict[str, List[int]] = {}
+    for position, row in enumerate(rows):
+        groups.setdefault(str(row["measures"]), []).append(position)
+    out: List[Dict[str, Any]] = [dict() for _ in rows]
+    for measures, positions in groups.items():
+        sessions = [
+            GameSession(
+                population_game(
+                    str(rows[position]["family"]),
+                    int(rows[position]["member"]),
+                )
+            )
+            for position in positions
+        ]
+        batch = BatchSession.from_sessions(sessions)
+        tables = batch.evaluate_many(
+            _cell_queries(measures), on_error="capture"
+        )
+        for position, values in zip(positions, tables):
+            out[position] = _pack(measures, values)
+    return out
+
+
+register_batch_runner(
+    "repro.analysis.population:unit_population_cell",
+    "repro.analysis.population:batch_population_cells",
+)

@@ -283,6 +283,25 @@ class GameSession:
         self._sweeps[(need_eq, collect)] = ("ok", sweep)
         return sweep
 
+    def _sweep_cached(self, need_eq: bool, collect: bool) -> bool:
+        """Whether :meth:`_profile_sweep` would answer from cache.
+
+        Mirrors the capability lattice exactly (ok entries serve what
+        they subsume; explosion errors serve everything; equilibrium-
+        check errors serve only equilibrium-needing requests), so the
+        batched dispatch can skip games the memo already covers — warm
+        service sessions never pay a redundant kernel pass.
+        """
+        need_eq = need_eq or collect
+        for (eq, col), (kind, payload) in self._sweeps.items():
+            if kind == "ok" and (eq or not need_eq) and (col or not collect):
+                return True
+            if kind == "err" and (
+                not eq or need_eq or isinstance(payload[0], ExplosionError)
+            ):
+                return True
+        return False
+
     def _reference_scan(self, need_eq: bool, collect: bool = False) -> _Scan:
         """Memoized reference-path enumeration (one pass, all aggregates).
 
@@ -679,32 +698,323 @@ class BatchSession:
     """Sessions over many games, evaluated with one shared query plan.
 
     ``evaluate_many`` answers the same bundle for every game and returns
-    one result row per game.  Each game still lowers independently (the
-    per-game action spaces differ), but the bundle is normalized and
-    planned once, and every session reuses its own artifacts across the
-    bundle — the batched analogue of calling :func:`evaluate` per game.
+    one result row per game, **bit-identical** (values and raised
+    errors) to calling :meth:`GameSession.evaluate` per game.  The
+    structure-of-arrays fast path buckets lowerable games by
+    :func:`repro.core.tensor.batch_signature` — same per-agent feasible
+    radices, same support shapes — stacks each bucket's cost tensors on
+    a leading game axis (:class:`repro.core.tensor.BatchTensorGame`),
+    and runs the bundle's profile sweep, ``eq_c`` / ``opt_c`` folds, and
+    best-response dynamics as single NumPy calls per bucket.  Kernel
+    results land in each game's own session memo at exactly the keys
+    the looped path would fill, so every row is still answered by the
+    session's own ``_answer`` — per-game fold order, tie-breaks, and
+    error messages (:class:`~repro._util.ExplosionError`, the
+    no-feasible-action / no-equilibrium ``RuntimeError``) come out
+    unchanged, including for games that fail inside an otherwise
+    healthy bucket.  Non-lowerable games (and the ``reference`` engine)
+    fall back to the looped per-game path automatically.
     """
 
     def __init__(self, games: Sequence[BayesianGame], **config: Any) -> None:
         self.sessions = [GameSession(game, **config) for game in games]
 
     @classmethod
-    def of(cls, sessions: Sequence[GameSession]) -> "BatchSession":
-        """Wrap pre-built sessions (e.g. NCS sessions with solvers)."""
+    def from_sessions(cls, sessions: Sequence[GameSession]) -> "BatchSession":
+        """Wrap pre-built sessions (e.g. NCS sessions with solvers).
+
+        Bypasses ``__init__``, so it validates what construction would
+        have guaranteed: one batch, one engine.  Sessions pinned to
+        different engines would silently answer one bundle with mixed
+        semantics — that is always a caller bug, so it raises.
+        """
+        sessions = list(sessions)
+        engines = {session.engine for session in sessions}
+        if len(engines) > 1:
+            raise ValueError(
+                "sessions in one BatchSession must share an engine; got "
+                f"{sorted(engines)} — pin one (GameSession(engine=...)) or "
+                "split the batch per engine"
+            )
         batch = cls.__new__(cls)
-        batch.sessions = list(sessions)
+        batch.sessions = sessions
         return batch
 
-    def evaluate_many(self, queries: Iterable[Any]) -> List[List[Any]]:
+    #: Historical alias for :meth:`from_sessions` (same validation).
+    of = from_sessions
+
+    def evaluate_many(
+        self,
+        queries: Iterable[Any],
+        *,
+        kernels: str = "auto",
+        on_error: str = "raise",
+    ) -> List[List[Any]]:
+        """Answer one bundle for every game; one result row per game.
+
+        ``kernels="auto"`` (or ``"soa"``) dispatches bucketed
+        structure-of-arrays kernels where games lower, falling back to
+        the looped per-game path otherwise; ``"loop"`` forces the
+        per-game path for everything (the benchmark baseline).  Values
+        and errors are identical either way.
+
+        ``on_error="raise"`` propagates the first failing cell (input
+        order), exactly like the looped path always did;
+        ``on_error="capture"`` places the exception object in that
+        game's row cell instead, so one failing game cannot hide the
+        other games' results (the service batch endpoint uses this).
+        """
+        if kernels not in ("auto", "soa", "loop"):
+            raise ValueError(
+                f"unknown kernels mode {kernels!r}; "
+                "expected 'auto', 'soa', or 'loop'"
+            )
+        if on_error not in ("raise", "capture"):
+            raise ValueError(
+                f"unknown on_error mode {on_error!r}; "
+                "expected 'raise' or 'capture'"
+            )
         normalized = [
             item if isinstance(item, Query) else query(str(item))
             for item in queries
         ]
+        extras: Dict[Tuple[int, Query], Tuple[str, Any]] = {}
+        if kernels != "loop" and self.sessions:
+            extras = self._batch_dispatch(normalized)
         rows: List[List[Any]] = []
-        for session in self.sessions:
-            session.plan(normalized)
-            rows.append([session._answer(item) for item in normalized])
+        for index, session in enumerate(self.sessions):
+            with session.lock:
+                session.plan(normalized)
+                row: List[Any] = []
+                for item in normalized:
+                    try:
+                        entry = extras.get((index, item))
+                        if entry is not None:
+                            kind, payload = entry
+                            if kind == "err":
+                                raise payload
+                            row.append(payload)
+                        else:
+                            row.append(session._answer(item))
+                    except Exception as error:
+                        if on_error == "raise":
+                            raise
+                        row.append(error)
+                rows.append(row)
         return rows
+
+    # ------------------------------------------------------------------
+    # the structure-of-arrays dispatch
+    # ------------------------------------------------------------------
+    def _buckets(self) -> Tuple[Dict[Any, List[int]], int]:
+        """Lowerable game indices grouped by kernel-compatible shape."""
+        buckets: Dict[Any, List[int]] = {}
+        fallback = 0
+        for index, session in enumerate(self.sessions):
+            with session.lock:
+                lowered = session.lowered()
+            if lowered is None:
+                fallback += 1
+                continue
+            key = (
+                session.max_strategy_profiles,
+                tensor.batch_signature(lowered),
+            )
+            buckets.setdefault(key, []).append(index)
+        return buckets, fallback
+
+    def bucket_plan(self) -> Dict[str, Any]:
+        """Bucket occupancy of the SoA dispatch (for benchmarks/ops):
+        bucket sizes descending plus the looped-fallback game count."""
+        buckets, fallback = self._buckets()
+        sizes = sorted((len(indices) for indices in buckets.values()), reverse=True)
+        return {
+            "games": len(self.sessions),
+            "buckets": sizes,
+            "fallback": fallback,
+        }
+
+    def _batch_dispatch(
+        self, normalized: Sequence[Query]
+    ) -> Dict[Tuple[int, Query], Tuple[str, Any]]:
+        need_sweep = need_eq = collect = False
+        measures = set()
+        for item in normalized:
+            entry = MEASURES.get(item.measure)
+            if entry is None:
+                return {}  # the per-game planner raises the right error
+            measures.add(item.measure)
+            sweep, eq, col = entry
+            need_sweep = need_sweep or sweep
+            need_eq = need_eq or eq
+            collect = collect or col
+        extras: Dict[Tuple[int, Query], Tuple[str, Any]] = {}
+        buckets, _fallback = self._buckets()
+        for (max_profiles, _signature), indices in buckets.items():
+            lowered = self.sessions[indices[0]].lowered()
+            cells = sum(
+                state.size * lowered.num_agents
+                for state in lowered.state_tensors
+            )
+            # Chunk oversized buckets so one stack never exceeds the
+            # engine-wide cell budget; per-lane results are partition-
+            # independent, so chunking cannot change any value.
+            limit = max(1, tensor.TENSOR_MAX_CELLS // max(1, cells))
+            for start in range(0, len(indices), limit):
+                self._run_bucket(
+                    indices[start:start + limit],
+                    max_profiles,
+                    normalized,
+                    measures,
+                    need_sweep,
+                    need_eq,
+                    collect,
+                    extras,
+                )
+        return extras
+
+    def _fill(self, session: GameSession, store: str, key, result, error) -> None:
+        """Install one kernel result in a session memo (first write wins)."""
+        with session.lock:
+            target = session._sweeps if store == "sweeps" else session._memo
+            if store == "sweeps":
+                if session._sweep_cached(*key):
+                    return
+            elif key in target:
+                return
+            if error is not None:
+                target[key] = ("err", (error, error.__traceback__))
+            else:
+                target[key] = ("ok", result)
+
+    def _run_bucket(
+        self,
+        indices: List[int],
+        max_profiles: int,
+        normalized: Sequence[Query],
+        measures: set,
+        need_sweep: bool,
+        need_eq: bool,
+        collect: bool,
+        extras: Dict[Tuple[int, Query], Tuple[str, Any]],
+    ) -> None:
+        sessions = [self.sessions[index] for index in indices]
+        batch = tensor.BatchTensorGame(
+            [session.lowered() for session in sessions]
+        )
+        if need_sweep:
+            key = (need_eq or collect, collect)
+            todo = [
+                position
+                for position, session in enumerate(sessions)
+                if not session._sweep_cached(*key)
+            ]
+            if todo:
+                sweeps, errors = batch.sweep_profiles(
+                    max_profiles,
+                    collect_equilibria=collect,
+                    check_equilibria=key[0],
+                    subset=todo,
+                )
+                for position, sweep, error in zip(todo, sweeps, errors):
+                    self._fill(sessions[position], "sweeps", key, sweep, error)
+            if key[0] and measures & {"opt_p", "optimal_profile"}:
+                # The looped lattice: an equilibrium-check error does not
+                # poison sweep-only measures — they get a check-free sweep.
+                retry = [
+                    position
+                    for position, session in enumerate(sessions)
+                    if not session._sweep_cached(False, False)
+                ]
+                if retry:
+                    sweeps, errors = batch.sweep_profiles(
+                        max_profiles,
+                        collect_equilibria=False,
+                        check_equilibria=False,
+                        subset=retry,
+                    )
+                    for position, sweep, error in zip(retry, sweeps, errors):
+                        self._fill(
+                            sessions[position], "sweeps", (False, False),
+                            sweep, error,
+                        )
+        if measures & {"eq_c", "ignorance_report", "ratio"}:
+            todo = [
+                position
+                for position, session in enumerate(sessions)
+                if ("eq_c",) not in session._memo
+            ]
+            if todo:
+                pairs, errors = batch.eq_c(subset=todo)
+                for position, pair, error in zip(todo, pairs, errors):
+                    self._fill(sessions[position], "memo", ("eq_c",), pair, error)
+        if measures & {"opt_c", "ignorance_report", "ratio", "state_optimum"}:
+            optima = batch.state_optima()
+            totals = batch.opt_c()
+            for position, session in enumerate(sessions):
+                states = session.lowered().states
+                with session.lock:
+                    for s, profile in enumerate(states):
+                        memo_key = ("state_opt", profile)
+                        if memo_key not in session._memo:
+                            session._memo[memo_key] = (
+                                "ok", float(optima[position, s]),
+                            )
+                    if (
+                        session.state_solver is None
+                        and measures & {"ignorance_report", "ratio"}
+                        and ("opt_c_lowered",) not in session._memo
+                    ):
+                        session._memo[("opt_c_lowered",)] = (
+                            "ok", float(totals[position]),
+                        )
+        if "dynamics" in measures:
+            self._run_bucket_dynamics(indices, sessions, batch, normalized, extras)
+
+    def _run_bucket_dynamics(
+        self,
+        indices: List[int],
+        sessions: List[GameSession],
+        batch: "tensor.BatchTensorGame",
+        normalized: Sequence[Query],
+        extras: Dict[Tuple[int, Query], Tuple[str, Any]],
+    ) -> None:
+        dynamics_queries = dict.fromkeys(
+            item for item in normalized if item.measure == "dynamics"
+        )
+        for item in dynamics_queries:
+            kwargs = item.kwargs
+            initial = kwargs.get("initial")
+            max_rounds = kwargs.get("max_rounds", 10_000)
+            digit_rows: List[List[List[int]]] = []
+            positions: List[int] = []
+            templates: Dict[int, StrategyProfile] = {}
+            for position, session in enumerate(sessions):
+                start = (
+                    initial
+                    if initial is not None
+                    else greedy_strategy_profile(session.game)
+                )
+                digits = session.lowered().encode_strategies(start)
+                if digits is None:
+                    continue  # non-encodable: the session keeps the
+                    # reference loop, exactly like the per-game path
+                digit_rows.append(digits)
+                positions.append(position)
+                templates[position] = start
+            if not digit_rows:
+                continue
+            results, errors = batch.best_response_digits(
+                digit_rows, max_rounds, subset=positions
+            )
+            for position, result, error in zip(positions, results, errors):
+                if error is not None:
+                    extras[(indices[position], item)] = ("err", error)
+                else:
+                    profile = sessions[position].lowered().decode_digits(
+                        templates[position], result
+                    )
+                    extras[(indices[position], item)] = ("ok", profile)
 
     def __len__(self) -> int:
         return len(self.sessions)

@@ -852,6 +852,448 @@ class TensorGame:
         )
 
 
+# ----------------------------------------------------------------------
+# structure-of-arrays batching: many same-shape games, one kernel sweep
+# ----------------------------------------------------------------------
+
+def batch_signature(lowered: TensorGame) -> Tuple:
+    """Hashable description of everything *structural* about a lowering.
+
+    Two lowered games with equal signatures differ only in **data** —
+    state probabilities, cost-table entries, posterior weights — so
+    their tensors stack on a leading game axis and every blocked kernel
+    runs over the whole stack in lockstep (identical profile counts,
+    digit strides, deviation shapes, and conditional-state rows).  The
+    signature covers the per-agent mixed radices, per-state tensor
+    shapes, the strategy-digit position of every agent in every state,
+    and the interim conditional structure; action *labels* and type
+    *labels* are deliberately excluded (they never enter a kernel).
+    :class:`BatchTensorGame` refuses mixed signatures, so use this as
+    the bucket key.
+    """
+    return (
+        tuple(agent.radix for agent in lowered.agents),
+        tuple(state.shape for state in lowered.state_tensors),
+        tuple(tuple(pos) for pos in lowered._state_pos),
+        tuple(
+            tuple((tpos, tuple(indices), n_dev) for tpos, indices, _w, n_dev in rows)
+            for rows in lowered._cond
+        ),
+    )
+
+
+class BatchTensorGame:
+    """A bucket of same-signature lowered games stacked game-major.
+
+    Every kernel below is the per-game :class:`TensorGame` kernel with
+    one extra leading axis, and every per-game lane is **bit-identical**
+    to running that game alone: the per-lane arithmetic is the same
+    IEEE expression tree (elementwise ops touch one lane each), running
+    ``min``/``argmin`` folds are exact and partition-independent, the
+    first-occurrence ``argmin`` tie-break is preserved, and all error
+    *conditions* are per-profile properties, so block boundaries (which
+    differ from the per-game block size) cannot move them.
+
+    Error semantics: kernels never raise for a single game's failure.
+    Each returns per-game result lists alongside a per-game ``errors``
+    list holding the exact exception the per-game kernel would have
+    raised (same type, same message) — ``None`` for healthy games.  A
+    game that errors keeps occupying its lanes (the results are
+    discarded), so one bad game never poisons an otherwise-healthy
+    bucket.  The one bucket-wide error is the :class:`ExplosionError`
+    guard: same signature means the same profile count, so it trips for
+    all games or none.
+    """
+
+    def __init__(self, lowered: Sequence[TensorGame]) -> None:
+        games = list(lowered)
+        if not games:
+            raise ValueError("BatchTensorGame needs at least one lowered game")
+        template = games[0]
+        signature = batch_signature(template)
+        for other in games[1:]:
+            if batch_signature(other) != signature:
+                raise ValueError(
+                    "games in one batch must share a lowering shape; "
+                    "bucket by batch_signature() first"
+                )
+        self.lowered = games
+        self.template = template
+        self.size = len(games)
+        n_states = len(template.state_tensors)
+        #: (G, S) state probabilities — per-game data.
+        self.probs = np.stack([tg.probs for tg in games])
+        #: per state: (G, k, N_s) stacked cost tables.
+        self.state_costs = [
+            np.stack([tg.state_tensors[s].costs for tg in games])
+            for s in range(n_states)
+        ]
+        #: per state: (G, N_s) stacked social-cost vectors.
+        self.state_social = [
+            np.stack([tg.state_tensors[s].social for tg in games])
+            for s in range(n_states)
+        ]
+        #: per (agent, conditional row): (G, row length) posterior weights.
+        self.cond_weights = [
+            [
+                np.stack([tg._cond[i][r][2] for tg in games])
+                for r in range(len(template._cond[i]))
+            ]
+            for i in range(template.num_agents)
+        ]
+
+    def _take(self, subset: Optional[Sequence[int]]):
+        """The stacked views (or fancy-index copies) for a game subset."""
+        if subset is None:
+            return (
+                self.lowered,
+                self.probs,
+                self.state_costs,
+                self.state_social,
+                self.cond_weights,
+            )
+        positions = list(subset)
+        idx = np.asarray(positions, dtype=np.intp)
+        return (
+            [self.lowered[g] for g in positions],
+            self.probs[idx],
+            [costs[idx] for costs in self.state_costs],
+            [social[idx] for social in self.state_social],
+            [[weights[idx] for weights in rows] for rows in self.cond_weights],
+        )
+
+    def _batch_block(self, group: int) -> int:
+        """Block size keeping ``group``-game temporaries under the cap."""
+        template = self.template
+        widest = max(
+            [1]
+            + [row[3] for rows in template._cond for row in rows]
+            + [len(template.states)]
+        )
+        return max(1, min(1 << 16, BLOCK_CELLS // max(1, widest * group)))
+
+    # ------------------------------------------------------------------
+    # the batched blocked profile sweep
+    # ------------------------------------------------------------------
+    def sweep_profiles(
+        self,
+        max_profiles: int,
+        collect_equilibria: bool = False,
+        check_equilibria: bool = True,
+        subset: Optional[Sequence[int]] = None,
+    ) -> Tuple[List[Optional[ProfileSweep]], List[Optional[BaseException]]]:
+        """:meth:`TensorGame.sweep_profiles` over the whole bucket.
+
+        Returns ``(sweeps, errors)`` aligned with ``subset`` (the whole
+        bucket by default); exactly one of ``sweeps[g]`` / ``errors[g]``
+        is ``None`` per game.
+        """
+        games, probs, state_costs, state_social, cond_weights = self._take(subset)
+        group = len(games)
+        template = self.template
+        total_f = template.profile_count()
+        if total_f > max_profiles:
+            # The guard depends only on shared structure: all-or-none.
+            return (
+                [None] * group,
+                [
+                    ExplosionError("strategy profiles", total_f, max_profiles)
+                    for _ in range(group)
+                ],
+            )
+        total = int(total_f)
+        k = template.num_agents
+        pstrides = template.profile_strides
+        counts = [agent.exact_count for agent in template.agents]
+        block = self._batch_block(group)
+
+        opt = np.full(group, np.inf)
+        argmin = np.full(group, -1, dtype=np.int64)
+        best_eq = np.full(group, np.inf)
+        worst_eq = np.full(group, -np.inf)
+        eq_found = np.zeros(group, dtype=bool)
+        eq_lists: Optional[List[List[int]]] = (
+            [[] for _ in range(group)] if collect_equilibria else None
+        )
+        alive = np.ones(group, dtype=bool)
+        errors: List[Optional[BaseException]] = [None] * group
+
+        for lo in range(0, total, block):
+            hi = min(total, lo + block)
+            flat = np.arange(lo, hi, dtype=np.int64)
+            strat = [(flat // pstrides[i]) % counts[i] for i in range(k)]
+
+            # Shared per-state flat indices (structure), per-game social
+            # costs (data), folded in prior-support order per lane.
+            state_flat: List[np.ndarray] = []
+            social = np.zeros((group, hi - lo), dtype=float)
+            for s, state in enumerate(template.state_tensors):
+                index = np.zeros(hi - lo, dtype=np.int64)
+                for i in range(k):
+                    digit = (
+                        strat[i] // template._digit_stride[i][s]
+                    ) % template._digit_radix[i][s]
+                    index += state.strides[i] * digit
+                state_flat.append(index)
+                social += probs[:, s, None] * state_social[s][:, index]
+
+            block_min = social.min(axis=1)
+            improved = block_min < opt
+            if improved.any():
+                positions = social.argmin(axis=1)
+                argmin = np.where(improved, lo + positions, argmin)
+                opt = np.where(improved, block_min, opt)
+            if not check_equilibria:
+                continue
+
+            ok = np.ones((group, hi - lo), dtype=bool)
+            for i in range(k):
+                agent = template.agents[i]
+                for (tpos, cond_states, _w, n_dev), weights in zip(
+                    template._cond[i], cond_weights[i]
+                ):
+                    own = (strat[i] // agent.strides[tpos]) % agent.radix[tpos]
+                    deviations = np.arange(n_dev, dtype=np.int64)
+                    interim = np.zeros((group, hi - lo, n_dev), dtype=float)
+                    for position, s in enumerate(cond_states):
+                        state = template.state_tensors[s]
+                        others = state_flat[s] - state.strides[i] * own
+                        cells = (
+                            others[:, None]
+                            + state.strides[i] * deviations[None, :]
+                        )
+                        interim += (
+                            weights[:, position, None, None]
+                            * state_costs[s][:, i, :][:, cells]
+                        )
+                    current = interim[:, np.arange(hi - lo), own]
+                    best = interim.min(axis=2)
+                    # Per-game error lanes: record the reference error the
+                    # first time it would fire, then keep sweeping — the
+                    # other games' lanes are still live.
+                    bad = np.logical_and(ok, ~(best < np.inf)).any(axis=1)
+                    newly = bad & alive
+                    if newly.any():
+                        for g in np.nonzero(newly)[0]:
+                            errors[g] = RuntimeError(
+                                "agent has no feasible actions"
+                            )
+                        alive &= ~newly
+                    ok &= ~lt_array(best, current)
+
+            has = ok.any(axis=1)
+            eq_found |= has
+            best_eq = np.where(
+                has,
+                np.minimum(best_eq, np.where(ok, social, np.inf).min(axis=1)),
+                best_eq,
+            )
+            worst_eq = np.where(
+                has,
+                np.maximum(worst_eq, np.where(ok, social, -np.inf).max(axis=1)),
+                worst_eq,
+            )
+            if eq_lists is not None:
+                hit_games, hit_columns = np.nonzero(
+                    np.logical_and(ok, alive[:, None])
+                )
+                for g, column in zip(hit_games.tolist(), hit_columns.tolist()):
+                    eq_lists[g].append(lo + column)
+            if check_equilibria and not alive.any():
+                break
+
+        sweeps: List[Optional[ProfileSweep]] = []
+        for g in range(group):
+            if errors[g] is not None:
+                sweeps.append(None)
+                continue
+            sweeps.append(
+                ProfileSweep(
+                    opt_p=float(opt[g]),
+                    argmin_index=int(argmin[g]),
+                    best_eq=float(best_eq[g]),
+                    worst_eq=float(worst_eq[g]),
+                    eq_found=bool(eq_found[g]),
+                    eq_indices=None if eq_lists is None else eq_lists[g],
+                )
+            )
+        return sweeps, errors
+
+    # ------------------------------------------------------------------
+    # batched measure kernels
+    # ------------------------------------------------------------------
+    def state_optima(
+        self, subset: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """``(G, S)`` per-state optimum matrix (never errors)."""
+        _games, _probs, _costs, state_social, _w = self._take(subset)
+        return np.stack([social.min(axis=1) for social in state_social], axis=1)
+
+    def opt_c(self, subset: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-game ``optC`` via the per-state tables (never errors)."""
+        _games, probs, _costs, state_social, _w = self._take(subset)
+        totals = np.zeros(len(_games))
+        for s in range(len(state_social)):
+            totals = totals + probs[:, s] * state_social[s].min(axis=1)
+        return totals
+
+    def eq_c(
+        self, subset: Optional[Sequence[int]] = None
+    ) -> Tuple[List[Optional[Tuple[float, float]]], List[Optional[BaseException]]]:
+        """Per-game ``(best-eqC, worst-eqC)`` with per-game error lanes."""
+        games, probs, state_costs, state_social, _w = self._take(subset)
+        group = len(games)
+        template = self.template
+        k = template.num_agents
+        best_total = np.zeros(group)
+        worst_total = np.zeros(group)
+        alive = np.ones(group, dtype=bool)
+        errors: List[Optional[BaseException]] = [None] * group
+        for s, state in enumerate(template.state_tensors):
+            cube = state_costs[s].reshape((group, k) + state.shape)
+            mask = np.ones((group,) + state.shape, dtype=bool)
+            for agent in range(k):
+                costs_i = cube[:, agent]
+                best = costs_i.min(axis=1 + agent, keepdims=True)
+                bad = (
+                    np.logical_and(mask, ~(best < np.inf))
+                    .reshape(group, -1)
+                    .any(axis=1)
+                )
+                newly = bad & alive
+                if newly.any():
+                    for g in np.nonzero(newly)[0]:
+                        errors[g] = RuntimeError("agent has no actions")
+                    alive &= ~newly
+                mask &= ~lt_array(best, costs_i)
+            flat_mask = mask.reshape(group, -1)
+            has = flat_mask.any(axis=1)
+            none = ~has & alive
+            if none.any():
+                for g in np.nonzero(none)[0]:
+                    underlying = games[g].game.underlying_game(games[g].states[s])
+                    errors[g] = RuntimeError(
+                        f"underlying game {underlying!r} "
+                        "has no pure Nash equilibrium"
+                    )
+                alive &= ~none
+            social = state_social[s]
+            # Dead lanes fold 0.0 (their totals are discarded) so mixed
+            # infinities can never turn a live lane's sum into NaN noise.
+            best_s = np.where(
+                has, np.where(flat_mask, social, np.inf).min(axis=1), 0.0
+            )
+            worst_s = np.where(
+                has, np.where(flat_mask, social, -np.inf).max(axis=1), 0.0
+            )
+            best_total = best_total + probs[:, s] * best_s
+            worst_total = worst_total + probs[:, s] * worst_s
+            if not alive.any():
+                break
+        pairs: List[Optional[Tuple[float, float]]] = [
+            None
+            if errors[g] is not None
+            else (float(best_total[g]), float(worst_total[g]))
+            for g in range(group)
+        ]
+        return pairs, errors
+
+    # ------------------------------------------------------------------
+    # batched best-response dynamics
+    # ------------------------------------------------------------------
+    def best_response_digits(
+        self,
+        digit_rows: Sequence[List[List[int]]],
+        max_rounds: int,
+        subset: Optional[Sequence[int]] = None,
+    ) -> Tuple[List[Optional[List[List[int]]]], List[Optional[BaseException]]]:
+        """Lockstep interim best-response dynamics over encoded profiles.
+
+        ``digit_rows[g]`` is game ``g``'s :meth:`TensorGame.encode_strategies`
+        output.  Rounds run in the per-game (agent, positive-type) order
+        with the per-game tolerant improvement test per lane, so each
+        game visits exactly the profile sequence the per-game kernel
+        visits; converged games freeze their digits while the rest keep
+        stepping.  Returns per-game final digit lists and per-game
+        errors (no-feasible-action, or the non-convergence error after
+        ``max_rounds``).
+        """
+        games, _probs, state_costs, _social, cond_weights = self._take(subset)
+        group = len(games)
+        if len(digit_rows) != group:
+            raise ValueError("one digit row per game required")
+        template = self.template
+        k = template.num_agents
+        digits = [
+            np.array([row[i] for row in digit_rows], dtype=np.int64)
+            for i in range(k)
+        ]
+        lanes = np.arange(group)
+        done = np.zeros(group, dtype=bool)
+        failed = np.zeros(group, dtype=bool)
+        errors: List[Optional[BaseException]] = [None] * group
+        for _ in range(max_rounds):
+            active = ~(done | failed)
+            if not active.any():
+                break
+            changed = np.zeros(group, dtype=bool)
+            for i in range(k):
+                for (tpos, cond_states, _w, n_dev), weights in zip(
+                    template._cond[i], cond_weights[i]
+                ):
+                    deviations = np.arange(n_dev, dtype=np.int64)
+                    interim = np.zeros((group, n_dev))
+                    for position, s in enumerate(cond_states):
+                        state = template.state_tensors[s]
+                        base = np.zeros(group, dtype=np.int64)
+                        for j in range(k):
+                            if j != i:
+                                base += (
+                                    state.strides[j]
+                                    * digits[j][:, template._state_pos[j][s]]
+                                )
+                        gathered = np.take_along_axis(
+                            state_costs[s][:, i, :],
+                            base[:, None] + state.strides[i] * deviations[None, :],
+                            axis=1,
+                        )
+                        interim += weights[:, position, None] * gathered
+                    best_positions = interim.argmin(axis=1)
+                    best = interim[lanes, best_positions]
+                    bad = ~(best < np.inf) & active
+                    if bad.any():
+                        for g in np.nonzero(bad)[0]:
+                            errors[g] = RuntimeError(
+                                "agent has no feasible actions"
+                            )
+                        failed |= bad
+                        active &= ~bad
+                    current = interim[lanes, digits[i][:, tpos]]
+                    improve = lt_array(best, current) & active
+                    if improve.any():
+                        digits[i][improve, tpos] = best_positions[improve]
+                        changed |= improve
+            done |= active & ~changed
+        results: List[Optional[List[List[int]]]] = []
+        for g in range(group):
+            if errors[g] is None and not done[g]:
+                errors[g] = RuntimeError(
+                    "Bayesian best-response dynamics did not converge"
+                )
+            if errors[g] is not None:
+                results.append(None)
+            else:
+                results.append([digits[i][g].tolist() for i in range(k)])
+        return results, errors
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchTensorGame games={self.size} "
+            f"states={len(self.template.states)} "
+            f"profiles={self.template.profile_count():g}>"
+        )
+
+
 def lower_game(
     game: BayesianGame,
     max_action_profiles: int = DEFAULT_MAX_ACTION_PROFILES,

@@ -33,6 +33,7 @@ cost spread.  Scheduling decisions never change result rows.
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -94,6 +95,70 @@ class RunStats:
             f"jobs={self.jobs} backend={self.backend} "
             f"wall={self.wall_seconds:.2f}s"
         )
+
+
+#: task reference -> batch-runner reference.  A batch runner has the
+#: signature ``runner(rows: List[Dict[str, Any]]) -> List[Any]`` (one
+#: kwargs dict per unit, one value per row, same order) and MUST return
+#: values identical to calling the unit task once per row — the cache
+#: stores batch-computed values under the ordinary per-unit keys, so any
+#: divergence would poison later non-batched runs.
+_BATCH_RUNNERS: Dict[str, str] = {}
+
+
+def register_batch_runner(task: str, runner: str) -> None:
+    """Declare a unit task batchable: a fleet of pending units sharing
+    ``task`` dispatches as a handful of ``runner`` calls (one per worker
+    slot) instead of one job per unit, amortizing per-unit dispatch —
+    e.g. a structure-of-arrays session sweep over a game population.
+    Both arguments are ``"module:function"`` references; modules call
+    this at import time next to the task definition, so resolving the
+    task's module (which every worker does anyway) finds the runner.
+    """
+    _BATCH_RUNNERS[task] = runner
+
+
+def batch_runner_for(task: str) -> Optional[str]:
+    """The registered batch runner for ``task``, or ``None``.
+
+    Imports the task's module first (registration is an import side
+    effect beside the task definition), so the submitting process sees
+    the same registry a worker would.
+    """
+    if task not in _BATCH_RUNNERS:
+        module_name = task.partition(":")[0]
+        try:
+            importlib.import_module(module_name)
+        except Exception:
+            return None
+    return _BATCH_RUNNERS.get(task)
+
+
+def _execute_batch(job: Tuple[str, List[Dict[str, Any]], str]) -> List[Tuple[Any, float]]:
+    """Worker entry for one batched job: run the batch runner over all
+    rows under the caller's engine, then attribute wall time evenly (the
+    per-unit split inside one fused kernel call is unobservable)."""
+    runner_ref, rows, engine = job
+    start = time.perf_counter()
+    with engine_override(engine):
+        values = list(resolve_ref(runner_ref)(rows))
+    elapsed = time.perf_counter() - start
+    if len(values) != len(rows):
+        raise RuntimeError(
+            f"batch runner {runner_ref!r} returned {len(values)} values "
+            f"for {len(rows)} unit task(s)"
+        )
+    share = elapsed / len(rows)
+    return [(value, share) for value in values]
+
+
+def _execute_job(job: Tuple[str, Any]) -> List[Tuple[Any, float]]:
+    """Uniform worker entry: ``("unit", ...)`` or ``("batch", ...)`` jobs
+    both come back as a list of per-unit ``(value, seconds)`` pairs."""
+    kind, payload = job
+    if kind == "batch":
+        return _execute_batch(payload)
+    return [_execute_unit(payload)]
 
 
 def _execute_unit(job: Tuple[UnitTask, str]) -> Tuple[Any, float]:
@@ -205,16 +270,42 @@ def run_units(
         pending_indices = [pending_indices[at] for at in order]
         costs = [costs[at] for at in order]
 
-    pending = [(unique[index], engine) for index in pending_indices]
-    if pending:
-        workers = min(jobs, len(pending))
+    if pending_indices:
+        workers = min(jobs, len(pending_indices))
+        # Split batchable unit kinds (tasks with a registered batch
+        # runner) from singles; each batchable task's pending units fuse
+        # into one job per worker slot, carrying the runner reference so
+        # workers need no registry of their own.
+        singles: List[int] = []
+        grouped: Dict[str, List[int]] = {}
+        for index in pending_indices:
+            if batch_runner_for(unique[index].task) is None:
+                singles.append(index)
+            else:
+                grouped.setdefault(unique[index].task, []).append(index)
+        job_list: List[Tuple[str, Any]] = [
+            ("unit", (unique[index], engine)) for index in singles
+        ]
+        slots: List[List[int]] = [[index] for index in singles]
+        for task, indices in grouped.items():
+            runner = batch_runner_for(task)
+            chunk = max(1, -(-len(indices) // workers))
+            for start_at in range(0, len(indices), chunk):
+                piece = indices[start_at:start_at + chunk]
+                job_list.append(
+                    ("batch", (runner, [unique[i].kwargs for i in piece], engine))
+                )
+                slots.append(piece)
+        # With batch jobs in play the LPT cost list no longer aligns with
+        # the job list; fall back to uniform chunking (values unaffected).
+        job_costs = costs if not grouped else None
         if backend == "serial" or workers == 1:
-            outcomes = [_execute_unit(job) for job in pending]
+            outcomes = [_execute_job(job) for job in job_list]
         elif backend == "thread":
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 # ``map`` preserves input order, so result assembly is
                 # deterministic regardless of completion order.
-                outcomes = list(pool.map(_execute_unit, pending))
+                outcomes = list(pool.map(_execute_job, job_list))
         else:
             context = multiprocessing.get_context(MP_START_METHOD)
             with ProcessPoolExecutor(
@@ -222,26 +313,29 @@ def run_units(
             ) as pool:
                 outcomes = list(
                     pool.map(
-                        _execute_unit,
-                        pending,
-                        chunksize=_chunksize(len(pending), workers, costs),
+                        _execute_job,
+                        job_list,
+                        chunksize=_chunksize(len(job_list), workers, job_costs),
                     )
                 )
-        for index, (value, elapsed) in zip(pending_indices, outcomes):
-            values[index] = value
-            seconds[index] = elapsed
-            if cache is not None:
-                cache.put(
-                    unique[index].key(engine=engine),
-                    value,
-                    meta={
-                        "task": unique[index].task,
-                        "params": list(unique[index].params),
-                        "engine": engine,
-                    },
-                )
-        stats.executed = len(pending)
-        stats.executed_seconds = float(sum(elapsed for _, elapsed in outcomes))
+        executed_seconds = 0.0
+        for piece, piece_outcomes in zip(slots, outcomes):
+            for index, (value, elapsed) in zip(piece, piece_outcomes):
+                values[index] = value
+                seconds[index] = elapsed
+                executed_seconds += elapsed
+                if cache is not None:
+                    cache.put(
+                        unique[index].key(engine=engine),
+                        value,
+                        meta={
+                            "task": unique[index].task,
+                            "params": list(unique[index].params),
+                            "engine": engine,
+                        },
+                    )
+        stats.executed = len(pending_indices)
+        stats.executed_seconds = float(executed_seconds)
 
     results = [
         UnitResult(

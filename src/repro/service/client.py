@@ -49,6 +49,15 @@ class RemoteServiceError(RuntimeError):
         self.remote_message = message
 
 
+def _mapped_exception(status: int, error: Dict[str, Any]) -> BaseException:
+    """The exception :func:`_raise_mapped` would raise, as a value."""
+    try:
+        _raise_mapped(status, error)
+    except Exception as exception:
+        return exception
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _raise_mapped(status: int, error: Dict[str, Any]) -> None:
     """Re-raise a structured error body as its in-process equivalent."""
     code = error.get("code", "unknown")
@@ -197,6 +206,52 @@ class ServiceClient:
             {"queries": [wire_query(item) for item in queries]},
         )
         return [decode_result(value) for value in body["values"]]
+
+    def evaluate_many(
+        self,
+        games: Iterable[Any],
+        queries: Iterable[Any],
+        *,
+        on_error: str = "raise",
+    ) -> List[Any]:
+        """One bundle over many games via ``POST /v1/batch/evaluate``.
+
+        Mirrors :meth:`BatchSession.evaluate_many`: one decoded value row
+        per game, in input order, evaluated server-side through the
+        structure-of-arrays batch engine.  ``on_error="raise"`` re-raises
+        the first failing game's error exactly as the equivalent
+        per-game call would; ``on_error="return"`` puts the reconstructed
+        exception object in that game's row slot instead, so one bad game
+        cannot hide the others' results.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f"unknown on_error mode {on_error!r}; "
+                "expected 'raise' or 'return'"
+            )
+        body = self._call(
+            "POST",
+            "/v1/batch/evaluate",
+            {
+                "games": [
+                    {"game": spec_to_wire(coerce_spec(game))} for game in games
+                ],
+                "queries": [wire_query(item) for item in queries],
+            },
+        )
+        rows: List[Any] = []
+        for slot in body["results"]:
+            error = slot.get("error") if isinstance(slot, dict) else None
+            if isinstance(error, dict):
+                status = slot.get("status", 422)
+                if on_error == "raise":
+                    _raise_mapped(status, error)
+                rows.append(_mapped_exception(status, error))
+            else:
+                rows.append(
+                    [decode_result(value) for value in slot["values"]]
+                )
+        return rows
 
     def dynamics(
         self,

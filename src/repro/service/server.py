@@ -17,6 +17,10 @@ Endpoints (wire format in ``docs/SERVICE.md``)::
     POST /v1/games                    submit a game spec -> {"hash": ...}
     POST /v1/games/<hash>/evaluate    a Query measure bundle -> values
     POST /v1/games/<hash>/dynamics    best-response dynamics -> profile
+    POST /v1/batch/evaluate           many game specs x one bundle, routed
+                                      through the structure-of-arrays
+                                      batch engine; one result row per
+                                      game with per-game error bodies
 
 Evaluation errors map to structured bodies ``{"error": {"code", "message",
 ...}}`` whose codes mirror the differential fuzz harness's outcome tags
@@ -36,7 +40,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from .._util import ExplosionError
-from ..core.session import query
+from ..core.session import BatchSession, query
 from .codec import (
     CodecError,
     decode_result,
@@ -136,6 +140,8 @@ class _Handler(BaseHTTPRequestHandler):
             return path[1:]
         if method == "POST" and path == "/v1/games":
             return "submit"
+        if method == "POST" and path == "/v1/batch/evaluate":
+            return "batch-evaluate"
         match = _GAME_PATH.match(path)
         if match and method == "POST":
             return match.group(2)
@@ -183,6 +189,8 @@ class _Handler(BaseHTTPRequestHandler):
             return "metrics", 200, self.server.metrics.snapshot()
         if method == "POST" and path == "/v1/games":
             return ("submit",) + self._submit()
+        if method == "POST" and path == "/v1/batch/evaluate":
+            return ("batch-evaluate",) + self._batch_evaluate()
         match = _GAME_PATH.match(path)
         if match and method == "POST":
             key, action = match.groups()
@@ -230,14 +238,10 @@ class _Handler(BaseHTTPRequestHandler):
                 404, "unknown-game", f"no game registered under hash {key}"
             ) from None
 
-    def _evaluate(self, key: str) -> Tuple[int, Dict[str, Any]]:
-        payload = self._read_json()
-        if not isinstance(payload, dict) or "queries" not in payload:
-            raise RequestError(
-                400, "bad-request", 'evaluate body must be {"queries": [...]}'
-            )
+    @staticmethod
+    def _parse_queries(items: Any) -> list:
         try:
-            queries = [
+            return [
                 query(
                     str(item["measure"]),
                     **{
@@ -245,12 +249,20 @@ class _Handler(BaseHTTPRequestHandler):
                         for name, value in (item.get("params") or {}).items()
                     },
                 )
-                for item in payload["queries"]
+                for item in items
             ]
         except (CodecError, KeyError, TypeError) as error:
             raise RequestError(
                 400, "bad-request", f"malformed query bundle: {error!r}"
             ) from None
+
+    def _evaluate(self, key: str) -> Tuple[int, Dict[str, Any]]:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or "queries" not in payload:
+            raise RequestError(
+                400, "bad-request", 'evaluate body must be {"queries": [...]}'
+            )
+        queries = self._parse_queries(payload["queries"])
         entry = self._entry(key)
         try:
             with entry.session.lock:
@@ -261,6 +273,71 @@ class _Handler(BaseHTTPRequestHandler):
             "hash": key,
             "values": [encode_result(value) for value in values],
         }
+
+    def _batch_evaluate(self) -> Tuple[int, Dict[str, Any]]:
+        """Evaluate one measure bundle over many game specs in one call.
+
+        Every spec lands in the registry LRU (warm single-game calls reuse
+        the lowering, and vice versa), all registered games go through
+        :meth:`BatchSession.evaluate_many` — structure-of-arrays kernels
+        where the games lower, the looped path otherwise — and each game
+        gets its own result row.  A game that fails (a malformed spec, or
+        an evaluation error on any cell) contributes a structured error
+        body in its row; the other rows are unaffected and the call as a
+        whole still answers 200.
+        """
+        payload = self._read_json()
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("games"), list)
+            or "queries" not in payload
+        ):
+            raise RequestError(
+                400, "bad-request",
+                'batch body must be {"games": [...], "queries": [...]}',
+            )
+        queries = self._parse_queries(payload["queries"])
+        rows: list = [None] * len(payload["games"])
+        entries = []
+        positions = []
+        for position, wire in enumerate(payload["games"]):
+            try:
+                spec = spec_from_wire(
+                    wire.get("game", wire) if isinstance(wire, dict) else wire
+                )
+                entry, _ = self.server.registry.submit(spec)
+            except CodecError as error:
+                failure = RequestError(400, "bad-request", str(error))
+                rows[position] = {"status": 400, **failure.body()}
+            except HashCollisionError as error:
+                failure = RequestError(409, "hash-collision", str(error))
+                rows[position] = {"status": 409, **failure.body()}
+            else:
+                entries.append(entry)
+                positions.append(position)
+        if entries:
+            batch = BatchSession.from_sessions(
+                [entry.session for entry in entries]
+            )
+            tables = batch.evaluate_many(queries, on_error="capture")
+            for entry, position, values in zip(entries, positions, tables):
+                failed = next(
+                    (cell for cell in values if isinstance(cell, Exception)),
+                    None,
+                )
+                if failed is not None:
+                    failure = evaluation_error(failed)
+                    rows[position] = {
+                        "hash": entry.game_hash,
+                        "status": failure.status,
+                        **failure.body(),
+                    }
+                else:
+                    rows[position] = {
+                        "hash": entry.game_hash,
+                        "values": [encode_result(value) for value in values],
+                    }
+        return 200, {"count": len(rows), "results": rows}
 
     def _dynamics(self, key: str) -> Tuple[int, Dict[str, Any]]:
         payload = self._read_json()

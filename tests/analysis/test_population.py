@@ -1,0 +1,86 @@
+"""Same-shape population families and their batched cell tasks."""
+
+import pytest
+
+from repro.analysis.population import (
+    CELL_MEASURES,
+    FAMILIES,
+    batch_population_cells,
+    population_game,
+    unit_population_cell,
+)
+from repro.core import tensor
+
+
+class TestPopulationGame:
+    def test_members_are_deterministic(self):
+        first = population_game("tiny-2x2x2s2", 7)
+        second = population_game("tiny-2x2x2s2", 7)
+        support = first.prior.support()
+        assert support == second.prior.support()
+        for state, _prob in support:
+            actions = tuple(0 for _ in range(first.num_agents))
+            assert first.cost(0, state, actions) == second.cost(
+                0, state, actions
+            )
+
+    def test_every_family_is_same_shape(self):
+        for family in FAMILIES:
+            lowered = [
+                tensor.maybe_lower(population_game(family, member))
+                for member in range(3)
+            ]
+            assert all(tg is not None for tg in lowered)
+            assert len({tensor.batch_signature(tg) for tg in lowered}) == 1
+
+    def test_unknown_family_is_refused(self):
+        with pytest.raises(ValueError, match="unknown population family"):
+            population_game("no-such-family", 0)
+
+    def test_off_support_profiles_cost_zero(self):
+        game = population_game("tiny-2x2x2s2", 0)
+        k = game.num_agents
+        assert game.cost(0, (9,) * k, (0,) * k) == 0.0
+
+
+class TestCells:
+    def test_unit_and_batch_cells_agree(self):
+        measures = ",".join(CELL_MEASURES)
+        rows = [
+            dict(family="tiny-2x2x2s2", member=member, measures=measures)
+            for member in range(6)
+        ]
+        assert batch_population_cells(rows) == [
+            unit_population_cell(**row) for row in rows
+        ]
+
+    def test_failing_measures_become_error_cells(self):
+        measures = ",".join(CELL_MEASURES)
+        cells = [
+            unit_population_cell(
+                family="tiny-2x2x2s2", member=member, measures=measures
+            )
+            for member in range(8)
+        ]
+        errors = [
+            cell[name]["error"]
+            for cell in cells
+            for name in cell
+            if isinstance(cell[name], dict) and "error" in cell[name]
+        ]
+        assert errors, "corpus must include failing members for this test"
+        assert all({"type", "message"} <= set(e) for e in errors)
+
+    def test_unknown_measure_is_refused(self):
+        with pytest.raises(ValueError, match="unknown population measure"):
+            unit_population_cell(
+                family="tiny-2x2x2s2", member=0, measures="eq_c,bogus"
+            )
+
+    def test_cells_are_json_safe(self):
+        import json
+
+        cell = unit_population_cell(
+            family="tiny-2x2x2s2", member=0, measures=",".join(CELL_MEASURES)
+        )
+        assert json.loads(json.dumps(cell)) == cell

@@ -22,6 +22,14 @@ shared* :class:`~repro.core.session.GameSession` (every measure a
 ``session.evaluate`` query, so memoized sweeps/lowerings actually get
 reused across the battery), under both engines, demanding the same
 exact agreement — values and exceptions alike.
+
+:func:`check_batch_specs` is the batch-engine analogue: a whole batch of
+fuzzed games evaluated through ``BatchSession.evaluate_many`` — once
+with ``kernels="loop"`` (the per-game path) and once with
+``kernels="soa"`` (the structure-of-arrays kernels) — against the
+free-function baseline, per game, under both engines.  Values *and*
+captured exceptions must be identical in all three columns; a mismatch
+shrinks the offending game as a singleton batch.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ from repro.core import (
     opt_p,
     state_optimum,
 )
-from repro.core.session import GameSession, query
+from repro.core.session import BatchSession, GameSession, query
 from repro.core.strategy import greedy_strategy_profile
 
 from fuzz_games import TabularGameSpec, shrink_candidates
@@ -250,6 +258,152 @@ def check_session_spec(spec: TabularGameSpec) -> Optional[SessionMismatch]:
                 spec=spec, engine=engine, disagreements=disagreements
             )
     return None
+
+
+#: The batch bundle, in wire order: every sweep-backed measure, the scan
+#: measures, the full report, and the interim dynamics.
+BATCH_KEYS: Tuple[str, ...] = (
+    "equilibria",
+    "eq_p",
+    "opt_p",
+    "opt_c",
+    "eq_c",
+    "report",
+    "dynamics",
+)
+
+
+def _batch_bundle() -> List[object]:
+    return [
+        query("equilibria"),
+        query("eq_p"),
+        query("opt_p"),
+        query("opt_c"),
+        query("eq_c"),
+        query("ignorance_report"),
+        query("dynamics", max_rounds=DYNAMICS_MAX_ROUNDS),
+    ]
+
+
+def run_free_bundle(game: BayesianGame) -> List[Outcome]:
+    """The batch bundle answered by the free functions, one game."""
+    return [
+        _outcome(lambda: enumerate_bayesian_equilibria(game)),
+        _outcome(lambda: bayesian_equilibrium_extreme_costs(game)),
+        _outcome(lambda: opt_p(game)),
+        _outcome(lambda: opt_c(game)),
+        _outcome(lambda: eq_c(game)),
+        _outcome(lambda: ignorance_report(game).as_dict()),
+        _outcome(
+            lambda: bayesian_best_response_dynamics(
+                game, max_rounds=DYNAMICS_MAX_ROUNDS
+            )
+        ),
+    ]
+
+
+def _cell_outcome(key: str, value: object) -> Outcome:
+    """Fold one captured ``evaluate_many`` cell into a comparable outcome."""
+    if isinstance(value, ExplosionError):
+        return ("explosion", str(value))
+    if isinstance(value, AssertionError):
+        return ("assertion", str(value))
+    if isinstance(value, ValueError):
+        return ("value-error", str(value))
+    if isinstance(value, RuntimeError):
+        return ("runtime-error", str(value))
+    if key == "report":
+        return ("ok", value.as_dict())
+    return ("ok", value)
+
+
+def _batch_rows(
+    specs: List[TabularGameSpec], engine: str, kernels: str
+) -> List[List[Outcome]]:
+    """One ``evaluate_many`` over fresh builds of ``specs``, folded."""
+    with engine_override(engine):
+        batch = BatchSession.from_sessions(
+            [GameSession(spec.build()) for spec in specs]
+        )
+        rows = batch.evaluate_many(
+            _batch_bundle(), kernels=kernels, on_error="capture"
+        )
+    return [
+        [_cell_outcome(key, value) for key, value in zip(BATCH_KEYS, row)]
+        for row in rows
+    ]
+
+
+@dataclass
+class BatchMismatch:
+    """One batch disagreement: free vs looped vs SoA on one game."""
+
+    spec: TabularGameSpec
+    engine: str
+    game_index: int
+    disagreements: List[Tuple[str, Outcome, Outcome, Outcome]]
+
+    def describe(self) -> str:
+        lines = [
+            f"batch engine mismatch under engine {self.engine!r} on "
+            f"game #{self.game_index} "
+            f"({self.spec.meta or self.spec.name}):",
+        ]
+        for key, free, looped, soa in self.disagreements:
+            lines.append(f"  {key}:")
+            lines.append(f"    free functions: {free!r}")
+            lines.append(f"    kernels='loop': {looped!r}")
+            lines.append(f"    kernels='soa':  {soa!r}")
+        return "\n".join(lines)
+
+
+def check_batch_specs(
+    specs: List[TabularGameSpec],
+) -> Optional[BatchMismatch]:
+    """Free functions vs looped vs SoA batch kernels, per game.
+
+    All three columns use fresh game builds (no cached lowerings leak
+    between paths) and fold exceptions into comparable outcome tags, so
+    agreement covers error semantics too — a game that must raise inside
+    an otherwise-healthy batch has to raise identically in every column.
+    """
+    for engine in ("auto", "reference"):
+        with engine_override(engine):
+            free = [run_free_bundle(spec.build()) for spec in specs]
+        looped = _batch_rows(specs, engine, "loop")
+        soa = _batch_rows(specs, engine, "soa")
+        for index, spec in enumerate(specs):
+            disagreements = [
+                (key, f, l, s)
+                for key, f, l, s in zip(
+                    BATCH_KEYS, free[index], looped[index], soa[index]
+                )
+                if not (f == l == s)
+            ]
+            if disagreements:
+                return BatchMismatch(
+                    spec=spec,
+                    engine=engine,
+                    game_index=index,
+                    disagreements=disagreements,
+                )
+    return None
+
+
+def minimize_batch(
+    mismatch: BatchMismatch, max_steps: int = 200
+) -> BatchMismatch:
+    """Shrink a batch failure as a singleton batch (same greedy loop)."""
+    current = mismatch
+    for _ in range(max_steps):
+        for candidate in shrink_candidates(current.spec):
+            smaller = check_batch_specs([candidate])
+            if smaller is not None:
+                current = smaller
+                break
+        else:
+            return current
+    return current
 
 
 @dataclass

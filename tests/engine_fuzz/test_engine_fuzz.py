@@ -16,10 +16,12 @@ from repro.core import tensor
 
 from fuzz_games import spec_for_seed
 from fuzz_harness import (
+    check_batch_specs,
     check_session_spec,
     check_spec,
     format_failure,
     minimize,
+    minimize_batch,
 )
 
 #: Total seeded games per full run (the CI gate demands >= 200).
@@ -33,6 +35,11 @@ FAST_CHUNKS = 2
 #: (each runs four batteries: two paths x two engines).
 N_SESSION_GAMES = 120
 SESSION_FAST_CHUNKS = 1
+
+#: Seeded games the batch engine replays: free functions vs
+#: ``kernels="loop"`` vs ``kernels="soa"``, per game, both engines.
+N_BATCH_GAMES = 120
+BATCH_FAST_CHUNKS = 1
 
 
 def _run_seeds(seeds) -> None:
@@ -78,6 +85,38 @@ def test_session_facade_agrees_with_free_functions(chunk):
             pytest.fail(mismatch.describe())
 
 
+@pytest.mark.parametrize(
+    "chunk",
+    [
+        pytest.param(
+            chunk,
+            marks=[pytest.mark.slow] if chunk >= BATCH_FAST_CHUNKS else [],
+        )
+        for chunk in range(N_BATCH_GAMES // CHUNK)
+    ],
+)
+def test_batch_engine_agrees_with_looped_and_free(chunk):
+    """Whole fuzz chunks as one batch: SoA == looped == free functions.
+
+    Each chunk's games form one ``BatchSession`` (heterogeneous shapes,
+    so bucketing and the fallback path are both in play), evaluated with
+    captured errors — per-game values *and* exceptions must be
+    bit-identical across all three paths on both engines.  A mismatch
+    shrinks to a minimal singleton repro.
+    """
+    specs = [
+        spec_for_seed(seed)
+        for seed in range(chunk * CHUNK, (chunk + 1) * CHUNK)
+    ]
+    mismatch = check_batch_specs(specs)
+    if mismatch is not None:
+        minimized = minimize_batch(mismatch)
+        pytest.fail(
+            mismatch.describe() + "\n\nminimized repro:\n"
+            + minimized.describe() + "\n" + minimized.spec.describe()
+        )
+
+
 class TestHarnessDetectsFaults:
     """The differential harness must not be vacuous: an injected engine
     bug has to surface as a mismatch and survive minimization."""
@@ -108,6 +147,38 @@ class TestHarnessDetectsFaults:
         report = format_failure(0, mismatch, minimized)
         assert "minimized repro" in report
         assert "opt_p" in report or "report" in report
+
+    def test_injected_batch_kernel_fault_is_caught(self, monkeypatch):
+        """A skewed SoA sweep must surface in the batch battery.
+
+        The fault only touches :class:`tensor.BatchTensorGame` (the SoA
+        kernels), so ``kernels="loop"`` and the free functions stay
+        correct — exactly the disagreement the battery compares for.
+        """
+        original = tensor.BatchTensorGame.sweep_profiles
+
+        def skewed(self, max_profiles, collect_equilibria=False,
+                   check_equilibria=True, subset=None):
+            sweeps, errors = original(
+                self, max_profiles,
+                collect_equilibria=collect_equilibria,
+                check_equilibria=check_equilibria,
+                subset=subset,
+            )
+            for sweep in sweeps:
+                if sweep is not None:
+                    sweep.opt_p += 0.125
+            return sweeps, errors
+
+        monkeypatch.setattr(tensor.BatchTensorGame, "sweep_profiles", skewed)
+        specs = [spec_for_seed(seed) for seed in range(8)]
+        mismatch = check_batch_specs(specs)
+        assert mismatch is not None
+        keys = [key for key, _, _, _ in mismatch.disagreements]
+        assert any(key in ("opt_p", "eq_p", "report") for key in keys)
+        minimized = minimize_batch(mismatch)
+        assert minimized.disagreements
+        assert len(minimized.spec.support) <= len(mismatch.spec.support)
 
     def test_injected_dynamics_fault_is_caught(self, monkeypatch):
         """A wrong tie-break in the dynamics argmin must be detected."""
