@@ -1,0 +1,93 @@
+"""Pull-queue walkthrough: fill -> elastic workers -> collect -> verify.
+
+Simulates the shared-database cycle of docs/QUEUE.md inside one
+process: fill a small experiment grid into a sqlite work table, let a
+"crashed" worker abandon a claim (its lease expires under an injected
+clock — no waiting), drain the queue with two worker "machines" that
+share nothing but the database file, collect the result rows, and check
+the collected cell rows are byte-identical to a plain local run.
+
+Run:  python examples/queued_sweep.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis.experiments import sweep_aux_online_steiner
+from repro.runtime import (
+    ResultCache,
+    WorkQueue,
+    cell_to_dict,
+    collect_queue,
+    run_sweeps,
+    run_worker,
+)
+
+#: A small grid: greedy online Steiner vs OPT on four diamond levels —
+#: the smallest grid whose log-shape claim check still passes.
+SWEEP = sweep_aux_online_steiner(levels=(1, 2, 3, 4), samples=6)
+
+
+def encoded(sweep_runs) -> str:
+    return json.dumps(
+        [cell_to_dict(cell) for run in sweep_runs for cell in run.cells],
+        sort_keys=True,
+    )
+
+
+def main() -> None:
+    now = [1_000.0]  # injected clock: lease expiry without real waiting
+
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+
+        # --- fill: one row per unit task, keyed by content address -----
+        queue = WorkQueue(scratch / "sweep.db", clock=lambda: now[0])
+        inserted, existing = queue.fill([SWEEP])
+        print(f"filled the queue: {inserted} unit task(s), {existing} existing")
+
+        # --- a worker crashes: its claim is abandoned mid-lease --------
+        crashed = WorkQueue(queue.path, clock=lambda: now[0])
+        lost = crashed.claim("crashed-machine", limit=2, lease_seconds=30.0)
+        print(f"machine X claimed {len(lost)} row(s) and died without a trace")
+        now[0] += 31.0  # the lease runs out; the rows become stragglers
+
+        # --- elastic fleet: two machines, shared database, own caches --
+        for name in ("machine-a", "machine-b"):
+            handle = WorkQueue(queue.path, clock=lambda: now[0])
+            cache = ResultCache(root=scratch / name / ".repro_cache")
+            stats = run_worker(handle, cache=cache, owner=name, max_claim=3)
+            print(f"{name}: {stats.describe()}")
+        states = queue.counts()
+        print(f"queue drained: {states['done']} done, {states['dead']} dead")
+        print()
+
+        # --- collect: result rows -> the unified report ----------------
+        local_cache = ResultCache(root=scratch / "collect" / ".repro_cache")
+        collected_runs, stats, meta = collect_queue(
+            [SWEEP], queue, cache=local_cache
+        )
+        print(
+            f"collected {meta['result_rows']} result row(s) from the queue, "
+            f"engine {meta['engine']!r}"
+        )
+        for cell in (c for run in collected_runs for c in run.cells):
+            verdict = "PASS" if cell.passed else "FAIL"
+            print(f"  {cell.experiment_id}: {cell.measured_shape} [{verdict}]")
+        print()
+
+        # --- verify: queue-collected == local, byte for byte -----------
+        baseline_runs, _ = run_sweeps([SWEEP], jobs=1)
+        assert encoded(collected_runs) == encoded(baseline_runs)
+        print("collected rows are byte-identical to the local sweep")
+
+        # ... and the collect-time cache import means a local re-run of
+        # the same sweep recomputes nothing.
+        _, warm = run_sweeps([SWEEP], jobs=1, cache=local_cache)
+        assert warm.executed == 0
+        print(f"local re-run: {warm.cache_hits} cache hit(s), 0 executed")
+
+
+if __name__ == "__main__":
+    main()

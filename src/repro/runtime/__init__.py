@@ -16,6 +16,12 @@ The subsystem behind ``python -m repro``:
     partitioning (:func:`plan_shards`), one-shard execution
     (:func:`run_shard`), and manifest merging (:func:`merge_shards`)
     that reconstructs byte-identical unsharded results.
+``repro.runtime.queue``
+    The database-backed pull queue for elastic distributed sweeps:
+    a sqlite work table any number of ``python -m repro worker``
+    processes claim from transactionally (leases, heartbeats, bounded
+    retries), with ``--from-queue`` collection byte-identical to a
+    local run.
 ``repro.runtime.cache``
     Content-addressed on-disk result cache under ``.repro_cache/``,
     mergeable across machines.
@@ -28,18 +34,33 @@ The subsystem behind ``python -m repro``:
 """
 
 from .artifacts import ArtifactStore, RunArtifacts, cell_to_dict, load_cells_json
-from .cache import CacheStats, ResultCache, default_cache_root
+from .cache import (
+    CacheStats,
+    ResultCache,
+    decode_value,
+    default_cache_root,
+    encode_value,
+)
 from .executor import (
     RunStats,
     ScenarioRun,
     SweepRun,
     UnitResult,
     expand_sweeps,
+    normalized_engine,
     reduce_sweeps,
     run_sweep,
     run_sweeps,
     run_units,
     sweep_cells,
+)
+from .queue import (
+    QueueError,
+    WorkQueue,
+    WorkerStats,
+    collect_queue,
+    fill_queue,
+    run_worker,
 )
 from .shard import (
     CostModel,
@@ -59,7 +80,16 @@ __all__ = [
     "load_cells_json",
     "CacheStats",
     "ResultCache",
+    "decode_value",
     "default_cache_root",
+    "encode_value",
+    "QueueError",
+    "WorkQueue",
+    "WorkerStats",
+    "collect_queue",
+    "fill_queue",
+    "run_worker",
+    "normalized_engine",
     "RunStats",
     "ScenarioRun",
     "SweepRun",

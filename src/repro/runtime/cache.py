@@ -41,6 +41,40 @@ def default_cache_root() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIRNAME))
 
 
+# ----------------------------------------------------------------------
+# value codec
+# ----------------------------------------------------------------------
+#
+# THE storage format for a unit-task value, shared by every transport
+# that persists one: cache entries here, queue result rows
+# (repro.runtime.queue), and duplicate-write equality checks.  One codec
+# means "same value" and "same bytes" are interchangeable everywhere —
+# a queue-collected value imported into the cache is byte-identical to
+# the entry a local run would have written.
+
+def encode_value(value: Any) -> str:
+    """Canonical JSON text of a unit-task value (sorted keys, no spaces)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def decode_value(text: str) -> Any:
+    """Inverse of :func:`encode_value`; raises ``ValueError`` on garbage."""
+    return json.loads(text)
+
+
+def load_entry(path: Path) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    """Read one cache entry file; returns ``(value, meta)``.
+
+    Raises ``OSError`` / ``ValueError`` / ``KeyError`` on missing,
+    unreadable, or corrupt entries — callers decide whether that is a
+    plain miss (:meth:`ResultCache.get`) or a skip
+    (:meth:`ResultCache.merge_from`).
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    return entry["value"], entry.get("meta")
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/write counters for one cache instance."""
@@ -102,11 +136,8 @@ class ResultCache:
 
     def get(self, key: str) -> Tuple[bool, Any]:
         """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
-        path = self.path_for(key)
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            value = entry["value"]
+            value, _ = load_entry(self.path_for(key))
         except (OSError, ValueError, KeyError):
             # Missing, unreadable, or corrupt entries are all plain misses;
             # the unit task simply recomputes and overwrites.
@@ -173,12 +204,10 @@ class ResultCache:
             if self.path_for(key).exists():
                 continue
             try:
-                with path.open("r", encoding="utf-8") as handle:
-                    entry = json.load(handle)
-                value = entry["value"]
+                value, meta = load_entry(path)
             except (OSError, ValueError, KeyError):
                 continue
-            self.put(key, value, meta=entry.get("meta"))
+            self.put(key, value, meta=meta)
             imported += 1
         return imported
 

@@ -17,6 +17,12 @@ Subcommands::
     python -m repro cache stats|clear     # inspect / empty .repro_cache
     python -m repro cache prune --max-size-mb 64 --max-age-days 30
     python -m repro cache merge --from DIR     # import another machine's cache
+    python -m repro queue init --db sweep.db   # create an empty work queue
+    python -m repro queue fill T1 --db sweep.db    # enqueue a sweep's units
+    python -m repro queue status --db sweep.db     # rows per state, workers
+    python -m repro queue requeue --db sweep.db    # re-pend stragglers
+    python -m repro worker --db sweep.db  # claim + execute until drained
+    python -m repro report --from-queue sweep.db   # collect -> unified report
     python -m repro serve --port 8350     # the equilibrium session server
                                           #   (docs/SERVICE.md)
 
@@ -41,6 +47,15 @@ The special id ``report`` names the entire default suite, so ``report
 --shard K/N`` + ``shard merge report`` reproduce the full ``report``
 artifact byte-identically across machines.
 
+The ``queue`` subcommands and ``worker`` replace fixed push shards with
+an elastic pull queue (docs/QUEUE.md): ``queue fill`` inserts one row
+per unit into a sqlite work table, any number of ``worker`` processes
+claim rows transactionally (leases, heartbeats, bounded retries), and
+``sweep``/``report --from-queue DB`` collect the result rows into the
+same unified artifacts — byte-identical to a local or shard-merged run.
+``shard merge`` stays as the offline fallback when no shared database
+is reachable.
+
 Exit codes: 0 all claims pass (shard runs: shard completed), 1 a cell
 failed its claim, 2 usage error.
 """
@@ -58,6 +73,14 @@ from ..analysis.table1 import render_markdown, render_series_block
 from .artifacts import DEFAULT_RESULTS_DIRNAME, ArtifactStore
 from .cache import ResultCache, default_cache_root
 from .executor import BACKENDS, run_sweeps, unit_timings
+from .queue import (
+    DEFAULT_MAX_ATTEMPTS,
+    QueueError,
+    WorkQueue,
+    WorkerInterrupted,
+    collect_queue,
+    run_worker,
+)
 from .shard import (
     CostModel,
     ShardMergeError,
@@ -217,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
             "'shard merge')",
         )
         sub.add_argument(
+            "--from-queue", dest="from_queue", type=Path, default=None,
+            metavar="DB",
+            help="collect finished rows from a pull-queue database "
+            "instead of executing locally (see 'queue fill' / 'worker')",
+        )
+        sub.add_argument(
             "--series", action="store_true",
             help="print every cell's measured series",
         )
@@ -236,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only shard K of a deterministic N-way split of the "
         "full suite (writes a manifest under results/report/shards/; "
         "'shard merge report' completes the report)",
+    )
+    report_parser.add_argument(
+        "--from-queue", dest="from_queue", type=Path, default=None,
+        metavar="DB",
+        help="collect the full suite's finished rows from a pull-queue "
+        "database instead of executing locally",
     )
 
     shard_parser = subparsers.add_parser(
@@ -311,6 +346,95 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--from", dest="merge_source", type=Path, default=None, metavar="DIR",
         help="merge: cache directory to import entries from",
+    )
+
+    queue_parser = subparsers.add_parser(
+        "queue",
+        help="manage the pull-queue work table for elastic distributed "
+        "sweeps (docs/QUEUE.md)",
+    )
+    queue_sub = queue_parser.add_subparsers(dest="queue_command", required=True)
+
+    def _add_db_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--db", type=Path, required=True, metavar="PATH",
+            help="the sqlite queue database (a file on local or shared "
+            "storage)",
+        )
+
+    queue_init_parser = queue_sub.add_parser(
+        "init", help="create an empty work queue database"
+    )
+    _add_db_option(queue_init_parser)
+
+    queue_fill_parser = queue_sub.add_parser(
+        "fill", help="enqueue a sweep's unit tasks (idempotent by address)"
+    )
+    queue_fill_parser.add_argument(
+        "ids", nargs="+", metavar="ID",
+        help="experiment id or prefix (e.g. T1, FIG1, SEC4, report)",
+    )
+    _add_db_option(queue_fill_parser)
+    _add_set_option(queue_fill_parser)
+    queue_fill_parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help=f"retry budget per row before it is declared dead "
+        f"(default {DEFAULT_MAX_ATTEMPTS})",
+    )
+
+    queue_status_parser = queue_sub.add_parser(
+        "status", help="show rows per state, active workers, recent errors"
+    )
+    _add_db_option(queue_status_parser)
+    queue_status_parser.add_argument(
+        "--json", action="store_true", help="print the full snapshot as JSON"
+    )
+
+    queue_requeue_parser = queue_sub.add_parser(
+        "requeue",
+        help="re-pend expired leases and retryable failures "
+        "(straggler recovery)",
+    )
+    _add_db_option(queue_requeue_parser)
+    queue_requeue_parser.add_argument(
+        "--dead", action="store_true",
+        help="also resurrect dead rows with a fresh attempt budget",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="claim and execute queued unit tasks until the queue drains "
+        "(docs/QUEUE.md)",
+    )
+    _add_db_option(worker_parser)
+    _add_pool_options(worker_parser)
+    _add_cache_options(worker_parser)
+    worker_parser.add_argument(
+        "--lease-seconds", type=float, default=60.0, metavar="S",
+        help="claim lease duration; a crashed worker's rows re-queue "
+        "after this long (default 60)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat-seconds", type=float, default=None, metavar="S",
+        help="lease renewal period (default: lease/3)",
+    )
+    worker_parser.add_argument(
+        "--poll-seconds", type=float, default=0.5, metavar="S",
+        help="idle wait between claim attempts (default 0.5)",
+    )
+    worker_parser.add_argument(
+        "--max-claim", type=int, default=16, metavar="N",
+        help="claim up to N same-task rows at once so batch runners "
+        "fuse (default 16)",
+    )
+    worker_parser.add_argument(
+        "--owner", default=None, metavar="NAME",
+        help="worker identity recorded on claimed rows "
+        "(default host:pid:nonce)",
+    )
+    worker_parser.add_argument(
+        "--keep-alive", action="store_true",
+        help="poll for new work instead of exiting when the queue drains",
     )
 
     serve_parser = subparsers.add_parser(
@@ -513,6 +637,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sweeps = _resolve_ids(args)
     if sweeps is None:
         return 2
+    if getattr(args, "from_queue", None) is not None:
+        return _cmd_from_queue(
+            args, sweeps, _artifact_name(args.ids), args.series
+        )
     return _run_and_report(args, sweeps, _artifact_name(args.ids), args.series)
 
 
@@ -524,7 +652,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
         args.ids = ["report"]
         return _cmd_shard_run(args)
     sweeps = list(registry.sweep_specs().values())
+    if getattr(args, "from_queue", None) is not None:
+        return _cmd_from_queue(args, sweeps, "report", show_series=True)
     return _run_and_report(args, sweeps, "report", show_series=True)
+
+
+def _cmd_from_queue(
+    args: argparse.Namespace,
+    sweeps,
+    artifact_name: str,
+    show_series: bool,
+) -> int:
+    """Collect a sweep's rows from a pull-queue database.
+
+    The collected values also land in the local result cache (under
+    their ordinary engine-salted keys), so a later non-queue run of the
+    same ids recomputes nothing.
+    """
+    sweeps = _apply_overrides(args, sweeps)
+    queue = WorkQueue(args.from_queue)
+    cache = _cache_from_args(args)
+    try:
+        sweep_runs, stats, collect_meta = collect_queue(
+            sweeps, queue, cache=cache
+        )
+    except QueueError as error:
+        print(f"queue collect failed: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"collected {collect_meta['result_rows']} result row(s) from "
+        f"{queue.path} computed under engine {collect_meta['engine']!r}"
+    )
+    return _report_cells(
+        args,
+        sweep_runs,
+        stats,
+        artifact_name,
+        show_series,
+        extra_meta={"queue_collect": collect_meta},
+    )
 
 
 def _cmd_shard_plan(args: argparse.Namespace) -> int:
@@ -689,6 +855,127 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_queue(args: argparse.Namespace) -> int:
+    queue = WorkQueue(args.db)
+    try:
+        if args.queue_command == "init":
+            queue.initialize()
+            counts = queue.counts()
+            print(f"queue {queue.path}: {sum(counts.values())} row(s)")
+            return 0
+        if args.queue_command == "fill":
+            sweeps = _resolve_ids(args)
+            if sweeps is None:
+                return 2
+            sweeps = _apply_overrides(args, sweeps)
+            max_attempts = (
+                args.max_attempts
+                if args.max_attempts is not None
+                else DEFAULT_MAX_ATTEMPTS
+            )
+            inserted, existing = queue.fill(sweeps, max_attempts=max_attempts)
+            counts = queue.counts()
+            print(
+                f"queue {queue.path}: inserted {inserted} unit task(s) "
+                f"({existing} already present); "
+                f"{counts['pending']} pending / {counts['done']} done "
+                f"of {sum(counts.values())} total"
+            )
+            return 0
+        if args.queue_command == "requeue":
+            queue.check_version()
+            moved = queue.requeue(include_dead=args.dead)
+            print(
+                f"queue {queue.path}: re-queued {moved['requeued']} row(s), "
+                f"declared {moved['dead']} dead, resurrected "
+                f"{moved['resurrected']}"
+            )
+            return 0
+        # status
+        snapshot = queue.status()
+        if snapshot["version"] is None:
+            print(f"{queue.path} is not an initialized queue", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+            return 0
+        print(f"queue: {snapshot['path']}")
+        states = snapshot["states"]
+        print(
+            f"rows: {snapshot['total']} "
+            f"(pending {states['pending']}, claimed {states['claimed']}, "
+            f"done {states['done']}, failed {states['failed']}, "
+            f"dead {states['dead']}); {snapshot['results']} result row(s)"
+        )
+        for worker in snapshot["workers"]:
+            print(
+                f"  worker {worker['owner']}: {worker['claimed']} claimed, "
+                f"lease until {worker['lease_deadline']}"
+            )
+        for entry in snapshot["recent_errors"]:
+            print(f"  error {entry['address'][:12]}: {entry['error']}")
+        return 0
+    except QueueError as error:
+        print(f"queue {args.queue_command} failed: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Claim-and-execute until the queue drains; exit 0 on SIGTERM.
+
+    The signal handler sets the stop event (honored at the next loop
+    boundary) *and* raises :class:`WorkerInterrupted` in the main thread
+    so a worker blocked inside a long unit task stops immediately;
+    either way ``run_worker`` releases still-leased rows back to
+    ``pending`` on the way out — a terminated worker never loses a unit.
+    """
+    import signal
+    import threading
+
+    queue = WorkQueue(args.db)
+    cache = _cache_from_args(args)
+    stop = threading.Event()
+
+    def request_stop(*_: object) -> None:
+        first = not stop.is_set()
+        stop.set()
+        if first:
+            raise WorkerInterrupted()
+
+    previous = {
+        signum: signal.signal(signum, request_stop)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        stats = run_worker(
+            queue,
+            cache=cache,
+            owner=args.owner,
+            backend=args.backend,
+            jobs=args.jobs,
+            lease_seconds=args.lease_seconds,
+            heartbeat_seconds=args.heartbeat_seconds,
+            poll_seconds=args.poll_seconds,
+            max_claim=args.max_claim,
+            keep_alive=args.keep_alive,
+            stop_event=stop,
+        )
+    except WorkerInterrupted:
+        # The signal landed outside run_worker's own loop (it has no
+        # claim to release there); still a clean shutdown.
+        print("worker stopped", flush=True)
+        return 0
+    except QueueError as error:
+        print(f"worker failed: {error}", file=sys.stderr)
+        return 2
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    verb = "stopped" if stop.is_set() else "drained"
+    print(f"worker {verb}: {stats.describe()}", flush=True)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve until SIGINT/SIGTERM, then drain and exit 0.
 
@@ -760,6 +1047,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_shard_merge(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "queue":
+            return _cmd_queue(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "serve":
             return _cmd_serve(args)
     except BrokenPipeError:

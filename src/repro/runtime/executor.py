@@ -54,6 +54,15 @@ MP_START_METHOD = "spawn"
 BACKENDS = ("process", "thread", "serial")
 
 
+def normalized_engine() -> str:
+    """The caller's effective evaluation engine, with the ``tensor``
+    alias folded into its target ``auto`` — the engine label recorded by
+    shard manifests and queue result rows, matching what
+    :meth:`UnitTask.key` folds into cache addresses."""
+    engine = get_engine()
+    return "auto" if engine == "tensor" else engine
+
+
 @dataclass
 class UnitResult:
     """One executed (or cache-served) unit task."""

@@ -35,6 +35,7 @@ from .executor import (
     SweepRun,
     UnitResult,
     expand_sweeps,
+    normalized_engine,
     reduce_sweeps,
     run_units,
 )
@@ -262,13 +263,6 @@ def plan_shards(
 # shard execution
 # ----------------------------------------------------------------------
 
-def _normalized_engine() -> str:
-    from ..core.tensor import get_engine
-
-    engine = get_engine()
-    return "auto" if engine == "tensor" else engine
-
-
 @dataclass
 class ShardRun:
     """One executed shard: its plan slot, unit results, and stats."""
@@ -346,7 +340,7 @@ def run_shard(
     return ShardRun(
         plan=plan,
         shard_index=shard_index,
-        engine=_normalized_engine(),
+        engine=normalized_engine(),
         results=results,
         stats=stats,
     )

@@ -1,0 +1,353 @@
+"""Worker lifecycle under real processes and real signals.
+
+The library-level battery (``test_queue.py``) proves the state machine
+under a fake clock; this file proves the ``python -m repro worker``
+*process*: it claims, heartbeats, drains, exits 0 on SIGTERM without
+losing the unit it was running, and a SIGKILL'd worker's lease expires
+into re-queueable work.  Blocking is done with sentinel files (the
+``queue_tasks:blocking_unit`` helper) so every test controls exactly
+when a worker is mid-unit.
+"""
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.artifacts import cell_to_dict
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import run_sweeps
+from repro.runtime.queue import WorkQueue, collect_queue, run_worker
+from repro.runtime.spec import ScenarioSpec, SweepSpec
+
+HERE = Path(__file__).resolve().parent
+REPO_ROOT = HERE.parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def encoded_rows(sweep_runs) -> str:
+    return json.dumps(
+        [cell_to_dict(cell) for run in sweep_runs for cell in run.cells],
+        sort_keys=True,
+    )
+
+
+def worker_env() -> dict:
+    env = dict(os.environ)
+    extra = f"{SRC}{os.pathsep}{HERE}"
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{extra}{os.pathsep}{existing}" if existing else extra
+    return env
+
+
+def repro_cli(tmp_path, *argv, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=tmp_path,
+        env=worker_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def spawn_worker(tmp_path, db, *extra):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--db", str(db),
+            "--backend", "serial", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "worker-cache"),
+            *extra,
+        ],
+        cwd=tmp_path,
+        env=worker_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def wait_for(predicate, timeout=60.0, interval=0.05, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def task_rows(db):
+    with sqlite3.connect(str(db)) as conn:
+        conn.row_factory = sqlite3.Row
+        return conn.execute(
+            "SELECT address, state, owner, attempts, lease_deadline "
+            "FROM tasks ORDER BY address"
+        ).fetchall()
+
+
+def blocking_sweep(sentinel_dir, ks=(1,), timeout=30.0):
+    scenario = ScenarioSpec(
+        scenario_id="QBLOCK-S0",
+        task="queue_tasks:blocking_unit",
+        reducer="queue_tasks:reduce_values",
+        grid={"k": tuple(ks)},
+        fixed={"sentinel_dir": str(sentinel_dir), "timeout": timeout},
+        description="worker lifecycle: blocking unit",
+    )
+    return SweepSpec("QBLOCK", (scenario,), description="worker lifecycle")
+
+
+def fill_blocking(tmp_path, ks=(1,)):
+    sentinels = tmp_path / "sentinels"
+    sentinels.mkdir()
+    sweep = blocking_sweep(sentinels, ks=ks)
+    queue = WorkQueue(tmp_path / "queue.sqlite")
+    queue.fill([sweep])
+    return queue, sweep, sentinels
+
+
+class TestWorkerCLI:
+    def test_queue_cli_roundtrip_and_worker_drain(self, tmp_path):
+        db = tmp_path / "queue.sqlite"
+        init = repro_cli(tmp_path, "queue", "init", "--db", str(db))
+        assert init.returncode == 0, init.stdout + init.stderr
+        assert "0 row(s)" in init.stdout
+
+        fill = repro_cli(
+            tmp_path, "queue", "fill", "FIG1", "--db", str(db),
+            "--set", "k=4,8",
+        )
+        assert fill.returncode == 0, fill.stdout + fill.stderr
+        assert "inserted" in fill.stdout
+        refill = repro_cli(
+            tmp_path, "queue", "fill", "FIG1", "--db", str(db),
+            "--set", "k=4,8",
+        )
+        assert "inserted 0 unit task(s)" in refill.stdout
+
+        status = repro_cli(tmp_path, "queue", "status", "--db", str(db), "--json")
+        snapshot = json.loads(status.stdout)
+        total = snapshot["total"]
+        assert total >= 2
+        assert snapshot["states"]["pending"] == total
+
+        worker = repro_cli(tmp_path, "worker", "--db", str(db), "--backend", "serial")
+        assert worker.returncode == 0, worker.stdout + worker.stderr
+        assert "worker drained:" in worker.stdout
+        assert f"{total} done" in worker.stdout
+
+        requeue = repro_cli(tmp_path, "queue", "requeue", "--db", str(db))
+        assert requeue.returncode == 0
+        assert "re-queued 0 row(s)" in requeue.stdout
+
+        done = repro_cli(tmp_path, "queue", "status", "--db", str(db), "--json")
+        assert json.loads(done.stdout)["states"]["done"] == total
+
+    def test_from_queue_report_matches_local_run_byte_for_byte(self, tmp_path):
+        db = tmp_path / "queue.sqlite"
+        args = ("FIG1", "--set", "k=4,8,16")
+        assert repro_cli(tmp_path, "queue", "fill", *args, "--db", str(db)).returncode == 0
+        worker = repro_cli(tmp_path, "worker", "--db", str(db), "--backend", "serial")
+        assert worker.returncode == 0, worker.stdout + worker.stderr
+
+        collected = repro_cli(
+            tmp_path, "sweep", *args, "--from-queue", str(db),
+            "--results-dir", "results-queue",
+        )
+        direct = repro_cli(
+            tmp_path, "sweep", *args, "--results-dir", "results-direct",
+        )
+        assert collected.returncode == direct.returncode, (
+            collected.stdout + collected.stderr
+        )
+        assert "collected" in collected.stdout
+        queue_cells = sorted((tmp_path / "results-queue").glob("**/cells.json"))
+        direct_cells = sorted((tmp_path / "results-direct").glob("**/cells.json"))
+        assert len(queue_cells) == 1 and len(direct_cells) == 1
+        assert queue_cells[0].read_bytes() == direct_cells[0].read_bytes()
+
+    def test_sigterm_while_idle_keep_alive_exits_zero(self, tmp_path):
+        db = tmp_path / "queue.sqlite"
+        WorkQueue(db).initialize()
+        worker = spawn_worker(tmp_path, db, "--keep-alive", "--poll-seconds", "0.1")
+        try:
+            time.sleep(1.0)  # let it reach the idle poll loop
+            assert worker.poll() is None, "keep-alive worker must not drain-exit"
+            worker.send_signal(signal.SIGTERM)
+            out, _ = worker.communicate(timeout=30)
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+        assert worker.returncode == 0, out
+        assert "worker stopped" in out
+
+
+class TestWorkerSignals:
+    def test_sigterm_mid_unit_releases_the_claim(self, tmp_path):
+        queue, sweep, sentinels = fill_blocking(tmp_path, ks=(1,))
+        worker = spawn_worker(tmp_path, queue.path, "--owner", "w1")
+        try:
+            wait_for(
+                lambda: (sentinels / "started-1").exists(),
+                what="worker to enter the blocking unit",
+            )
+            worker.send_signal(signal.SIGTERM)
+            out, _ = worker.communicate(timeout=30)
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+        assert worker.returncode == 0, out
+        assert "worker stopped" in out
+
+        # The interrupted unit was handed back, not lost: pending again,
+        # unowned, and the graceful release refunded the attempt.
+        (row,) = task_rows(queue.path)
+        assert row["state"] == "pending"
+        assert row["owner"] is None
+        assert row["attempts"] == 0
+
+        # A restarted worker picks the unit up and finishes the sweep.
+        (sentinels / "release").write_text("go", encoding="utf-8")
+        restarted = spawn_worker(tmp_path, queue.path)
+        out, _ = restarted.communicate(timeout=60)
+        assert restarted.returncode == 0, out
+        assert "worker drained:" in out
+        assert queue.counts()["done"] == 1
+
+    @pytest.mark.slow
+    def test_sigkill_mid_unit_lease_expires_and_work_recovers(self, tmp_path):
+        queue, sweep, sentinels = fill_blocking(tmp_path, ks=(1,))
+        worker = spawn_worker(
+            tmp_path, queue.path, "--owner", "doomed", "--lease-seconds", "5",
+        )
+        try:
+            wait_for(
+                lambda: (sentinels / "started-1").exists(),
+                what="worker to enter the blocking unit",
+            )
+            worker.send_signal(signal.SIGKILL)
+            worker.wait(timeout=30)
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+        assert worker.returncode == -signal.SIGKILL
+
+        # SIGKILL leaves the row claimed by a ghost; the lease is the
+        # only way out.  A future-dated clock expires it deterministically.
+        (row,) = task_rows(queue.path)
+        assert (row["state"], row["owner"]) == ("claimed", "doomed")
+        future = WorkQueue(queue.path, clock=lambda: time.time() + 3600.0)
+        assert future.requeue()["requeued"] == 1
+        (row,) = task_rows(queue.path)
+        assert row["state"] == "pending"
+        assert row["attempts"] == 1, "the crashed attempt stays spent"
+
+        (sentinels / "release").write_text("go", encoding="utf-8")
+        stats = run_worker(queue)
+        assert stats.done == 1
+        (row,) = task_rows(queue.path)
+        assert (row["state"], row["attempts"]) == ("done", 2)
+        collected, _, _ = collect_queue([sweep], queue)
+        oracle, _ = run_sweeps([sweep], jobs=1, cache=None, backend="serial")
+        assert encoded_rows(collected) == encoded_rows(oracle)
+
+    @pytest.mark.slow
+    def test_heartbeat_keeps_a_long_unit_leased_past_the_lease(self, tmp_path):
+        queue, sweep, sentinels = fill_blocking(tmp_path, ks=(1,))
+        worker = spawn_worker(
+            tmp_path, queue.path,
+            "--lease-seconds", "3", "--heartbeat-seconds", "0.25",
+        )
+        try:
+            wait_for(
+                lambda: (sentinels / "started-1").exists(),
+                what="worker to enter the blocking unit",
+            )
+            time.sleep(4.5)  # well past the original 3s lease
+            assert queue.requeue() == {
+                "requeued": 0, "dead": 0, "resurrected": 0,
+            }, "heartbeats must keep the long-running unit leased"
+            (row,) = task_rows(queue.path)
+            assert row["state"] == "claimed"
+            (sentinels / "release").write_text("go", encoding="utf-8")
+            out, _ = worker.communicate(timeout=60)
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+        assert worker.returncode == 0, out
+        assert queue.counts()["done"] == 1
+
+    @pytest.mark.slow
+    def test_two_workers_one_killed_end_to_end_parity(self, tmp_path):
+        # The acceptance scenario: two elastic workers, one SIGKILL'd
+        # mid-unit; its row re-queues on lease expiry, the survivor
+        # finishes everything, and collection is byte-identical to a
+        # local serial run.
+        sentinels = tmp_path / "sentinels"
+        sentinels.mkdir()
+        sweep = blocking_sweep(sentinels, ks=(1, 2, 3, 4, 5, 6), timeout=60.0)
+        queue = WorkQueue(tmp_path / "queue.sqlite")
+        queue.fill([sweep])
+
+        common = ("--max-claim", "1", "--lease-seconds", "2", "--poll-seconds", "0.1")
+        doomed = spawn_worker(tmp_path, queue.path, "--owner", "doomed", *common)
+        survivor = spawn_worker(tmp_path, queue.path, "--owner", "survivor", *common)
+        try:
+            wait_for(
+                lambda: {
+                    row["owner"]
+                    for row in task_rows(queue.path)
+                    if row["state"] == "claimed"
+                } == {"doomed", "survivor"},
+                what="both workers to hold a claim",
+            )
+            victim_rows = [
+                row for row in task_rows(queue.path) if row["owner"] == "doomed"
+            ]
+            assert len(victim_rows) == 1
+            victim_address = victim_rows[0]["address"]
+            doomed.send_signal(signal.SIGKILL)
+            doomed.wait(timeout=30)
+            # Read the deadline only after the kill: the ghost can renew
+            # nothing anymore, so this value is final.
+            victim_deadline = next(
+                row for row in task_rows(queue.path)
+                if row["address"] == victim_address
+            )["lease_deadline"]
+            # Hold the release until the ghost's lease is really over, so
+            # the survivor cannot drain-exit while the row is in limbo.
+            wait_for(
+                lambda: time.time() > victim_deadline + 0.5,
+                what="the killed worker's lease to expire",
+            )
+            (sentinels / "release").write_text("go", encoding="utf-8")
+            out, _ = survivor.communicate(timeout=120)
+        finally:
+            for proc in (doomed, survivor):
+                if proc.poll() is None:
+                    proc.kill()
+        assert survivor.returncode == 0, out
+        assert "worker drained:" in out
+
+        counts = queue.counts()
+        assert counts["done"] == 6
+        victim = next(
+            row for row in task_rows(queue.path)
+            if row["address"] == victim_address
+        )
+        assert victim["state"] == "done"
+        assert victim["attempts"] == 2, "killed unit was re-claimed, not lost"
+
+        collected, stats, _ = collect_queue(
+            [sweep], queue, cache=ResultCache(root=tmp_path / "collect-cache")
+        )
+        oracle, _ = run_sweeps([sweep], jobs=1, cache=None, backend="serial")
+        assert encoded_rows(collected) == encoded_rows(oracle)
+        assert stats.backend == "queue-collect"

@@ -14,6 +14,7 @@ edge cases get coverage the hand-written tests do not reach.
 """
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -21,6 +22,12 @@ import pytest
 from repro.runtime.artifacts import cell_to_dict
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import run_sweeps
+from repro.runtime.queue import (
+    WorkQueue,
+    WorkerInterrupted,
+    collect_queue,
+    run_worker,
+)
 from repro.runtime.shard import CostModel, merge_shards, plan_shards, run_shard
 from repro.runtime.spec import ScenarioSpec, SweepSpec
 
@@ -164,3 +171,99 @@ def test_cache_roundtrip_preserves_rows(seed, tmp_path):
     )
     assert served.executed == 0
     assert encoded_rows(merged_runs) == encoded_rows(cold_runs)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ["serial", "thread"])
+@pytest.mark.parametrize("seed", range(4))
+def test_queue_with_crashing_workers_matches_direct_execution(
+    seed, backend, tmp_path
+):
+    """Pull-queue transport parity under worker crashes.
+
+    fill → a wave of workers that die mid-claim (abandoned leases) or
+    are interrupted (released claims) → lease expiry → an elastic fleet
+    of restarted workers drains the queue concurrently → collect.  The
+    collected rows must be byte-identical to a plain ``jobs=1`` serial
+    run, and the whole fault schedule runs under a shared fake clock.
+    """
+    sweep = sweep_for_seed(seed)
+    direct_runs, direct_stats = run_sweeps(
+        [sweep], jobs=1, cache=None, backend="serial"
+    )
+    oracle = encoded_rows(direct_runs)
+
+    now = [1_000.0]  # one fake clock shared by every queue handle
+    queue = WorkQueue(tmp_path / "queue.sqlite", clock=lambda: now[0])
+    inserted, _ = queue.fill([sweep])
+    assert inserted == direct_stats.unique_units
+
+    # Crash wave 1: doomed workers claim rows and die without writeback
+    # (SIGKILL-shaped: the lease is the only trace they leave).
+    rng = np.random.default_rng((0x9E0E, seed))
+    for index in range(int(rng.integers(1, 4))):
+        doomed = WorkQueue(queue.path, clock=lambda: now[0])
+        doomed.claim(
+            f"doomed-{index}",
+            limit=int(rng.integers(1, 4)),
+            lease_seconds=30.0,
+        )
+
+    # Crash wave 2: a worker interrupted on its first claim (SIGTERM-
+    # shaped) must release the rows on the way out, not strand them.
+    def die_on_first_claim(claim):
+        raise WorkerInterrupted()
+
+    interrupted = run_worker(
+        queue, backend=backend, on_claim=die_on_first_claim
+    )
+    assert interrupted.done == 0
+    assert interrupted.released == interrupted.executed
+
+    now[0] += 31.0  # every abandoned lease expires
+
+    # The restarted fleet: concurrent workers, separate caches (they
+    # model separate machines), shared database.
+    worker_stats = []
+
+    def restarted_worker(index: int) -> None:
+        handle = WorkQueue(queue.path, clock=lambda: now[0])
+        cache = ResultCache(root=tmp_path / f"worker-cache-{index}")
+        worker_stats.append(
+            run_worker(
+                handle,
+                cache=cache,
+                owner=f"fleet-{index}",
+                backend=backend,
+                jobs=2 if backend == "thread" else 1,
+                max_claim=int(rng.integers(1, 5)),
+            )
+        )
+
+    fleet = [
+        threading.Thread(target=restarted_worker, args=(index,))
+        for index in range(3)
+    ]
+    for thread in fleet:
+        thread.start()
+    for thread in fleet:
+        thread.join()
+
+    counts = queue.counts()
+    assert counts["done"] == direct_stats.unique_units
+    assert counts["pending"] == counts["claimed"] == counts["failed"] == 0
+    assert sum(stats.done for stats in worker_stats) == counts["done"]
+
+    collect_cache = ResultCache(root=tmp_path / "collect-cache")
+    collected_runs, collect_stats, _ = collect_queue(
+        [sweep], queue, cache=collect_cache
+    )
+    assert encoded_rows(collected_runs) == oracle
+    assert collect_stats.backend == "queue-collect"
+
+    # The collect-imported cache serves a local re-run without compute.
+    served_runs, served = run_sweeps(
+        [sweep], jobs=1, cache=collect_cache, backend="serial"
+    )
+    assert served.executed == 0
+    assert encoded_rows(served_runs) == oracle
