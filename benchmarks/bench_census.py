@@ -1,0 +1,164 @@
+"""Census workload benchmark: batch-fused cells vs per-member units.
+
+Two claims, checked on every run (pytest *or* ``python
+benchmarks/bench_census.py``, the CI smoke step):
+
+1. **Batch-runner speedup.**  One :data:`N_MEMBERS`-member tabular
+   census cell answered through the registered batch runner
+   (``batch_census_members`` — one structure-of-arrays sweep, exactly
+   what the executor and queue workers dispatch for fused groups) is at
+   least :data:`TARGET_SPEEDUP` times faster than calling
+   ``unit_census_member`` once per member.
+2. **Identical values + coherent statistics.**  The batch rows must
+   equal the per-member rows exactly (the cache stores batch values
+   under per-unit addresses, so any divergence would poison later
+   runs), and the reduced distribution statistics must be internally
+   consistent: every member accounted for (evaluated + errors ==
+   members), histogram mass == finite ratio count, and the structural
+   sanity invariants (Observation 2.2 + the equilibrium sandwich)
+   holding on every evaluated member.
+
+The artifact meta records the per-member looped latency tail (P50 / P95
+/ max) plus the headline census numbers (helped fraction, error and
+non-finite tallies), so regressions show up as tail movement or
+distribution drift, not just total time.  Wall-clock numbers land in
+``results/bench-census/meta.json``.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.analysis.census import (
+    DEFAULT_MEASURES,
+    batch_census_members,
+    census_statistics,
+    unit_census_member,
+)
+from repro.runtime.artifacts import ArtifactStore
+
+#: Acceptance floor for the batch-runner-vs-per-unit speedup.  The raw
+#: SoA engine is gated at 5x by ``bench_batch.py``; this floor is lower
+#: because the census bundle is lighter (no dynamics) and per-unit
+#: session setup amortizes part of the baseline.
+TARGET_SPEEDUP = 2.0
+
+#: Census population size for the timed cell.
+N_MEMBERS = 600
+
+#: The timed cell shape: the bench population family's shape (3 agents,
+#: binary types/actions, 4 support states) as a census cell.
+CELL = dict(source="tabular", agents=3, types=2, actions=2, states=4)
+
+
+def member_rows():
+    return [
+        dict(**CELL, member=member, measures=DEFAULT_MEASURES)
+        for member in range(N_MEMBERS)
+    ]
+
+
+def run_looped():
+    """The per-unit baseline: one task call per member, timed each."""
+    rows = []
+    latencies = []
+    for row in member_rows():
+        start = time.perf_counter()
+        rows.append(unit_census_member(**row))
+        latencies.append(time.perf_counter() - start)
+    return rows, latencies
+
+
+def exact_quantile(sorted_values, q):
+    """The nearest-rank quantile of an ascending list (no interpolation)."""
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def run_benchmark():
+    start = time.perf_counter()
+    batch_rows = batch_census_members(member_rows())
+    batch_seconds = time.perf_counter() - start
+
+    loop_rows, latencies = run_looped()
+    loop_seconds = sum(latencies)
+    flat = sorted(latencies)
+
+    stats = census_statistics(batch_rows)
+    best = stats["helps"]["best_eq"]
+    meta = {
+        "members": N_MEMBERS,
+        "cell": CELL,
+        "measures": DEFAULT_MEASURES,
+        "looped_seconds": round(loop_seconds, 3),
+        "batch_seconds": round(batch_seconds, 3),
+        "speedup": round(loop_seconds / max(batch_seconds, 1e-9), 1),
+        "target_speedup": TARGET_SPEEDUP,
+        "values_identical": batch_rows == loop_rows,
+        "loop_p50_seconds": round(exact_quantile(flat, 0.50), 6),
+        "loop_p95_seconds": round(exact_quantile(flat, 0.95), 6),
+        "loop_max_seconds": round(flat[-1], 6),
+        "evaluated": stats["evaluated"],
+        "error_members": stats["error_members"],
+        "errors": stats["errors"],
+        "nonfinite": stats["nonfinite"],
+        "fraction_helped_best_eq": round(best["fraction_helped"], 4),
+        "sanity": stats["sanity"],
+    }
+    store = ArtifactStore(root=pathlib.Path(__file__).parent.parent / "results")
+    store.write("bench-census", [], meta=meta)
+    return meta, stats
+
+
+def check_meta(meta, stats):
+    """The gate, shared by the pytest wrapper and ``main()``."""
+    failures = []
+    if not meta["values_identical"]:
+        failures.append("batch census rows differ from per-unit rows")
+    if meta["speedup"] < meta["target_speedup"]:
+        failures.append(
+            f"batch speedup {meta['speedup']}x below target "
+            f"{meta['target_speedup']}x"
+        )
+    if stats["evaluated"] + stats["error_members"] != stats["members"]:
+        failures.append(f"census members unaccounted for: {stats}")
+    if not stats["sanity"]:
+        failures.append("structural sanity invariants failed on a member")
+    for kind, counts in stats["histogram"]["counts"].items():
+        if sum(counts) != stats["ratios"][kind]["finite"]:
+            failures.append(
+                f"histogram mass mismatch for {kind}: "
+                f"{sum(counts)} binned vs {stats['ratios'][kind]['finite']} finite"
+            )
+    if meta["loop_p50_seconds"] > meta["loop_p95_seconds"]:
+        failures.append("latency quantiles are inconsistent")
+    return failures
+
+
+def test_census_batch_speedup_and_statistics(record):
+    meta, stats = run_benchmark()
+    record([])
+    assert not check_meta(meta, stats), meta
+
+
+def main() -> int:
+    meta, stats = run_benchmark()
+    print(json.dumps(meta, indent=2, sort_keys=True))
+    failures = check_meta(meta, stats)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"OK: {meta['speedup']}x batch speedup on a {meta['members']}-member "
+        f"census cell (looped P50 {meta['loop_p50_seconds']}s, P95 "
+        f"{meta['loop_p95_seconds']}s; {meta['error_members']} error "
+        f"member(s), {100.0 * meta['fraction_helped_best_eq']:.1f}% of "
+        f"members strictly helped by ignorance)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

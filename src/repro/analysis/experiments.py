@@ -71,6 +71,7 @@ from ..minimax.ratio_program import GamePhi
 from ..runtime.executor import UnitResult, sweep_cells
 from ..runtime.spec import ScenarioSpec, SweepSpec
 from ..steiner_online.adversary import expected_competitive_ratio
+from .census import census_scenario
 from .table1 import CellResult, SeriesPoint
 
 DEFAULT_KS = (2, 3, 4)
@@ -1045,6 +1046,48 @@ def sweep_aux_online_steiner(
     )
 
 
+#: Default census cell shapes: (agents, types, actions, states) for the
+#: tabular source, (agents, types, nodes) for the NCS source.  Small
+#: enough to keep the stock report suite fast; benches and the CLI pass
+#: bigger grids (``--set members=...`` scales the population).
+DEFAULT_CENSUS_TABULAR_CELLS = ((2, 2, 2, 2), (2, 2, 2, 4), (3, 2, 2, 4))
+DEFAULT_CENSUS_NCS_CELLS = ((2, 2, 4), (2, 2, 5))
+
+
+def sweep_census_tabular(
+    members: int = 12,
+    cells: Sequence[Tuple[int, int, int, int]] = DEFAULT_CENSUS_TABULAR_CELLS,
+) -> SweepSpec:
+    """The tabular random-game census: ratio distributions per cell."""
+    return SweepSpec(
+        "CENSUS-TAB",
+        tuple(
+            census_scenario("tabular", agents, types, actions, states, members)
+            for agents, types, actions, states in cells
+        ),
+        description=(
+            "how often ignorance helps across dense random-game populations"
+        ),
+    )
+
+
+def sweep_census_ncs(
+    members: int = 6,
+    cells: Sequence[Tuple[int, int, int]] = DEFAULT_CENSUS_NCS_CELLS,
+) -> SweepSpec:
+    """The NCS random-game census over independent-prior instances."""
+    return SweepSpec(
+        "CENSUS-NCS",
+        tuple(
+            census_scenario("ncs", agents, types, nodes, 0, members)
+            for agents, types, nodes in cells
+        ),
+        description=(
+            "how often ignorance helps across random network cost-sharing games"
+        ),
+    )
+
+
 def sweep_aux_dynamics(
     ks: Sequence[int] = DEFAULT_KS, seeds: Sequence[int] = DEFAULT_SEEDS
 ) -> SweepSpec:
@@ -1084,6 +1127,8 @@ SWEEP_FACTORIES = (
     sweep_aux_frt_stretch,
     sweep_aux_online_steiner,
     sweep_aux_dynamics,
+    sweep_census_tabular,
+    sweep_census_ncs,
 )
 
 #: Default-size sweeps keyed by experiment id, in reporting order.

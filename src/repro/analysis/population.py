@@ -31,6 +31,7 @@ population here would close an import cycle.
 from __future__ import annotations
 
 import itertools
+import math
 import zlib
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
@@ -112,8 +113,24 @@ def population_game(family: str, member: int) -> BayesianGame:
     )
 
 
-def _cell_queries(measures: str) -> List[Query]:
+def _measure_names(measures: str) -> List[str]:
+    """Split a comma-joined measure string, rejecting empty bundles.
+
+    An empty string would otherwise expand to an empty query bundle: the
+    unit task would "succeed" with an empty dict and the result cache
+    would remember that nothing forever under the typo'd address.
+    """
     names = [name for name in measures.split(",") if name]
+    if not names:
+        raise ValueError(
+            f"empty measure string {measures!r}; expected a comma-joined "
+            f"subset of {list(CELL_MEASURES)}"
+        )
+    return names
+
+
+def _cell_queries(measures: str) -> List[Query]:
+    names = _measure_names(measures)
     for name in names:
         if name not in CELL_MEASURES:
             raise ValueError(
@@ -121,6 +138,36 @@ def _cell_queries(measures: str) -> List[Query]:
                 f"expected a comma-joined subset of {list(CELL_MEASURES)}"
             )
     return [query(name) for name in names]
+
+
+def encode_cell_value(value: Any) -> Any:
+    """Strict-JSON view of one measure value.
+
+    Non-finite floats (``+inf`` ratios from zero complete-information
+    costs, ``nan`` from degenerate folds) are tagged the way
+    :mod:`repro.service.codec` tags them — ``{"t": "float", "v":
+    repr(value)}`` — instead of leaking through ``json.dumps`` as the
+    non-strict literals ``Infinity``/``NaN`` that strict parsers (the
+    service codec round-trip, CSV consumers) reject.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"t": "float", "v": repr(value)}
+    if isinstance(value, (tuple, list)):
+        return [encode_cell_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_cell_value(item) for key, item in value.items()}
+    return value
+
+
+def decode_cell_value(payload: Any) -> Any:
+    """Inverse of :func:`encode_cell_value` (tagged floats restored)."""
+    if isinstance(payload, dict):
+        if set(payload) == {"t", "v"} and payload["t"] == "float":
+            return float(payload["v"])
+        return {key: decode_cell_value(item) for key, item in payload.items()}
+    if isinstance(payload, list):
+        return [decode_cell_value(item) for item in payload]
+    return payload
 
 
 def _json_safe(name: str, value: Any) -> Any:
@@ -132,14 +179,12 @@ def _json_safe(name: str, value: Any) -> Any:
             }
         }
     if name == "ignorance_report":
-        return value.as_dict()
-    if isinstance(value, tuple):
-        return [_json_safe(name, item) for item in value]
-    return value
+        return encode_cell_value(value.as_dict())
+    return encode_cell_value(value)
 
 
 def _pack(measures: str, values: Sequence[Any]) -> Dict[str, Any]:
-    names = [name for name in measures.split(",") if name]
+    names = _measure_names(measures)
     return {
         name: _json_safe(name, value) for name, value in zip(names, values)
     }

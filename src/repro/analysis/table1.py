@@ -10,7 +10,7 @@ the reproduced table for EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .fitting import Fit, best_fit
 
@@ -44,6 +44,9 @@ class CellResult:
     fit_candidates: Tuple[str, ...] = (
         "constant", "logarithmic", "linear", "inverse", "reciprocal-log"
     )
+    #: Experiment-specific structured payload carried into the artifacts
+    #: (e.g. the census distribution statistics).  Must be JSON-ready.
+    extra: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if len(self.series) >= 2 and self.fit is None:

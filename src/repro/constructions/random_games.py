@@ -18,19 +18,49 @@ from ..ncs.bayesian import BayesianNCSGame
 from ..ncs.actions import NCSType
 
 
+#: Rejection-sampling budget for one feasible (source, destination) draw.
+#: Generous: any graph with at least one feasible pair is found with
+#: overwhelming probability long before the budget runs out.
+PAIR_SAMPLE_ATTEMPTS = 1000
+
+
 def _random_feasible_pair(
-    graph: Graph, rng: np.random.Generator, allow_trivial: bool = True
+    graph: Graph,
+    rng: np.random.Generator,
+    allow_trivial: bool = True,
+    attempts: int = PAIR_SAMPLE_ATTEMPTS,
 ) -> NCSType:
-    """A random (source, destination) pair connected in ``graph``."""
+    """A random (source, destination) pair connected in ``graph``.
+
+    Raises a deterministic, parameter-naming ``RuntimeError`` when the
+    attempt budget runs out (e.g. a one-node graph with
+    ``allow_trivial=False`` has no feasible pair at all).
+    """
     nodes = graph.nodes
-    for _ in range(1000):
+    for _ in range(attempts):
         x = nodes[int(rng.integers(len(nodes)))]
         y = nodes[int(rng.integers(len(nodes)))]
         if x == y and not allow_trivial:
             continue
         if graph.connects(x, y):
             return (x, y)
-    raise RuntimeError("could not sample a feasible pair")
+    raise RuntimeError(
+        f"could not sample a feasible (source, destination) pair in "
+        f"{attempts} attempts (nodes={len(nodes)}, "
+        f"directed={graph.directed}, allow_trivial={allow_trivial}); "
+        f"the graph may have no feasible pair under these constraints"
+    )
+
+
+def _feasible_pair_count(graph: Graph, allow_trivial: bool = True) -> int:
+    """How many distinct feasible (source, destination) pairs exist."""
+    nodes = graph.nodes
+    return sum(
+        1
+        for x in nodes
+        for y in nodes
+        if (allow_trivial or x != y) and graph.connects(x, y)
+    )
 
 
 def random_bayesian_ncs(
@@ -90,11 +120,34 @@ def random_independent_bayesian_ncs(
     marginal probabilities; the prior is the product distribution.
     """
     graph = random_connected_graph(num_nodes, num_nodes, rng, directed=directed)
+    available = _feasible_pair_count(graph)
+    if available < types_per_agent:
+        raise ValueError(
+            f"cannot draw {types_per_agent} distinct types per agent: the "
+            f"random graph (num_nodes={num_nodes}, directed={directed}) has "
+            f"only {available} distinct feasible (source, destination) "
+            f"pairs; lower types_per_agent or raise num_nodes "
+            f"(num_agents={num_agents})"
+        )
     type_spaces: List[List[NCSType]] = []
     marginals = []
-    for _ in range(num_agents):
+    # Distinctness is a coupon-collector problem over the feasible pairs;
+    # with available >= types_per_agent (checked above) this budget is hit
+    # only with vanishing probability, and running dry is an error, not a
+    # hang.
+    attempts_budget = PAIR_SAMPLE_ATTEMPTS + 200 * types_per_agent
+    for agent in range(num_agents):
         pairs: List[NCSType] = []
+        attempts = 0
         while len(pairs) < types_per_agent:
+            if attempts >= attempts_budget:
+                raise RuntimeError(
+                    f"could not sample {types_per_agent} distinct feasible "
+                    f"pairs for agent {agent} in {attempts_budget} attempts "
+                    f"(num_agents={num_agents}, num_nodes={num_nodes}, "
+                    f"directed={directed}, {available} feasible pairs exist)"
+                )
+            attempts += 1
             pair = _random_feasible_pair(graph, rng)
             if pair not in pairs:
                 pairs.append(pair)

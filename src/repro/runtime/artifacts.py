@@ -46,6 +46,7 @@ _CSV_COLUMNS = (
     "passed",
     "series",
     "notes",
+    "extra",
 )
 
 
@@ -64,6 +65,7 @@ def cell_to_dict(cell: CellResult) -> Dict[str, Any]:
         "passed": cell.passed,
         "series": [[point.parameter, point.value] for point in cell.series],
         "notes": cell.notes,
+        "extra": cell.extra,
     }
 
 
@@ -155,6 +157,7 @@ class ArtifactStore:
         name: str,
         cells: Sequence[CellResult],
         meta: Optional[Dict[str, Any]] = None,
+        extra_markdown: str = "",
     ) -> RunArtifacts:
         directory = self.run_dir(name)
         directory.mkdir(parents=True, exist_ok=True)
@@ -172,9 +175,22 @@ class ArtifactStore:
             for row in rows:
                 writer.writerow(
                     {
-                        **{k: row[k] for k in _CSV_COLUMNS if k not in ("series",)},
+                        **{
+                            k: row[k]
+                            for k in _CSV_COLUMNS
+                            if k not in ("series", "extra")
+                        },
                         "series": "; ".join(
                             f"{x:g}:{y:.6g}" for x, y in row["series"]
+                        ),
+                        # Strict compact JSON: keeps structured payloads
+                        # one machine-parseable cell per row.
+                        "extra": (
+                            json.dumps(
+                                row["extra"], sort_keys=True, separators=(",", ":")
+                            )
+                            if row["extra"] is not None
+                            else ""
                         ),
                     }
                 )
@@ -196,6 +212,7 @@ class ArtifactStore:
             "\n".join(header)
             + "\n\n"
             + render_markdown(cells)
+            + (f"\n\n{extra_markdown}" if extra_markdown else "")
             + "\n\n```\n"
             + render_series_block(cells)
             + "\n```\n",

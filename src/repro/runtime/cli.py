@@ -69,10 +69,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis import registry
+from ..analysis.census import render_census_table
 from ..analysis.table1 import render_markdown, render_series_block
 from .artifacts import DEFAULT_RESULTS_DIRNAME, ArtifactStore
 from .cache import ResultCache, default_cache_root
-from .executor import BACKENDS, run_sweeps, unit_timings
+from .executor import BACKENDS, run_sweeps, timing_summary, unit_timings
 from .queue import (
     DEFAULT_MAX_ATTEMPTS,
     QueueError,
@@ -564,6 +565,11 @@ def _report_cells(
 
     print(render_markdown(cells))
     print()
+    census_table = render_census_table(cells)
+    if census_table:
+        print("Census distributions:")
+        print(census_table)
+        print()
     if show_series:
         print(render_series_block(cells))
         print()
@@ -574,6 +580,11 @@ def _report_cells(
         artifacts = store.write(
             artifact_name,
             cells,
+            extra_markdown=(
+                f"## Census distributions\n\n{census_table}"
+                if census_table
+                else ""
+            ),
             meta={
                 "sweeps": [run.sweep.sweep_id for run in sweep_runs],
                 "spec_hashes": {
@@ -591,6 +602,7 @@ def _report_cells(
                     "executed_seconds": round(stats.executed_seconds, 3),
                 },
                 "unit_timings": unit_timings(sweep_runs),
+                "timing_summary": timing_summary(sweep_runs),
                 **(extra_meta or {}),
             },
         )

@@ -34,6 +34,7 @@ cost spread.  Scheduling decisions never change result rows.
 from __future__ import annotations
 
 import importlib
+import math
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -491,3 +492,40 @@ def unit_timings(sweep_runs: Sequence[SweepRun]) -> Dict[str, List[Dict[str, Any
             ]
             timings[scenario_run.spec.scenario_id] = rows
     return timings
+
+
+def _nearest_rank(sorted_values: Sequence[float], q: int) -> float:
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+def timing_summary(
+    sweep_runs: Sequence[SweepRun],
+) -> Dict[str, Dict[str, Any]]:
+    """Per-scenario timing percentiles for ``meta.json``.
+
+    Summarizes only *executed* units (cache hits report zero seconds and
+    would drag every percentile to 0); nearest-rank P50/P95 plus totals,
+    so artifact consumers get tail latency without re-aggregating the
+    raw ``unit_timings`` rows.
+    """
+    summary: Dict[str, Dict[str, Any]] = {}
+    for sweep_run in sweep_runs:
+        for scenario_run in sweep_run.scenario_runs:
+            executed = sorted(
+                result.seconds
+                for result in scenario_run.results
+                if not result.cached
+            )
+            row: Dict[str, Any] = {
+                "units": len(scenario_run.results),
+                "executed": len(executed),
+                "cached": len(scenario_run.results) - len(executed),
+                "total_seconds": round(sum(executed), 6),
+            }
+            if executed:
+                row["p50_seconds"] = round(_nearest_rank(executed, 50), 6)
+                row["p95_seconds"] = round(_nearest_rank(executed, 95), 6)
+                row["max_seconds"] = round(executed[-1], 6)
+            summary[scenario_run.spec.scenario_id] = row
+    return summary

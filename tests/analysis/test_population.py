@@ -6,6 +6,8 @@ from repro.analysis.population import (
     CELL_MEASURES,
     FAMILIES,
     batch_population_cells,
+    decode_cell_value,
+    encode_cell_value,
     population_game,
     unit_population_cell,
 )
@@ -84,3 +86,50 @@ class TestCells:
             family="tiny-2x2x2s2", member=0, measures=",".join(CELL_MEASURES)
         )
         assert json.loads(json.dumps(cell)) == cell
+
+    def test_empty_measure_string_is_refused(self):
+        # Regression: measures="" used to expand to an empty bundle that
+        # "succeeded" with {} and was cached forever under that address.
+        with pytest.raises(ValueError, match="empty measure string"):
+            unit_population_cell(family="tiny-2x2x2s2", member=0, measures="")
+        with pytest.raises(ValueError, match="empty measure string"):
+            batch_population_cells(
+                [dict(family="tiny-2x2x2s2", member=0, measures=",")]
+            )
+
+
+class TestNonFiniteEncoding:
+    def test_non_finite_floats_are_tagged_like_the_service_codec(self):
+        # Regression: +-inf/nan used to pass straight through and
+        # serialize as the non-strict JSON literals Infinity/NaN.
+        import json
+        import math
+
+        payload = encode_cell_value(
+            {"ratio": math.inf, "neg": -math.inf, "nan": math.nan, "ok": 1.5}
+        )
+        assert payload["ratio"] == {"t": "float", "v": "inf"}
+        assert payload["neg"] == {"t": "float", "v": "-inf"}
+        assert payload["nan"] == {"t": "float", "v": "nan"}
+        assert payload["ok"] == 1.5
+        json.dumps(payload, allow_nan=False)  # strict JSON round-trips
+
+    def test_decode_restores_the_floats(self):
+        import math
+
+        decoded = decode_cell_value(
+            encode_cell_value([math.inf, -math.inf, math.nan, 2.0])
+        )
+        assert decoded[0] == math.inf
+        assert decoded[1] == -math.inf
+        assert math.isnan(decoded[2])
+        assert decoded[3] == 2.0
+
+    def test_unit_cell_with_infinite_ratio_is_strict_json(self):
+        import json
+
+        # opt_p / worst-eqC style ratios can hit +inf when the complete-
+        # information denominator is 0; the measure bundle must still be
+        # strict JSON.  Build one synthetically through encode.
+        value = encode_cell_value({"ratio": float("inf")})
+        assert json.loads(json.dumps(value, allow_nan=False)) == value

@@ -57,3 +57,30 @@ class TestIndependentFamily:
         game = random_independent_bayesian_ncs(3, 6, rng, types_per_agent=2)
         for agent in range(3):
             assert len(game.types(agent)) == 2
+
+    def test_impossible_type_count_raises_instead_of_hanging(self):
+        # A 2-node graph has at most 4 ordered feasible pairs; asking for
+        # 50 distinct types used to spin the rejection sampler forever.
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError, match="types_per_agent"):
+            random_independent_bayesian_ncs(2, 2, rng, types_per_agent=50)
+
+    def test_error_names_the_cell_parameters(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError, match="num_nodes=2") as excinfo:
+            random_independent_bayesian_ncs(2, 2, rng, types_per_agent=9)
+        assert "feasible" in str(excinfo.value)
+
+
+class TestFeasiblePairSampler:
+    def test_budget_exhaustion_raises_deterministically(self):
+        from repro.constructions.random_games import _random_feasible_pair
+        from repro.graphs import Graph
+
+        # A single-node graph with no edges has only the trivial pair;
+        # forbidding it leaves nothing feasible.
+        graph = Graph()
+        graph.add_node(0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError, match="allow_trivial=False"):
+            _random_feasible_pair(graph, rng, allow_trivial=False, attempts=50)
