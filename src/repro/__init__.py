@@ -51,7 +51,7 @@ from .core import (
 from .graphs import Graph
 from .ncs import BayesianNCSGame, NCSGame
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ExplosionError",

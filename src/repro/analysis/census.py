@@ -20,7 +20,11 @@ actions, states)`` and samples ``members`` independent games from it:
     on a random connected graph with ``actions`` nodes and ``types``
     independent (source, destination) pairs per agent.  ``states`` must
     be 0 — the prior support is derived from the product prior, not
-    chosen.
+    chosen.  Cells whose members exceed the dense lowering's cell guard
+    (the ``CENSUS-NCS-L`` sweep, e.g. ``(5, 2, 6)``) evaluate their
+    state-wise measures on the lazy tier (:mod:`repro.core.lazy`) — they
+    were reference-only before it existed; their whole-sweep measures
+    trip the strategy-profile guard and are tallied as error members.
 
 Per member the unit task evaluates the full ignorance bundle through a
 game session (queue workers fuse whole cells through

@@ -1051,7 +1051,17 @@ def sweep_aux_online_steiner(
 #: enough to keep the stock report suite fast; benches and the CLI pass
 #: bigger grids (``--set members=...`` scales the population).
 DEFAULT_CENSUS_TABULAR_CELLS = ((2, 2, 2, 2), (2, 2, 2, 4), (3, 2, 2, 4))
-DEFAULT_CENSUS_NCS_CELLS = ((2, 2, 4), (2, 2, 5))
+DEFAULT_CENSUS_NCS_CELLS = ((2, 2, 4), (2, 2, 5), (3, 2, 5))
+
+#: Large NCS cells for the ``CENSUS-NCS-L`` sweep: several of their
+#: members exceed the dense lowering's ``TENSOR_MAX_CELLS`` guard
+#: (e.g. ``(5, 2, 6)`` member 0 needs ~15.4M cost cells), so before the
+#: lazy tier (:mod:`repro.core.lazy`) their state-wise measures were
+#: reference-only.  Whole-sweep measures on guard-crossing members still
+#: trip the strategy-profile guard (tallied as error members by the
+#: reducer); ``eq_c``/``opt_c`` now evaluate on lazy tensor kernels.
+#: Minutes, not seconds, per cell — kept out of the stock defaults.
+DEFAULT_CENSUS_NCS_LARGE_CELLS = ((4, 2, 7), (5, 2, 6))
 
 
 def sweep_census_tabular(
@@ -1084,6 +1094,24 @@ def sweep_census_ncs(
         ),
         description=(
             "how often ignorance helps across random network cost-sharing games"
+        ),
+    )
+
+
+def sweep_census_ncs_large(
+    members: int = 6,
+    cells: Sequence[Tuple[int, int, int]] = DEFAULT_CENSUS_NCS_LARGE_CELLS,
+) -> SweepSpec:
+    """The large-cell NCS census (lazy-lowering tier; minutes per cell)."""
+    return SweepSpec(
+        "CENSUS-NCS-L",
+        tuple(
+            census_scenario("ncs", agents, types, nodes, 0, members)
+            for agents, types, nodes in cells
+        ),
+        description=(
+            "ignorance statistics on NCS populations beyond the dense "
+            "tabulation guard (lazy sparse lowering)"
         ),
     )
 
@@ -1129,6 +1157,7 @@ SWEEP_FACTORIES = (
     sweep_aux_dynamics,
     sweep_census_tabular,
     sweep_census_ncs,
+    sweep_census_ncs_large,
 )
 
 #: Default-size sweeps keyed by experiment id, in reporting order.

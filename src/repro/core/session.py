@@ -195,6 +195,7 @@ class GameSession:
         self.max_strategy_profiles = max_strategy_profiles
         self.max_action_profiles = max_action_profiles
         self._lowered_entry: Optional[Tuple[Optional[tensor.TensorGame]]] = None
+        self._lazy_entry: Optional[Tuple[Optional[Any]]] = None
         #: (need_eq, collect) -> ("ok", ProfileSweep) | ("err", (error, tb))
         self._sweeps: Dict[Tuple[bool, bool], Tuple[str, Any]] = {}
         #: (need_eq, collect) -> ("ok", _Scan) | ("err", (error, tb))
@@ -231,13 +232,70 @@ class GameSession:
         return payload
 
     def lowered(self) -> Optional[tensor.TensorGame]:
-        """The game's tensor form, computed (at most) once per session."""
+        """The game's *dense* tensor form, computed (at most) once.
+
+        Full tier only: callers that need the dense layout (the SoA
+        batch engine stacks ``state_tensors`` across games) must not see
+        a lazy lowering here.  Kernel dispatch inside the session goes
+        through :meth:`_kernel`, which falls back to the lazy tier.
+        """
         if self._lowered_entry is None:
             with self._scope():
                 self._lowered_entry = (
-                    tensor.maybe_lower(self.game, self.max_action_profiles),
+                    tensor.maybe_lower(
+                        self.game, self.max_action_profiles, mode="full"
+                    ),
                 )
         return self._lowered_entry[0]
+
+    def lazy_lowered(self):
+        """The game's lazy lowering, computed (at most) once.
+
+        Only consulted when the dense tier refused (``None`` otherwise —
+        one game never holds both lowerings), so a session's kernels run
+        on exactly one engine tier for its whole lifetime.
+        """
+        if self._lazy_entry is None:
+            if self.lowered() is not None:
+                self._lazy_entry = (None,)
+            else:
+                with self._scope():
+                    self._lazy_entry = (
+                        tensor.maybe_lower(
+                            self.game, self.max_action_profiles, mode="lazy"
+                        ),
+                    )
+        return self._lazy_entry[0]
+
+    def _kernel(self):
+        """The kernel-bearing lowering for dispatch: dense, else lazy,
+        else ``None`` (reference path).  Both tiers expose the same
+        kernel surface, so every dispatch site below is tier-agnostic."""
+        lowered = self.lowered()
+        if lowered is not None:
+            return lowered
+        return self.lazy_lowered()
+
+    def drop_lowering(self, blocking: bool = True) -> bool:
+        """Release the session's lowered forms and the game-object caches.
+
+        The memoized *values* stay (they are small); only the tensors go.
+        A later query transparently re-lowers.  The service registry
+        calls this with ``blocking=False`` when it evicts a session from
+        its LRU: a session mid-query keeps its tensors (the in-flight
+        caller needs them; they are garbage-collected with the session
+        once that caller's reference goes away) and the drop reports
+        ``False`` instead of blocking the submit path.
+        """
+        if not self.lock.acquire(blocking=blocking):
+            return False
+        try:
+            self._lowered_entry = None
+            self._lazy_entry = None
+            tensor.drop_lowering(self.game)
+        finally:
+            self.lock.release()
+        return True
 
     # ------------------------------------------------------------------
     # the two shared enumeration primitives
@@ -266,7 +324,7 @@ class GameSession:
                 not eq or need_eq or isinstance(payload[0], ExplosionError)
             ):
                 _raise_memoized(*payload)
-        lowered = self.lowered()
+        lowered = self._kernel()
         assert lowered is not None, "profile sweep needs a lowered game"
         try:
             with self._scope():
@@ -368,13 +426,13 @@ class GameSession:
     # ------------------------------------------------------------------
     def opt_p(self) -> float:
         """``optP``; shares the session's profile sweep when one exists."""
-        if self.lowered() is not None:
+        if self._kernel() is not None:
             return self._profile_sweep(need_eq=False, collect=False).opt_p
         return self._reference_scan(need_eq=False).opt_p
 
     def optimal_profile(self) -> Tuple[StrategyProfile, float]:
         """An ``optP``-achieving profile (first minimizer) and its cost."""
-        lowered = self.lowered()
+        lowered = self._kernel()
         if lowered is not None:
             sweep = self._profile_sweep(need_eq=False, collect=False)
             assert sweep.argmin_index >= 0
@@ -385,7 +443,7 @@ class GameSession:
 
     def equilibrium_extreme_costs(self) -> Tuple[float, float]:
         """``(best-eqP, worst-eqP)`` over all pure Bayesian equilibria."""
-        if self.lowered() is not None:
+        if self._kernel() is not None:
             sweep = self._profile_sweep(need_eq=True, collect=False)
             if not sweep.eq_found:
                 raise RuntimeError(
@@ -399,7 +457,7 @@ class GameSession:
 
     def bayesian_equilibria(self) -> List[StrategyProfile]:
         """All pure Bayesian equilibria (collected once, copied out)."""
-        lowered = self.lowered()
+        lowered = self._kernel()
         if lowered is not None:
             def decode() -> List[StrategyProfile]:
                 sweep = self._profile_sweep(need_eq=True, collect=True)
@@ -459,7 +517,7 @@ class GameSession:
         path; bit-identical to :meth:`opt_c` on lowerable games)."""
 
         def compute() -> float:
-            lowered = self.lowered()
+            lowered = self._kernel()
             assert lowered is not None
             with self._scope():
                 return lowered.opt_c()
@@ -471,7 +529,7 @@ class GameSession:
 
         def compute() -> Tuple[float, float]:
             with self._scope():
-                lowered = self.lowered()
+                lowered = self._kernel()
                 if lowered is not None:
                     return lowered.eq_c()
                 best_total = 0.0
@@ -491,7 +549,7 @@ class GameSession:
     def _compute_report(self):
         from .measures import IgnoranceReport
 
-        lowered = self.lowered()
+        lowered = self._kernel()
         if lowered is not None:
             sweep = self._profile_sweep(need_eq=True, collect=False)
             if not sweep.eq_found:
@@ -549,7 +607,7 @@ class GameSession:
         """Best action of ``agent`` at type ``ti`` against ``strategies``
         (shares the session's lowering; not memoized — profiles vary)."""
         with self._scope():
-            lowered = self.lowered()
+            lowered = self._kernel()
             if lowered is not None:
                 result = lowered.interim_best_response(agent, ti, strategies)
                 if result is not None:
@@ -583,7 +641,7 @@ class GameSession:
             strategies = (
                 initial if initial is not None else greedy_strategy_profile(self.game)
             )
-            lowered = self.lowered()
+            lowered = self._kernel()
             if lowered is not None:
                 result = lowered.best_response_dynamics(strategies, max_rounds)
                 if result is not None:
@@ -633,7 +691,7 @@ class GameSession:
         if not need_sweep:
             return
         try:
-            if self.lowered() is not None:
+            if self._kernel() is not None:
                 self._profile_sweep(need_eq, collect)
             else:
                 self._reference_scan(need_eq, collect)

@@ -82,8 +82,15 @@ TENSOR_MAX_CELLS = 8_000_000
 BLOCK_CELLS = 1 << 21
 
 _LOWERED_ATTR = "_tensor_lowered"
+_LAZY_ATTR = "_tensor_lazy_lowered"
 _STATE_CACHE_ATTR = "_tensor_state_cache"
 _STATE_CACHE_LIMIT = 128
+
+#: Lowering modes accepted by :func:`maybe_lower`.  ``"full"`` is the
+#: dense tier only; ``"lazy"`` the on-demand tier only
+#: (:mod:`repro.core.lazy`); ``"auto"`` prefers dense and falls back to
+#: lazy when the dense form would exceed :data:`TENSOR_MAX_CELLS`.
+LOWER_MODES = ("auto", "full", "lazy")
 
 # ----------------------------------------------------------------------
 # engine selection
@@ -368,6 +375,17 @@ def maybe_state_tensor(
         if index is not None:
             state = tensor_game.state_tensors[index]
             return state if state.size <= max_profiles else None
+    lazy_entry = parent.__dict__.get(_LAZY_ATTR)
+    if lazy_entry is not None and lazy_entry[0] is not None:
+        lazy_game = lazy_entry[0]
+        index = lazy_game.state_index.get(profile)
+        if index is not None:
+            # A lazy block's axes are exactly UnderlyingGame.actions (the
+            # state types' feasible lists), so the block *is* the state
+            # lowering — materialize through the bounded cache.
+            if lazy_game.state_sizes[index] > max_profiles:
+                return None
+            return lazy_game.state_block(index)
     cache: Dict[Tuple, StateTensor] = parent.__dict__.setdefault(
         _STATE_CACHE_ATTR, {}
     )
@@ -1343,19 +1361,65 @@ def lower_game(
 def maybe_lower(
     game: BayesianGame,
     max_action_profiles: int = DEFAULT_MAX_ACTION_PROFILES,
-) -> Optional[TensorGame]:
-    """Cached :func:`lower_game` honoring the engine switch and guards."""
+    mode: str = "auto",
+):
+    """Cached lowering honoring the engine switch, guards, and ``mode``.
+
+    ``mode="full"`` is the historical behavior: a dense
+    :class:`TensorGame` or ``None``.  ``mode="lazy"`` compiles only the
+    on-demand tier (:class:`repro.core.lazy.LazyTensorGame`) or ``None``.
+    ``mode="auto"`` prefers dense and falls back to lazy exactly where
+    dense lowering refuses on the :data:`TENSOR_MAX_CELLS` guard (the
+    per-state ``max_action_profiles`` guard refuses both tiers).  Each
+    tier caches its result — including the refusal — on the game object;
+    :func:`drop_lowering` releases both.
+    """
+    if mode not in LOWER_MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {LOWER_MODES}")
     if not tensor_enabled():
         return None
-    entry = game.__dict__.get(_LOWERED_ATTR)
-    if entry is not None:
-        lowered, built_guard = entry
-        if lowered is not None:
-            if lowered.max_state_size <= max_action_profiles:
+    if mode != "lazy":
+        entry = game.__dict__.get(_LOWERED_ATTR)
+        if entry is not None:
+            cached, built_guard = entry
+            if cached is not None:
+                if cached.max_state_size <= max_action_profiles:
+                    return cached
+            elif max_action_profiles > built_guard:
+                entry = None
+        if entry is None:
+            lowered = lower_game(game, max_action_profiles)
+            game.__dict__[_LOWERED_ATTR] = (lowered, max_action_profiles)
+            if lowered is not None:
                 return lowered
+        if mode == "full":
+            return None
+    # lazy tier (mode in {"auto", "lazy"}); local import breaks the cycle.
+    from .lazy import lower_game_lazy
+
+    entry = game.__dict__.get(_LAZY_ATTR)
+    if entry is not None:
+        lazy, built_guard = entry
+        if lazy is not None:
+            if lazy.max_state_size <= max_action_profiles:
+                return lazy
             return None
         if max_action_profiles <= built_guard:
             return None
-    lowered = lower_game(game, max_action_profiles)
-    game.__dict__[_LOWERED_ATTR] = (lowered, max_action_profiles)
-    return lowered
+    lazy = lower_game_lazy(game, max_action_profiles)
+    game.__dict__[_LAZY_ATTR] = (lazy, max_action_profiles)
+    return lazy
+
+
+def drop_lowering(game: BayesianGame) -> None:
+    """Release every lowered form cached on ``game``.
+
+    Clears the dense and lazy Bayesian lowerings (including cached
+    refusals) and the per-state :class:`StateTensor` cache.  The next
+    lowering request simply recompiles; nothing about the game itself
+    changes.  The service registry calls this on LRU eviction so evicted
+    sessions actually free their tensors.
+    """
+    game.__dict__.pop(_LOWERED_ATTR, None)
+    game.__dict__.pop(_LAZY_ATTR, None)
+    game.__dict__.pop(_STATE_CACHE_ATTR, None)

@@ -113,15 +113,29 @@ class BayesianNCSGame:
     # ------------------------------------------------------------------
     # delegation and views
     # ------------------------------------------------------------------
-    def lowered(self):
-        """The tensor (index-encoded) form of the wrapped core game.
+    def lowered(self, mode: str = "auto"):
+        """A lowered (index-encoded) form of the wrapped core game.
 
         Cached on the core game; ``None`` when the game exceeds the
-        lowering guards or the reference engine is forced.
+        lowering guards or the reference engine is forced.  With the
+        default ``mode="auto"``, games too big for the dense cell guard
+        come back as a :class:`repro.core.lazy.LazyTensorGame` whose
+        Dijkstra-backed per-state cost blocks materialize on demand the
+        first time a kernel touches each state; ``mode="full"`` restores
+        the historical dense-or-``None`` behavior, ``mode="lazy"``
+        requests only the on-demand tier.
         """
         from ..core import tensor
 
-        return tensor.maybe_lower(self.game)
+        return tensor.maybe_lower(self.game, mode=mode)
+
+    def drop_lowering(self) -> None:
+        """Release every lowered form cached on the wrapped core game
+        (dense, lazy, and per-state tensors); see
+        :func:`repro.core.tensor.drop_lowering`."""
+        from ..core import tensor
+
+        tensor.drop_lowering(self.game)
 
     @property
     def num_agents(self) -> int:
@@ -258,8 +272,11 @@ class BayesianNCSGame:
         tables (:meth:`repro.core.tensor.TensorGame.best_response_dynamics`)
         — the same fixed-point semantics over the cataloged simple-path
         actions, but without per-step Dijkstra runs or Python cost
-        callbacks.  The Dijkstra sweep below remains the scalable path
-        for games beyond the lowering guards (and the reference when
+        callbacks.  Games too big for the dense cell guard get the lazy
+        tier (:class:`repro.core.lazy.LazyTensorGame`): identical kernel,
+        per-state cost blocks tabulated on first touch and held in a
+        bounded LRU.  The Dijkstra sweep below remains the path for games
+        beyond even the per-state guard (and the reference when
         ``REPRO_ENGINE=reference`` is pinned); on exact-tie steps the two
         paths may select different — equally cheap — equilibria.
         """

@@ -60,6 +60,10 @@ def benevolent_descent(
     re-evaluating ``game.social_cost`` per candidate; the tolerant
     keep-current-on-ties fold below is replayed unchanged over that
     vector, so both paths descend through the identical profile sequence.
+    Games beyond the dense cell guard descend on the lazy tier
+    (:class:`repro.core.lazy.LazyTensorGame` exposes the same social-cost
+    kernels over on-demand blocks); only games beyond the per-state guard
+    fall back to the per-candidate ``social_cost`` loop.
     """
     strategies = initial if initial is not None else game.greedy_profile()
     core = game.game

@@ -1,0 +1,473 @@
+"""Unit tests for the lazy sparse lowering (``repro.core.lazy``).
+
+The engine-fuzz suite (``tests/engine_fuzz/test_lazy_fuzz.py``) owns the
+randomized three-way value-parity battery; this file pins down the
+*contract*: block-cache accounting and eviction, the ``lower_game_lazy``
+guards, ``maybe_lower`` mode semantics and per-tier caching,
+``drop_lowering`` across every owner (game, session, NCS wrapper,
+service registry), restricted sweeps against brute-force enumeration,
+and the acceptance path — a game whose full tabulation exceeds the dense
+cell guard runs dynamics and targeted queries on the lazy tier with no
+reference fallback.
+"""
+
+import itertools
+import math
+import os
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+# The NCS builders and the service's game corpus live next to their own
+# suites; borrow them the same way tests/service/conftest.py does.
+_TESTS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+sys.path.insert(0, os.path.join(_TESTS, "engine_fuzz"))
+sys.path.insert(0, os.path.join(_TESTS, "ncs"))
+
+from repro._util import ExplosionError
+from repro.core import (
+    BayesianGame,
+    CommonPrior,
+    GameSession,
+    LazyTensorGame,
+    lower_game_lazy,
+    query,
+)
+from repro.core import tensor
+from repro.core.equilibrium import is_bayesian_equilibrium
+from repro.core.lazy import _BlockCache, default_cache_cells
+from repro.core.tensor import (
+    _LAZY_ATTR,
+    _LOWERED_ATTR,
+    StateTensor,
+    TensorGame,
+    engine_override,
+    lower_game,
+    maybe_lower,
+    maybe_state_tensor,
+)
+
+
+def skew_game() -> BayesianGame:
+    """Two agents, three actions; agent 0 observes the binary state."""
+    action_spaces = [[0, 1, 2], [0, 1, 2]]
+    type_spaces = [[0, 1], [0]]
+    prior = CommonPrior({(0, 0): 0.6, (1, 0): 0.4})
+
+    def cost(agent, profile, actions):
+        state = profile[0]
+        return float((actions[agent] - state) % 3) + 0.5 * abs(
+            actions[0] - actions[1]
+        )
+
+    return BayesianGame(action_spaces, type_spaces, prior, cost, name="skew")
+
+
+def _block(num_actions: int) -> StateTensor:
+    """A 1-agent StateTensor with ``num_actions`` cells."""
+    return StateTensor([list(range(num_actions))], np.zeros((1, num_actions)))
+
+
+# ----------------------------------------------------------------------
+# _BlockCache
+# ----------------------------------------------------------------------
+
+class TestBlockCache:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="cache budget"):
+            _BlockCache(0)
+
+    def test_hit_miss_counters_and_lru_membership(self):
+        cache = _BlockCache(100)
+        assert cache.get(0) is None
+        block = _block(3)
+        cache.put(0, block)
+        assert cache.get(0) is block
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert 0 in cache and 1 not in cache
+        assert len(cache) == 1
+        assert cache.cells == 3
+
+    def test_evicts_least_recently_used_first(self):
+        cache = _BlockCache(6)
+        cache.put(0, _block(2))
+        cache.put(1, _block(2))
+        cache.put(2, _block(2))
+        cache.get(0)  # refresh 0: LRU order is now 1, 2, 0
+        cache.put(3, _block(2))
+        assert 1 not in cache
+        assert all(s in cache for s in (0, 2, 3))
+        assert cache.evictions == 1
+        assert cache.cells == 6
+
+    def test_oversized_block_is_admitted_alone(self):
+        cache = _BlockCache(4)
+        cache.put(0, _block(2))
+        cache.put(1, _block(9))  # bigger than the whole budget
+        assert 0 not in cache and 1 in cache
+        assert cache.cells == 9
+        cache.put(2, _block(2))
+        assert 1 not in cache and 2 in cache
+        assert cache.cells == 2
+
+    def test_replacing_a_resident_key_does_not_double_count(self):
+        cache = _BlockCache(100)
+        cache.put(0, _block(4))
+        cache.put(0, _block(6))
+        assert cache.cells == 6
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+    def test_drop_releases_blocks_but_keeps_history(self):
+        cache = _BlockCache(100)
+        cache.put(0, _block(4))
+        cache.get(0)
+        cache.drop()
+        assert len(cache) == 0
+        assert cache.cells == 0
+        assert cache.hits == 1
+        assert cache.get(0) is None  # re-materialization is a miss
+
+
+# ----------------------------------------------------------------------
+# lower_game_lazy
+# ----------------------------------------------------------------------
+
+class TestLowerGameLazy:
+    def test_structural_metadata_matches_dense_lowering(self):
+        game = skew_game()
+        dense = lower_game(game)
+        lazy = lower_game_lazy(game)
+        assert dense is not None and lazy is not None
+        assert lazy.states == dense.states
+        assert np.array_equal(lazy.probs, dense.probs)
+        assert lazy.state_shapes == [s.shape for s in dense.state_tensors]
+        assert lazy.state_sizes == [s.size for s in dense.state_tensors]
+        assert lazy.total_cells == sum(
+            s.size * s.num_agents for s in dense.state_tensors
+        )
+        assert lazy.profile_strides == dense.profile_strides
+        assert lazy.profile_count() == dense.profile_count()
+        # No block materialized until a kernel asks for one.
+        assert lazy.cache_stats()["resident_blocks"] == 0
+
+    def test_blocks_are_bit_identical_to_dense_state_tensors(self):
+        game = skew_game()
+        dense = lower_game(game)
+        lazy = lower_game_lazy(game)
+        for s in range(len(lazy.states)):
+            block = lazy.state_block(s)
+            for i in range(lazy.num_agents):
+                assert np.array_equal(block.costs[i], dense.state_tensors[s].costs[i])
+
+    def test_per_state_guard_refuses(self):
+        game = skew_game()
+        assert lower_game_lazy(game, max_action_profiles=8) is None
+
+    def test_no_total_cell_guard(self, monkeypatch):
+        monkeypatch.setattr(tensor, "TENSOR_MAX_CELLS", 1)
+        game = skew_game()
+        assert lower_game(game) is None  # dense refuses on total cells
+        lazy = lower_game_lazy(game)  # lazy does not
+        assert isinstance(lazy, LazyTensorGame)
+
+    def test_default_budget_tracks_the_cell_guard(self, monkeypatch):
+        monkeypatch.setattr(tensor, "TENSOR_MAX_CELLS", 7)
+        assert default_cache_cells() == 28
+        lazy = lower_game_lazy(skew_game())
+        assert lazy.cache.budget == 28
+
+    def test_eviction_churn_stays_correct(self):
+        game = skew_game()
+        dense = lower_game(game)
+        # Budget below one block (9 cells * 2 agents = 18): every access
+        # evicts the other state's block.
+        lazy = lower_game_lazy(game, cache_cells=18)
+        for _ in range(3):
+            for s in (0, 1, 0):
+                block = lazy.state_block(s)
+                assert np.array_equal(
+                    block.costs[0], dense.state_tensors[s].costs[0]
+                )
+        stats = lazy.cache_stats()
+        assert stats["evictions"] > 0
+        assert stats["resident_cells"] <= stats["budget_cells"]
+        assert "resident=" in repr(lazy)
+
+    def test_peek_block_has_no_side_effects(self):
+        lazy = lower_game_lazy(skew_game())
+        assert lazy.peek_block(0) is None
+        stats = lazy.cache_stats()
+        assert stats["misses"] == 0 and stats["hits"] == 0
+        block = lazy.state_block(0)
+        assert lazy.peek_block(0) is block
+
+
+# ----------------------------------------------------------------------
+# maybe_lower modes, caching, and drop_lowering
+# ----------------------------------------------------------------------
+
+class TestMaybeLowerModes:
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            maybe_lower(skew_game(), mode="eager")
+
+    def test_reference_engine_forces_none(self):
+        game = skew_game()
+        with engine_override("reference"):
+            assert maybe_lower(game, mode="auto") is None
+            assert maybe_lower(game, mode="lazy") is None
+
+    def test_full_mode_is_dense_or_none(self, monkeypatch):
+        game = skew_game()
+        assert isinstance(maybe_lower(game, mode="full"), TensorGame)
+        monkeypatch.setattr(tensor, "TENSOR_MAX_CELLS", 1)
+        assert maybe_lower(skew_game(), mode="full") is None
+
+    def test_auto_prefers_dense_then_falls_to_lazy(self, monkeypatch):
+        game = skew_game()
+        assert isinstance(maybe_lower(game, mode="auto"), TensorGame)
+        monkeypatch.setattr(tensor, "TENSOR_MAX_CELLS", 1)
+        big = skew_game()
+        lowered = maybe_lower(big, mode="auto")
+        assert isinstance(lowered, LazyTensorGame)
+        # Both tiers cached on the game object: dense refusal + lazy hit.
+        assert big.__dict__[_LOWERED_ATTR][0] is None
+        assert big.__dict__[_LAZY_ATTR][0] is lowered
+        assert maybe_lower(big, mode="auto") is lowered
+
+    def test_lazy_mode_skips_the_dense_tier(self):
+        game = skew_game()
+        lowered = maybe_lower(game, mode="lazy")
+        assert isinstance(lowered, LazyTensorGame)
+        assert _LOWERED_ATTR not in game.__dict__
+        assert maybe_lower(game, mode="lazy") is lowered
+
+    def test_per_state_guard_refuses_both_tiers(self):
+        game = skew_game()
+        assert maybe_lower(game, max_action_profiles=8, mode="auto") is None
+        # The refusal itself is cached per tier.
+        assert game.__dict__[_LOWERED_ATTR] == (None, 8)
+        assert game.__dict__[_LAZY_ATTR] == (None, 8)
+        assert maybe_lower(game, max_action_profiles=8, mode="auto") is None
+        # A looser guard invalidates the cached refusal.
+        assert isinstance(maybe_lower(game, mode="auto"), TensorGame)
+
+    def test_drop_lowering_releases_every_cached_form(self):
+        game = skew_game()
+        dense = maybe_lower(game, mode="full")
+        lazy = maybe_lower(game, mode="lazy")
+        assert dense is not None and lazy is not None
+        tensor.drop_lowering(game)
+        assert _LOWERED_ATTR not in game.__dict__
+        assert _LAZY_ATTR not in game.__dict__
+        assert maybe_lower(game, mode="lazy") is not lazy  # recompiled
+
+    def test_maybe_state_tensor_reuses_lazy_blocks(self, monkeypatch):
+        monkeypatch.setattr(tensor, "TENSOR_MAX_CELLS", 1)
+        game = skew_game()
+        lazy = maybe_lower(game, mode="auto")
+        assert isinstance(lazy, LazyTensorGame)
+        state = game.prior.support()[0][0]
+        underlying = game.underlying_game(state)
+        block = maybe_state_tensor(underlying)
+        assert block is lazy.state_block(lazy.state_index[tuple(state)])
+        # Per-call guard below the block size: refuse, don't materialize.
+        assert maybe_state_tensor(underlying, max_profiles=1) is None
+
+
+# ----------------------------------------------------------------------
+# restricted sweeps
+# ----------------------------------------------------------------------
+
+class TestRestrictedSweep:
+    def _brute_force(self, game, lazy, restrict):
+        """All profiles of the restricted box, via itertools on digits."""
+        profiles = []
+        per_agent = []
+        for i, agent in enumerate(lazy.agents):
+            spec = restrict[i]
+            rows = []
+            for p, n in enumerate(agent.radix):
+                allowed = None if spec is None else spec[p]
+                rows.append(list(range(n)) if allowed is None else list(allowed))
+            per_agent.append(
+                [
+                    tuple(agent.choices[p][d] for p, d in enumerate(digits))
+                    for digits in itertools.product(*rows)
+                ]
+            )
+        for combo in itertools.product(*per_agent):
+            profiles.append(tuple(combo))
+        return profiles
+
+    def test_restricted_sweep_matches_brute_force(self):
+        game = skew_game()
+        lazy = lower_game_lazy(game)
+        restrict = [[[0, 2], [1, 2]], None]
+        sweep = lazy.sweep_profiles(10_000, collect_equilibria=True, restrict=restrict)
+        box = self._brute_force(game, lazy, restrict)
+        assert len(box) == 2 * 2 * 3
+        costs = [game.social_cost(profile) for profile in box]
+        assert math.isclose(sweep.opt_p, min(costs), rel_tol=1e-12)
+        # argmin decodes to a profile inside the box achieving the optimum.
+        argmin_profile = lazy.decode_profile(sweep.argmin_index)
+        assert argmin_profile in box
+        assert math.isclose(
+            game.social_cost(argmin_profile), sweep.opt_p, rel_tol=1e-12
+        )
+        # Equilibria of the slice == box members that are equilibria of
+        # the FULL game (deviations range over the whole feasible lists).
+        expected = {p for p in box if is_bayesian_equilibrium(game, p)}
+        assert sweep.eq_indices is not None
+        decoded = {lazy.decode_profile(index) for index in sweep.eq_indices}
+        assert decoded == expected
+        assert sweep.eq_found == bool(expected)
+
+    def test_unrestricted_and_full_cover_restrictions_match_dense(self):
+        game = skew_game()
+        dense = lower_game(game)
+        lazy = lower_game_lazy(game)
+        baseline = dense.sweep_profiles(10_000, collect_equilibria=True)
+        for restrict in (
+            None,
+            [None, None],
+            [[[0, 1], [0, 1, 2]], [[0, 1, 2]]],  # full lists == no restriction
+        ):
+            sweep = lazy.sweep_profiles(
+                10_000, collect_equilibria=True, restrict=restrict
+            )
+            assert sweep == baseline
+
+    def test_guard_applies_to_the_slice_size(self):
+        lazy = lower_game_lazy(skew_game())
+        restrict = [[[0], [1]], [[0, 2]]]
+        # Slice has 2 profiles; full space has 27.
+        sweep = lazy.sweep_profiles(2, restrict=restrict)
+        assert sweep is not None
+        with pytest.raises(ExplosionError) as excinfo:
+            lazy.sweep_profiles(1, restrict=restrict)
+        err = excinfo.value
+        assert (err.what, err.size, err.limit) == ("strategy profiles", 2, 1)
+
+    @pytest.mark.parametrize(
+        "restrict, message",
+        [
+            ([None], "must cover all 2 agents"),
+            ([[[0]], None], "must cover all 2 type positions"),
+            ([[[0], []], None], "empty restriction"),
+            ([[[0], [1, 1]], None], "duplicate digits"),
+            ([[[0], [3]], None], "out of range"),
+        ],
+    )
+    def test_restriction_validation(self, restrict, message):
+        lazy = lower_game_lazy(skew_game())
+        with pytest.raises(ValueError, match=message):
+            lazy.sweep_profiles(10_000, restrict=restrict)
+
+
+# ----------------------------------------------------------------------
+# session dispatch + drop, registry eviction
+# ----------------------------------------------------------------------
+
+class TestSessionLazyDispatch:
+    def test_guarded_game_runs_on_lazy_tier_no_reference_fallback(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(tensor, "TENSOR_MAX_CELLS", 1)
+        game = skew_game()
+        session = GameSession(game)
+        assert session.lowered() is None  # dense refused...
+        kernel = session._kernel()
+        assert isinstance(kernel, LazyTensorGame)  # ...lazy engaged
+        report = session.evaluate([query("ignorance_report")])[0]
+        dynamics = session.best_response_dynamics()
+        interim = session.interim_best_response(0, 1, dynamics)
+        assert kernel.cache_stats()["misses"] > 0  # kernels, not reference
+
+        with engine_override("reference"):
+            ref_session = GameSession(skew_game())
+            ref_report = ref_session.evaluate([query("ignorance_report")])[0]
+            ref_dynamics = ref_session.best_response_dynamics()
+            ref_interim = ref_session.interim_best_response(0, 1, ref_dynamics)
+        assert report == ref_report
+        assert dynamics == ref_dynamics
+        assert interim == ref_interim
+
+    def test_session_drop_lowering_clears_and_relowers(self):
+        session = GameSession(skew_game())
+        first = session._kernel()
+        assert first is not None
+        assert session.drop_lowering() is True
+        assert _LOWERED_ATTR not in session.game.__dict__
+        second = session._kernel()
+        assert second is not None and second is not first
+
+    def test_session_drop_lowering_nonblocking_respects_busy_lock(self):
+        session = GameSession(skew_game())
+        session._kernel()
+        held = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with session.lock:
+                held.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        try:
+            assert held.wait(timeout=10)
+            assert session.drop_lowering(blocking=False) is False
+            assert _LOWERED_ATTR in session.game.__dict__  # untouched
+        finally:
+            release.set()
+            thread.join()
+        assert session.drop_lowering(blocking=False) is True
+
+    def test_registry_eviction_drops_the_evicted_lowering(self):
+        from fuzz_games import spec_for_seed
+        from repro.service.registry import SessionRegistry
+
+        registry = SessionRegistry(capacity=1)
+        entry0, _ = registry.submit(spec_for_seed(0))
+        assert entry0.session._kernel() is not None
+        entry1, _ = registry.submit(spec_for_seed(1))
+        assert entry0.game_hash not in registry
+        assert _LOWERED_ATTR not in entry0.session.game.__dict__
+        assert _LAZY_ATTR not in entry0.session.game.__dict__
+        assert entry1.game_hash in registry
+        assert registry.clear() == 1
+
+
+# ----------------------------------------------------------------------
+# NCS wrapper
+# ----------------------------------------------------------------------
+
+class TestNCSLazyTier:
+    def _game(self):
+        from ncs_games import maybe_active_partner_game
+
+        game, _, _ = maybe_active_partner_game()
+        return game
+
+    def test_lowered_mode_and_drop(self):
+        game = self._game()
+        lazy = game.lowered(mode="lazy")
+        assert isinstance(lazy, LazyTensorGame)
+        game.drop_lowering()
+        assert _LAZY_ATTR not in game.game.__dict__
+
+    def test_benevolent_descent_parity_on_the_lazy_tier(self, monkeypatch):
+        from repro.ncs.opt import benevolent_descent
+
+        with engine_override("reference"):
+            ref_profile, ref_cost = benevolent_descent(self._game())
+        monkeypatch.setattr(tensor, "TENSOR_MAX_CELLS", 1)
+        game = self._game()
+        lazy_profile, lazy_cost = benevolent_descent(game)
+        assert isinstance(game.lowered(), LazyTensorGame)
+        assert lazy_profile == ref_profile
+        assert lazy_cost == ref_cost

@@ -470,3 +470,213 @@ def format_failure(seed: int, original: Mismatch, minimized: Mismatch) -> str:
         lines.append(f"    reference: {reference!r}")
         lines.append(f"    tensor:    {tensorized!r}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the lazy battery: reference vs dense kernels vs lazy kernels
+# ----------------------------------------------------------------------
+
+#: Deliberately tiny block-cache budget for the lazy column: a handful of
+#: cells forces eviction churn *during* every battery (blocks drop and
+#: re-materialize mid-measure), so agreement also proves re-tabulated
+#: blocks are bit-identical to evicted ones.
+LAZY_FUZZ_CACHE_CELLS = 64
+
+
+def _explosion_outcome(fn: Callable[[], object]) -> Outcome:
+    """Like :func:`_outcome` but keeps the structured ``ExplosionError``
+    payload — the lazy path must carry identical ``(what, size, limit)``
+    data, not merely an identical message."""
+    try:
+        return ("ok", fn())
+    except ExplosionError as error:
+        return ("explosion", (str(error), error.what, error.size, error.limit))
+    except RuntimeError as error:
+        return ("runtime-error", str(error))
+
+
+def run_reference_lazy_battery(
+    spec: TabularGameSpec, game: BayesianGame
+) -> Dict[str, Outcome]:
+    """The kernel-comparable slice of the reference battery (same keys
+    as :func:`run_kernel_battery`); callers pin the reference engine."""
+    results: Dict[str, Outcome] = {}
+    results["equilibria"] = _outcome(lambda: enumerate_bayesian_equilibria(game))
+    results["eq_extremes"] = _outcome(
+        lambda: bayesian_equilibrium_extreme_costs(game)
+    )
+    results["opt_p"] = _outcome(lambda: opt_p(game))
+    results["opt_c"] = _outcome(lambda: opt_c(game))
+    results["eq_c"] = _outcome(lambda: eq_c(game))
+    results["explosion_guard"] = _explosion_outcome(
+        lambda: opt_p(game, max_profiles=0)
+    )
+    random_strategies, _ = random_profiles(spec)
+    results["bayes_dynamics"] = _outcome(
+        lambda: bayesian_best_response_dynamics(
+            game, max_rounds=DYNAMICS_MAX_ROUNDS
+        )
+    )
+    results["bayes_dynamics_random"] = _outcome(
+        lambda: bayesian_best_response_dynamics(
+            game, initial=random_strategies, max_rounds=DYNAMICS_MAX_ROUNDS
+        )
+    )
+    greedy = greedy_strategy_profile(game)
+    for agent in range(game.num_agents):
+        for ti in game.prior.positive_types(agent):
+            results[f"interim_br[{agent},{ti!r},greedy]"] = _outcome(
+                lambda a=agent, t=ti: interim_best_response(game, a, t, greedy)
+            )
+            results[f"interim_br[{agent},{ti!r},random]"] = _outcome(
+                lambda a=agent, t=ti: interim_best_response(
+                    game, a, t, random_strategies
+                )
+            )
+    return results
+
+
+def run_kernel_battery(spec: TabularGameSpec, lowered) -> Dict[str, Outcome]:
+    """Every kernel a lowering exposes, keyed like the reference slice.
+
+    ``lowered`` is a dense ``TensorGame`` or a ``LazyTensorGame`` — the
+    two tiers share the kernel surface, so one battery serves both
+    columns.
+    """
+    from repro.core.strategy import DEFAULT_MAX_PROFILES
+
+    game = lowered.game
+    results: Dict[str, Outcome] = {}
+    results["equilibria"] = _outcome(
+        lambda: lowered.enumerate_bayesian_equilibria(DEFAULT_MAX_PROFILES)
+    )
+    results["eq_extremes"] = _outcome(
+        lambda: lowered.bayesian_equilibrium_extreme_costs(DEFAULT_MAX_PROFILES)
+    )
+    results["opt_p"] = _outcome(lambda: lowered.opt_p(DEFAULT_MAX_PROFILES))
+    results["opt_c"] = _outcome(lambda: lowered.opt_c())
+    results["eq_c"] = _outcome(lambda: lowered.eq_c())
+    results["explosion_guard"] = _explosion_outcome(
+        lambda: lowered.sweep_profiles(max_profiles=0)
+    )
+    random_strategies, _ = random_profiles(spec)
+    greedy = greedy_strategy_profile(game)
+    results["bayes_dynamics"] = _outcome(
+        lambda: lowered.best_response_dynamics(greedy, DYNAMICS_MAX_ROUNDS)
+    )
+    results["bayes_dynamics_random"] = _outcome(
+        lambda: lowered.best_response_dynamics(
+            random_strategies, DYNAMICS_MAX_ROUNDS
+        )
+    )
+    for agent in range(game.num_agents):
+        for ti in game.prior.positive_types(agent):
+            results[f"interim_br[{agent},{ti!r},greedy]"] = _outcome(
+                lambda a=agent, t=ti: lowered.interim_best_response(
+                    a, t, greedy
+                )
+            )
+            results[f"interim_br[{agent},{ti!r},random]"] = _outcome(
+                lambda a=agent, t=ti: lowered.interim_best_response(
+                    a, t, random_strategies
+                )
+            )
+    return results
+
+
+@dataclass
+class LazyMismatch:
+    """One three-way disagreement: reference vs dense vs lazy kernels."""
+
+    spec: TabularGameSpec
+    disagreements: List[Tuple[str, Outcome, Outcome, Outcome]]
+
+    def keys(self) -> List[str]:
+        return [key for key, _, _, _ in self.disagreements]
+
+    def describe(self) -> str:
+        lines = [
+            "lazy lowering mismatch on "
+            f"{self.spec.meta or self.spec.name}:",
+        ]
+        for key, reference, dense, lazy in self.disagreements:
+            lines.append(f"  {key}:")
+            lines.append(f"    reference:     {reference!r}")
+            lines.append(f"    dense kernels: {dense!r}")
+            lines.append(f"    lazy kernels:  {lazy!r}")
+        return "\n".join(lines)
+
+
+def check_lazy_spec(
+    spec: TabularGameSpec, cache_cells: int = LAZY_FUZZ_CACHE_CELLS
+) -> Optional[LazyMismatch]:
+    """Reference vs dense kernels vs lazy kernels, exact agreement.
+
+    Fresh game builds per column keep cached lowerings (and cost-callback
+    memoization on the game object) from leaking between paths.  Games
+    the dense tier refuses are skipped (``None`` — nothing to compare
+    three ways); the lazy column runs under a deliberately tiny block
+    cache so blocks evict and re-materialize mid-battery.
+    """
+    from repro.core.lazy import lower_game_lazy
+    from repro.core.tensor import lower_game
+
+    dense = lower_game(spec.build())
+    if dense is None:
+        return None
+    lazy = lower_game_lazy(spec.build(), cache_cells=cache_cells)
+    assert lazy is not None, "dense lowering passed the shared per-state guard"
+    with engine_override("reference"):
+        reference = run_reference_lazy_battery(spec, spec.build())
+    dense_col = run_kernel_battery(spec, dense)
+    lazy_col = run_kernel_battery(spec, lazy)
+    cells = sum(
+        block.size * block.num_agents for block in lazy.cache._blocks.values()
+    )
+    assert lazy.cache.cells == cells, (
+        f"block cache accounting drifted: tracked {lazy.cache.cells} cells, "
+        f"resident blocks hold {cells}"
+    )
+    disagreements = [
+        (key, reference[key], dense_col[key], lazy_col[key])
+        for key in reference
+        if not (reference[key] == dense_col[key] == lazy_col[key])
+    ]
+    if disagreements:
+        return LazyMismatch(spec=spec, disagreements=disagreements)
+    return None
+
+
+def minimize_lazy(
+    mismatch: LazyMismatch, max_steps: int = 200
+) -> LazyMismatch:
+    """Greedy structural shrink of a failing game (same loop as
+    :func:`minimize`, re-checking the three-way lazy comparison)."""
+    current = mismatch
+    for _ in range(max_steps):
+        for candidate in shrink_candidates(current.spec):
+            smaller = check_lazy_spec(candidate)
+            if smaller is not None:
+                current = smaller
+                break
+        else:
+            return current
+    return current
+
+
+def format_lazy_failure(
+    seed: int, original: LazyMismatch, minimized: LazyMismatch
+) -> str:
+    """A report with the disagreeing kernels and a minimized repro."""
+    lines = [
+        f"lazy lowering parity mismatch for fuzz seed {seed}",
+        f"original game: {original.spec.meta or original.spec.name} — "
+        f"disagreeing measures: {original.keys()}",
+        "",
+        "minimized repro "
+        f"({len(minimized.spec.support)} support state(s)):",
+        minimized.spec.describe(),
+        "",
+        minimized.describe(),
+    ]
+    return "\n".join(lines)
